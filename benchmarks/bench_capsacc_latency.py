@@ -1,0 +1,77 @@
+"""Extension bench — CapsAcc-style latency under quantization.
+
+The paper's reference accelerator (CapsAcc, DATE 2019 [17]) streams
+weights into a systolic array; for memory-bound layers (DigitCaps: 1.5M
+parameters feeding only 1.5M MACs) the weight wordlength directly sets
+the streaming time.  This bench prices the paper-size ShallowCaps and
+DeepCaps at FP32 / 16b / 8b / Q-CapsNets-shaped configurations and
+verifies that quantization converts into latency, not just energy.
+"""
+
+from conftest import emit
+
+from repro.analysis import deepcaps_stats, shallowcaps_stats
+from repro.hw import CapsAccModel
+from repro.quant import QuantizationConfig
+
+
+def _rows(stats):
+    model = CapsAccModel(stats)
+    layers = [layer.name for layer in stats.layers]
+    configs = [
+        ("FP32", None),
+        ("16-bit", QuantizationConfig.uniform(layers, qw=15, qa=15)),
+        ("8-bit", QuantizationConfig.uniform(layers, qw=7, qa=7)),
+        ("Q-CapsNets-like", QuantizationConfig.uniform(layers, qw=5, qa=5, qdr=3)),
+    ]
+    lines = [
+        f"{stats.name} on a 16x16 CapsAcc-style array @ 250 MHz",
+        f"{'config':<17} {'cycles':>12} {'latency ms':>11} {'fps':>8}",
+    ]
+    timings = {}
+    for name, config in configs:
+        timing = model.estimate(config)
+        timings[name] = timing
+        lines.append(
+            f"{name:<17} {timing.total_cycles:>12,} "
+            f"{timing.latency_ms:>11.3f} {timing.throughput_fps:>8.1f}"
+        )
+    return model, timings, "\n".join(lines)
+
+
+def test_shallowcaps_latency(benchmark):
+    stats = shallowcaps_stats()
+    model, timings, table = _rows(stats)
+    emit("capsacc_shallowcaps_latency", table)
+
+    # Memory-bound DigitCaps must accelerate with weight bits.
+    assert (
+        timings["8-bit"].layers["L3"].total_cycles
+        < timings["FP32"].layers["L3"].total_cycles
+    )
+    # Monotone end-to-end latency in the wordlength.
+    assert (
+        timings["FP32"].total_cycles
+        >= timings["16-bit"].total_cycles
+        >= timings["8-bit"].total_cycles
+        >= timings["Q-CapsNets-like"].total_cycles
+    )
+
+    benchmark(lambda: model.estimate(None))
+
+
+def test_deepcaps_latency(benchmark):
+    stats = deepcaps_stats()
+    model, timings, table = _rows(stats)
+    emit("capsacc_deepcaps_latency", table)
+
+    assert timings["8-bit"].total_cycles <= timings["FP32"].total_cycles
+    # DeepCaps is overwhelmingly compute-bound (conv cells), so the
+    # speedup is modest — that *is* the reproduced shape: quantization's
+    # latency benefit concentrates in parameter-heavy FC-caps layers.
+    fc_fp32 = timings["FP32"].layers["L6"]
+    fc_q = timings["Q-CapsNets-like"].layers["L6"]
+    assert fc_fp32.memory_bound
+    assert fc_q.total_cycles < fc_fp32.total_cycles
+
+    benchmark(lambda: model.estimate(None))

@@ -1,0 +1,73 @@
+"""Ablation / extension — full-inference energy on the 65nm model.
+
+Quantifies the system-level consequence of the Q-CapsNets outputs that
+the paper argues qualitatively in Sec. IV-D: per-inference energy of
+the full-size ShallowCaps and DeepCaps under FP32, a uniform 8-bit
+baseline ([23]/[10]-style), and a Q-CapsNets-shaped configuration with
+specialized routing bits.
+"""
+
+from conftest import emit
+
+from repro.analysis import deepcaps_stats, shallowcaps_stats
+from repro.hw import InferenceEnergyModel
+from repro.quant import QuantizationConfig
+
+
+def _configs(layers):
+    uniform8 = QuantizationConfig.uniform(layers, qw=7, qa=7)
+    qcaps = QuantizationConfig.uniform(layers, qw=7, qa=5, qdr=3)
+    return uniform8, qcaps
+
+
+def _report(name, stats):
+    model = InferenceEnergyModel(stats.op_counts())
+    layers = [layer.name for layer in stats.layers]
+    uniform8, qcaps = _configs(layers)
+    fp32 = model.estimate(None)
+    u8 = model.estimate(uniform8)
+    qc = model.estimate(qcaps)
+    lines = [
+        f"{name} per-inference energy (UMC 65nm model)",
+        f"{'config':<26} {'total nJ':>10} {'MAC':>9} {'squash':>8} "
+        f"{'softmax':>8} {'memory':>8}",
+    ]
+    for tag, breakdown in (
+        ("FP32", fp32),
+        ("uniform 8-bit [23][10]", u8),
+        ("Q-CapsNets (Qa=5,QDR=3)", qc),
+    ):
+        lines.append(
+            f"{tag:<26} {breakdown.total_nj:>10.1f} {breakdown.mac_nj:>9.1f} "
+            f"{breakdown.squash_nj:>8.2f} {breakdown.softmax_nj:>8.2f} "
+            f"{breakdown.memory_nj:>8.1f}"
+        )
+    return fp32, u8, qc, "\n".join(lines)
+
+
+def test_shallowcaps_inference_energy(benchmark):
+    stats = shallowcaps_stats()
+    fp32, u8, qc, table = _report("ShallowCaps (paper-size)", stats)
+    emit("energy_shallowcaps", table)
+
+    # Quantization must deliver an order-of-magnitude total reduction...
+    assert fp32.total_nj / u8.total_nj > 5.0
+    # ...and the routing specialization must beat uniform-8-bit further.
+    assert qc.total_nj < u8.total_nj
+    assert qc.squash_nj < u8.squash_nj
+    assert qc.softmax_nj < u8.softmax_nj
+
+    model = InferenceEnergyModel(stats.op_counts())
+    benchmark(lambda: model.estimate(_configs([l.name for l in stats.layers])[1]))
+
+
+def test_deepcaps_inference_energy(benchmark):
+    stats = deepcaps_stats()
+    fp32, u8, qc, table = _report("DeepCaps (paper-size)", stats)
+    emit("energy_deepcaps", table)
+
+    assert fp32.total_nj / u8.total_nj > 5.0
+    assert qc.total_nj < u8.total_nj
+
+    model = InferenceEnergyModel(stats.op_counts())
+    benchmark(lambda: model.estimate(None))

@@ -1,0 +1,73 @@
+"""Fig. 12 — Q-CapsNets on DeepCaps / CIFAR10-like data.
+
+Paper rows (SR scheme, CIFAR10, FP32 = 91.26%):
+
+* model_satisfied: 91.11%, W 6.15x, A 2.5x
+* [Q4] model_accuracy: 91.18%, W 3.71x, A 3.34x
+* [Q5]: 91.09%, W 1.71x, A 3.56x
+* collapse row: 10.25%, W 19.76x
+
+Here: the CPU-scale DeepCaps (identical 6-layer structure: conv, four
+capsule cells with a routed skip in B5, routed class capsules) on
+SynthCIFAR with the SR scheme.  Reproduced shape: Path A satisfies both
+constraints with several-x reductions and routing bits below the
+activation bits; an extreme budget collapses accuracy to chance.
+"""
+
+from conftest import emit
+from harness import format_fp32, format_model, fp32_weight_mbit, run_framework
+
+from repro.autograd import Tensor, no_grad
+from repro.framework import Evaluator
+from repro.quant import get_rounding_scheme
+
+TOLERANCE = 0.02
+
+
+def test_fig12_deepcaps(deep_cifar, cifar_data, benchmark):
+    model, fp32_acc = deep_cifar
+    _, test = cifar_data
+    layers = model.quant_layers
+    fp32_mbit = fp32_weight_mbit(model)
+
+    evaluator = Evaluator(
+        model, test.images, test.labels, get_rounding_scheme("SR", seed=0),
+        batch_size=128,
+    )
+    path_a = run_framework(
+        model, test, TOLERANCE, fp32_mbit / 5, scheme="SR",
+        accuracy_fp32=fp32_acc, evaluator=evaluator,
+    )
+    path_b = run_framework(
+        model, test, TOLERANCE, fp32_mbit / 22, scheme="SR",
+        accuracy_fp32=fp32_acc, evaluator=evaluator,
+    )
+
+    blocks = [format_fp32(layers, fp32_acc, model)]
+    blocks.append(format_model("model_satisfied", layers, path_a.model_satisfied))
+    blocks.append(format_model("[Q4] model_accuracy", layers, path_b.model_accuracy))
+    blocks.append(format_model("[Q5] model_memory (collapse)", layers, path_b.model_memory))
+    emit("fig12_deepcaps_cifar", "\n".join(blocks))
+
+    assert path_a.path == "A"
+    satisfied = path_a.model_satisfied
+    assert satisfied.accuracy >= path_a.accuracy_target
+    assert satisfied.memory.weight_bits <= path_a.memory_budget_bits
+    assert satisfied.weight_reduction > 3.0
+    # Step 4A specializes both routing layers (B5 and L6): routing bits
+    # never exceed the corresponding activation bits.
+    for layer in model.routing_layers:
+        spec = satisfied.config[layer]
+        assert spec.effective_qdr() <= spec.qa
+    # Path B under an extreme budget: collapse vs held target.
+    assert path_b.model_memory.accuracy < 50.0
+    assert path_b.model_accuracy.accuracy >= path_b.accuracy_target
+
+    context = evaluator.quant_context(satisfied.config)
+
+    def quantized_inference():
+        context.reset()
+        with no_grad():
+            return model(Tensor(test.images[:64]), q=context)
+
+    benchmark.pedantic(quantized_inference, rounds=3, iterations=1)

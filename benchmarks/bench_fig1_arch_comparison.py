@@ -1,0 +1,52 @@
+"""Fig. 1 — memory requirement and MACs/memory ratio.
+
+Paper: ShallowCaps vs AlexNet vs LeNet on two axes: weight memory (Mb,
+log scale) and the MACs/memory ratio.  Expected shape: AlexNet has the
+largest memory but a *lower* compute intensity than ShallowCaps; LeNet
+is smallest on both.  Absolute paper values: ShallowCaps ≈ 217 Mbit.
+"""
+
+from conftest import emit
+
+from repro.analysis import fig1_comparison, shallowcaps_stats
+
+
+def _render_rows() -> str:
+    rows = fig1_comparison()
+    lines = [
+        f"{'architecture':<14} {'memory (Mbit)':>14} {'MACs (M)':>10} "
+        f"{'MACs/Mbit':>10}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:<14} {row.memory_mbit:>14.1f} "
+            f"{row.macs_millions:>10.1f} {row.macs_per_mbit:>10.2f}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig1_regeneration(benchmark):
+    table = _render_rows()
+    emit("fig1_arch_comparison", table)
+
+    rows = {row.name: row for row in fig1_comparison()}
+    # Paper-quoted absolute: ShallowCaps FP32 memory is 217 Mbit.
+    assert abs(rows["ShallowCaps"].memory_mbit - 217.7) < 1.0
+    # Shape: AlexNet largest memory, ShallowCaps highest intensity.
+    assert rows["AlexNet"].memory_mbit > rows["ShallowCaps"].memory_mbit
+    assert (
+        rows["ShallowCaps"].macs_per_mbit
+        > rows["AlexNet"].macs_per_mbit
+        > rows["LeNet"].macs_per_mbit
+    )
+
+    # Hot kernel: the full analytic sweep (what a design-space explorer
+    # would call in a loop).
+    benchmark(fig1_comparison)
+
+
+def test_fig1_shallowcaps_layer_breakdown(benchmark):
+    stats = shallowcaps_stats()
+    emit("fig1_shallowcaps_breakdown", stats.describe())
+    assert stats.layers[1].params > stats.layers[2].params > stats.layers[0].params
+    benchmark(shallowcaps_stats)

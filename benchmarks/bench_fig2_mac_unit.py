@@ -1,0 +1,48 @@
+"""Fig. 2 — MAC-unit energy and area vs wordlength (UMC 65nm).
+
+Paper: both energy (up to ≈1.4 pJ) and area (up to ≈10800 µm²) decrease
+quadratically as the wordlength shrinks from 32 to 4 bits.  The
+structural model reproduces the quadratic shape from the array
+multiplier's O(N²) gate count; the 65nm constants are calibrated to the
+32-bit endpoint (DESIGN.md §2).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.hw import MacUnit, UMC65
+
+WORDLENGTHS = (4, 8, 12, 16, 20, 24, 28, 32)
+
+
+def _render_rows() -> str:
+    lines = [f"{'bits':>5} {'energy (pJ)':>12} {'area (um^2)':>12}"]
+    for bits in WORDLENGTHS:
+        mac = MacUnit(bits)
+        lines.append(
+            f"{bits:>5} {mac.energy_per_op_pj(UMC65):>12.4f} "
+            f"{mac.area_um2(UMC65):>12.0f}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig2_regeneration(benchmark):
+    emit("fig2_mac_unit", _render_rows())
+
+    energies = np.array([MacUnit(b).energy_per_op_pj(UMC65) for b in WORDLENGTHS])
+    areas = np.array([MacUnit(b).area_um2(UMC65) for b in WORDLENGTHS])
+
+    # Paper endpoints: 32-bit MAC ≈ 1.4 pJ, ≈ 10800 µm².
+    assert abs(energies[-1] - 1.4) / 1.4 < 0.15
+    assert abs(areas[-1] - 10800) / 10800 < 0.15
+
+    # Quadratic shape: a degree-2 fit should explain almost everything.
+    bits = np.array(WORDLENGTHS, dtype=float)
+    for series in (energies, areas):
+        coeffs = np.polyfit(bits, series, 2)
+        fitted = np.polyval(coeffs, bits)
+        residual = np.abs(series - fitted).max() / series.max()
+        assert residual < 0.02
+        assert coeffs[0] > 0  # genuinely quadratic, not linear
+
+    benchmark(lambda: [MacUnit(b).energy_per_op_pj(UMC65) for b in WORDLENGTHS])

@@ -1,0 +1,80 @@
+"""Fig. 3 — squash and softmax module energy/area vs fractional bits.
+
+Paper: dedicated fixed-point squash and softmax units (⟨1.QF⟩, QF swept
+2..8) cost much more than a single MAC at equal wordlength, with
+~quadratic growth in QF (up to a few pJ / a few thousand µm²).  The
+second benchmark measures the bit-accurate integer kernels from
+:mod:`repro.hw.fixed_ref` — the functional counterpart of those units.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.hw import MacUnit, SoftmaxUnit, SquashUnit, UMC65, fixed_ref
+from repro.quant import FixedPointFormat, quantize_to_int
+
+FRACTIONAL_BITS = (2, 3, 4, 5, 6, 7, 8)
+
+
+def _render_rows() -> str:
+    lines = [
+        f"{'QF':>3} {'squash pJ':>10} {'squash um2':>11} "
+        f"{'softmax pJ':>11} {'softmax um2':>12} {'MAC pJ (same N)':>16}"
+    ]
+    for qf in FRACTIONAL_BITS:
+        squash = SquashUnit(qf)
+        softmax = SoftmaxUnit(qf)
+        mac = MacUnit(1 + qf)
+        lines.append(
+            f"{qf:>3} {squash.energy_per_op_pj(UMC65):>10.3f} "
+            f"{squash.area_um2(UMC65):>11.0f} "
+            f"{softmax.energy_per_op_pj(UMC65):>11.3f} "
+            f"{softmax.area_um2(UMC65):>12.0f} "
+            f"{mac.energy_per_op_pj(UMC65):>16.4f}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig3_regeneration(benchmark):
+    emit("fig3_squash_softmax", _render_rows())
+
+    squash_e = np.array(
+        [SquashUnit(q).energy_per_op_pj(UMC65) for q in FRACTIONAL_BITS]
+    )
+    softmax_e = np.array(
+        [SoftmaxUnit(q).energy_per_op_pj(UMC65) for q in FRACTIONAL_BITS]
+    )
+    mac_e = np.array(
+        [MacUnit(1 + q).energy_per_op_pj(UMC65) for q in FRACTIONAL_BITS]
+    )
+
+    # Shape: specialized ops dominate a MAC at every wordlength...
+    assert (squash_e > 5 * mac_e).all()
+    assert (softmax_e > 5 * mac_e).all()
+    # ...and grow superlinearly with the fractional bits.
+    assert squash_e[-1] / squash_e[0] > 3.0
+    assert softmax_e[-1] / softmax_e[0] > 3.0
+    # Magnitudes land in the paper's "few pJ at QF=8" range.
+    assert 2.0 < squash_e[-1] < 8.0
+    assert 2.0 < softmax_e[-1] < 8.0
+
+    benchmark(lambda: [SquashUnit(q).energy_per_op_pj(UMC65) for q in FRACTIONAL_BITS])
+
+
+def test_fig3_integer_squash_kernel(benchmark):
+    """Throughput of the bit-accurate integer squash (hardware-equivalent)."""
+    fmt = FixedPointFormat(1, 8)
+    rng = np.random.default_rng(0)
+    codes = quantize_to_int(rng.uniform(-0.9, 0.9, (1152, 8)), fmt)
+
+    result = benchmark(lambda: fixed_ref.fixed_squash(codes, fmt))
+    assert result.shape == codes.shape
+
+
+def test_fig3_integer_softmax_kernel(benchmark):
+    fmt = FixedPointFormat(1, 8)
+    rng = np.random.default_rng(0)
+    codes = quantize_to_int(rng.uniform(-0.9, 0.9, (1152, 10)), fmt)
+
+    result = benchmark(lambda: fixed_ref.fixed_softmax(codes, fmt))
+    assert result.shape == codes.shape

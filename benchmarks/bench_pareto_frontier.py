@@ -1,0 +1,55 @@
+"""Extension bench — memory/accuracy Pareto frontier via the framework.
+
+Sec. IV-D discusses Pareto dominance between the framework's outputs
+(Q1 vs Q2): ``model_satisfied`` can look dominated on (memory,
+accuracy) while winning on energy.  This bench sweeps Algorithm 1 over
+a grid of memory budgets (shared evaluator cache) and extracts the
+non-dominated (weight-memory, accuracy) frontier — the design-space
+curve a deployment engineer would actually consult.
+"""
+
+from conftest import emit
+from harness import fp32_weight_mbit
+
+from repro.framework import pareto_frontier, sweep_memory_budgets
+
+TOLERANCE = 0.02
+
+
+def test_pareto_frontier(shallow_digits, digits_data, benchmark):
+    model, fp32_acc = shallow_digits
+    _, test = digits_data
+    fp32_mbit = fp32_weight_mbit(model)
+    budgets = [fp32_mbit / d for d in (3, 5, 8, 14, 25)]
+
+    points = sweep_memory_budgets(
+        model, test.images, test.labels,
+        budgets_mbit=budgets,
+        accuracy_tolerance=TOLERANCE,
+        scheme="RTN",
+        accuracy_fp32=fp32_acc,
+    )
+    frontier = pareto_frontier(points)
+
+    lines = [
+        f"FP32: {fp32_mbit:.3f} Mbit @ {fp32_acc:.2f}%  "
+        f"({len(points)} design points from {len(budgets)} budgets)",
+        f"{'W Mbit':>8} {'accuracy':>9} {'path':>5} {'model':>16}",
+    ]
+    for point in frontier:
+        lines.append(
+            f"{point.weight_mbit:>8.3f} {point.accuracy:>8.2f}% "
+            f"{point.path:>5} {point.model_label:>16}"
+        )
+    emit("pareto_frontier", "\n".join(lines))
+
+    assert len(frontier) >= 2
+    # Frontier shape: accuracy non-decreasing in memory, spanning from
+    # an aggressive low-memory point to a near-FP32 point.
+    accuracies = [p.accuracy for p in frontier]
+    assert accuracies == sorted(accuracies)
+    assert frontier[-1].accuracy >= fp32_acc * (1 - 2 * TOLERANCE)
+    assert frontier[0].weight_mbit < fp32_mbit / 5
+
+    # Hot kernel: frontier extraction over the design points.
+    benchmark(lambda: pareto_frontier(points))

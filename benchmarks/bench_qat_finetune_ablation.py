@@ -1,0 +1,60 @@
+"""Extension bench — post-training vs fine-tuned quantization.
+
+The paper's framework is post-training only; its related work
+(Ristretto [5]) retrains after quantizing.  This bench measures how
+much accuracy Ristretto-style straight-through fine-tuning recovers at
+wordlengths where pure PTQ has already degraded — quantifying what the
+Q-CapsNets flow leaves on the table by staying retraining-free (its
+advantage: no training data or backprop needed at deployment time).
+"""
+
+from conftest import emit
+from repro.capsnet import ShallowCaps, presets
+from repro.framework import quantization_aware_finetune
+from repro.quant import QuantizationConfig, calibrate_scales, get_rounding_scheme
+
+
+def test_qat_recovery(shallow_digits, digits_data, benchmark):
+    trained, fp32_acc = shallow_digits
+    train, test = digits_data
+
+    lines = [
+        f"FP32 acc {fp32_acc:.2f}% — PTQ vs 2-epoch STE fine-tune",
+        f"{'Qw':>4} {'PTQ acc':>8} {'QAT acc':>8}",
+    ]
+    recoveries = []
+    scales = calibrate_scales(trained, test.images)
+    for qw in (3, 2):
+        model = ShallowCaps(presets.shallowcaps_small())
+        model.load_state_dict(trained.state_dict())
+        config = QuantizationConfig.uniform(model.quant_layers, qw=qw, qa=6)
+        before, after = quantization_aware_finetune(
+            model, config, get_rounding_scheme("RTN"),
+            train.images, train.labels, test.images, test.labels,
+            epochs=2, lr=0.0008, scales=scales,
+        )
+        recoveries.append((qw, before, after))
+        lines.append(f"{qw:>4} {before:>7.2f}% {after:>7.2f}%")
+    emit("ablation_qat_finetune", "\n".join(lines))
+
+    # Fine-tuning never hurts materially, and where PTQ has lost ≥5
+    # points it recovers part of the gap.
+    for qw, before, after in recoveries:
+        assert after >= before - 1.0
+        if before < fp32_acc - 5.0:
+            assert after > before
+
+    qw, before, after = recoveries[-1]
+    model = ShallowCaps(presets.shallowcaps_small())
+    model.load_state_dict(trained.state_dict())
+    config = QuantizationConfig.uniform(model.quant_layers, qw=2, qa=6)
+
+    def one_epoch_finetune():
+        return quantization_aware_finetune(
+            model, config, get_rounding_scheme("RTN"),
+            train.images[:256], train.labels[:256],
+            test.images[:64], test.labels[:64],
+            epochs=1, lr=0.0008, scales=scales,
+        )
+
+    benchmark.pedantic(one_epoch_finetune, rounds=1, iterations=1)

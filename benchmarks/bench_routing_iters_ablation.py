@@ -1,0 +1,70 @@
+"""Ablation — routing iterations × quantization interaction.
+
+The paper attributes the routing arrays' quantization tolerance to
+their *dynamic* recomputation: "the operations of the involved
+coefficients ... are updated dynamically, thereby adapting to the
+quantization more easily than previous layers" (Sec. IV-D).  If that
+explanation holds, a quantized model evaluated with MORE routing
+iterations should recover accuracy relative to fewer iterations, at
+aggressive routing wordlengths.
+
+Design-choice check #4 of DESIGN.md §6.
+"""
+
+from conftest import emit
+
+from repro.framework import Evaluator
+from repro.quant import QuantizationConfig, get_rounding_scheme
+
+BASE_BITS = 8
+
+
+def test_routing_iterations_recover_quantization(
+    shallow_digits, digits_data, benchmark
+):
+    model, fp32_acc = shallow_digits
+    _, test = digits_data
+    evaluator = Evaluator(
+        model, test.images, test.labels, get_rounding_scheme("RTN"),
+        batch_size=128,
+    )
+
+    original_iterations = model.digit.routing_iterations
+    lines = [
+        f"FP32 acc {fp32_acc:.2f}% (trained with "
+        f"{original_iterations} iterations)",
+        f"{'iterations':>11} {'QDR=4 acc':>10} {'QDR=2 acc':>10}",
+    ]
+    accs = {}
+    try:
+        for iterations in (1, 2, 3):
+            model.digit.routing_iterations = iterations
+            evaluator._cache.clear()  # config signature ignores iterations
+            for dr_bits in (4, 2):
+                config = QuantizationConfig.uniform(
+                    model.quant_layers,
+                    qw=BASE_BITS, qa=BASE_BITS, qdr=dr_bits,
+                )
+                accs[(iterations, dr_bits)] = evaluator.accuracy(config)
+            lines.append(
+                f"{iterations:>11} {accs[(iterations, 4)]:>9.2f}% "
+                f"{accs[(iterations, 2)]:>9.2f}%"
+            )
+    finally:
+        model.digit.routing_iterations = original_iterations
+    emit("ablation_routing_iterations", "\n".join(lines))
+
+    # The trained configuration (3 iterations) must be usable at 4-bit
+    # routing — this is the paper's central Step-4A premise.
+    assert accs[(3, 4)] >= fp32_acc - 5.0
+    # Routing at the trained iteration count should not be (much) worse
+    # than the 1-iteration ablation under quantization.
+    assert accs[(3, 4)] >= accs[(1, 4)] - 2.0
+
+    config = QuantizationConfig.uniform(
+        model.quant_layers, qw=BASE_BITS, qa=BASE_BITS, qdr=4
+    )
+    evaluator._cache.clear()
+    benchmark.pedantic(
+        lambda: evaluator.accuracy(config), rounds=2, iterations=1
+    )

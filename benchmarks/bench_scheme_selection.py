@@ -1,0 +1,62 @@
+"""Sec. III-B — full rounding-scheme library search and selection.
+
+Runs Algorithm 1 once per scheme in {TRN, RTN, SR} on the trained
+ShallowCaps and applies the paper's selection criteria.  Reproduced
+shape: with a satisfiable budget every scheme takes Path A, the Path-A
+criteria (memory, activation bits, scheme simplicity) produce a single
+winner, and the selection rationale is reportable.
+"""
+
+from conftest import emit
+from harness import fp32_weight_mbit
+
+from repro.framework import QCapsNets, run_rounding_scheme_search
+
+TOLERANCE = 0.02
+
+
+def test_scheme_selection(shallow_digits, digits_data, benchmark):
+    model, fp32_acc = shallow_digits
+    _, test = digits_data
+    budget = fp32_weight_mbit(model) / 5
+
+    def make_framework(scheme_name: str) -> QCapsNets:
+        return QCapsNets(
+            model, test.images, test.labels,
+            accuracy_tolerance=TOLERANCE,
+            memory_budget_mbit=budget,
+            scheme=scheme_name,
+            accuracy_fp32=fp32_acc,
+        )
+
+    outcome = run_rounding_scheme_search(
+        make_framework, schemes=("TRN", "RTN", "SR")
+    )
+
+    lines = [outcome.summary(), ""]
+    for name, result in outcome.per_scheme.items():
+        lines.append(result.summary())
+        lines.append("")
+    emit("scheme_selection", "\n".join(lines))
+
+    assert set(outcome.per_scheme) == {"TRN", "RTN", "SR"}
+    if outcome.path == "A":
+        assert outcome.best is not None
+        # The winner's weight memory is minimal among Path-A candidates.
+        candidates = [
+            r.model_satisfied
+            for r in outcome.per_scheme.values()
+            if r.model_satisfied is not None
+        ]
+        assert outcome.best.memory.weight_bits == min(
+            c.memory.weight_bits for c in candidates
+        )
+    else:
+        assert outcome.best_memory_model is not None
+        assert outcome.best_accuracy_model is not None
+
+    # Hot kernel: the selection logic itself over the cached results.
+    from repro.framework import select_best
+
+    results = dict(outcome.per_scheme)
+    benchmark(lambda: select_best(results))

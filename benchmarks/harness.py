@@ -1,0 +1,72 @@
+"""Formatting and orchestration helpers shared by the figure benches."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.framework import QCapsNets
+from repro.framework.results import QCapsNetsResult, QuantizedModelResult
+from repro.quant.memory import MemoryReport
+
+
+def fp32_weight_mbit(model) -> float:
+    """FP32 weight footprint of a model in Mbit."""
+    return sum(model.layer_param_counts().values()) * 32 / 1e6
+
+
+def run_framework(
+    model,
+    test_dataset,
+    tolerance: float,
+    budget_mbit: float,
+    scheme: str = "RTN",
+    accuracy_fp32: Optional[float] = None,
+    evaluator=None,
+) -> QCapsNetsResult:
+    """One Algorithm-1 run with bench-standard settings."""
+    framework = QCapsNets(
+        model,
+        test_dataset.images,
+        test_dataset.labels,
+        accuracy_tolerance=tolerance,
+        memory_budget_mbit=budget_mbit,
+        scheme=scheme,
+        batch_size=128,
+        accuracy_fp32=accuracy_fp32,
+        evaluator=evaluator,
+    )
+    return framework.run()
+
+
+def bits_row(label: str, values: Sequence) -> str:
+    rendered = ", ".join("-" if v is None else str(v) for v in values)
+    return f"    {label:<12} [{rendered}]"
+
+
+def format_model(
+    tag: str, layers: List[str], result: QuantizedModelResult
+) -> str:
+    """Fig. 11/12-style block: accuracy, reductions, per-layer bits."""
+    lines = [
+        f"{tag}: acc={result.accuracy:.2f}%  "
+        f"W mem reduction={result.weight_reduction:.2f}x  "
+        f"A mem reduction={result.act_reduction:.2f}x  "
+        f"[{result.scheme_name}]"
+    ]
+    lines.append(bits_row("Weights", result.config.qw_vector()))
+    lines.append(bits_row("Activations", result.config.qa_vector()))
+    lines.append(bits_row("Dynamic R.", result.config.qdr_vector()))
+    return "\n".join(lines)
+
+
+def format_fp32(layers: List[str], accuracy: float, model) -> str:
+    report = MemoryReport(
+        model.layer_param_counts(), model.layer_activation_counts(), None
+    )
+    return (
+        f"FP32: acc={accuracy:.2f}%  weights={report.weight_megabits:.3f} Mbit  "
+        f"activations={report.act_megabits:.3f} Mbit\n"
+        + bits_row("Weights", ["-"] * len(layers))
+        + "\n"
+        + bits_row("Activations", ["-"] * len(layers))
+    )

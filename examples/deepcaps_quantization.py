@@ -1,0 +1,72 @@
+"""DeepCaps on SynthCIFAR: Path-A quantization plus an energy estimate.
+
+Reproduces the Fig. 12 scenario at laptop scale: train the CPU-scale
+DeepCaps (conv + four capsule cells with a routed skip connection in B5
++ routed class capsules) on the CIFAR10 stand-in, quantize it with the
+SR scheme (which the paper reports as the best for DeepCaps), and
+translate the resulting wordlengths into per-inference energy with the
+65nm hardware model.
+
+Usage::
+
+    python examples/deepcaps_quantization.py [--epochs N]
+"""
+
+import argparse
+
+from repro.analysis import deepcaps_stats
+from repro.capsnet import DeepCaps, presets
+from repro.data import synth_cifar
+from repro.framework import QCapsNets
+from repro.hw import InferenceEnergyModel
+from repro.nn import Adam, Trainer
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=5)
+    parser.add_argument("--tolerance", type=float, default=0.02)
+    args = parser.parse_args()
+
+    print("generating SynthCIFAR ...")
+    train, test = synth_cifar(train_size=2000, test_size=256, seed=0)
+
+    config = presets.deepcaps_small(input_channels=3, input_size=32)
+    model = DeepCaps(config)
+    print(f"training DeepCaps ({model.num_parameters():,} params) ...")
+    trainer = Trainer(model, Adam(model.parameters(), lr=0.003))
+    history = trainer.fit(
+        train.images, train.labels, test.images, test.labels,
+        epochs=args.epochs, batch_size=64, verbose=True,
+    )
+
+    fp32_mbit = sum(model.layer_param_counts().values()) * 32 / 1e6
+    framework = QCapsNets(
+        model,
+        test.images,
+        test.labels,
+        accuracy_tolerance=args.tolerance,
+        memory_budget_mbit=fp32_mbit / 5,
+        scheme="SR",
+        accuracy_fp32=history.final_test_accuracy,
+    )
+    result = framework.run()
+    print("\n" + result.summary())
+
+    chosen = result.model_satisfied or result.model_accuracy
+    print("\nper-layer wordlengths:")
+    print(chosen.config.describe())
+
+    print("\nper-inference energy (65nm structural model):")
+    energy_model = InferenceEnergyModel(deepcaps_stats(config).op_counts())
+    fp32_energy = energy_model.estimate(None)
+    quant_energy = energy_model.estimate(chosen.config)
+    print(f"  FP32:      {fp32_energy.describe()}")
+    print(f"  quantized: {quant_energy.describe()}")
+    print(
+        f"  reduction: {fp32_energy.total_nj / quant_energy.total_nj:.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

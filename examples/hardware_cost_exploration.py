@@ -1,0 +1,88 @@
+"""Hardware cost exploration — the paper's Figs. 2-3 and beyond.
+
+Sweeps the structural 65nm models over wordlength for the MAC unit and
+the squash/softmax modules, demonstrates the node-scaling extension
+(what the same units would cost at 45nm / 28nm), and prices one full
+ShallowCaps inference at several quantization levels.
+
+Runs in seconds — no training involved.
+
+Usage::
+
+    python examples/hardware_cost_exploration.py
+"""
+
+from repro.analysis import shallowcaps_stats
+from repro.hw import (
+    InferenceEnergyModel,
+    MacUnit,
+    SoftmaxUnit,
+    SquashUnit,
+    UMC65,
+)
+from repro.quant import QuantizationConfig
+
+
+def mac_sweep() -> None:
+    print("MAC unit vs wordlength (Fig. 2)")
+    print(f"{'bits':>6} {'energy pJ':>10} {'area um2':>10}")
+    for bits in (4, 8, 12, 16, 20, 24, 28, 32):
+        mac = MacUnit(bits)
+        print(
+            f"{bits:>6} {mac.energy_per_op_pj(UMC65):>10.4f} "
+            f"{mac.area_um2(UMC65):>10.0f}"
+        )
+
+
+def special_ops_sweep() -> None:
+    print("\nsquash / softmax modules vs fractional bits (Fig. 3)")
+    print(f"{'QF':>4} {'squash pJ':>10} {'softmax pJ':>11}")
+    for qf in range(2, 9):
+        print(
+            f"{qf:>4} {SquashUnit(qf).energy_per_op_pj(UMC65):>10.3f} "
+            f"{SoftmaxUnit(qf).energy_per_op_pj(UMC65):>11.3f}"
+        )
+
+
+def node_scaling() -> None:
+    print("\nnode scaling of an 8-bit MAC (first-order Dennard)")
+    print(f"{'node':>8} {'energy pJ':>10} {'area um2':>10}")
+    mac = MacUnit(8)
+    for node in (65.0, 45.0, 28.0):
+        tech = UMC65 if node == 65.0 else UMC65.scaled_to(node)
+        print(
+            f"{node:>6.0f}nm {mac.energy_per_op_pj(tech):>10.4f} "
+            f"{mac.area_um2(tech):>10.0f}"
+        )
+
+
+def inference_energy() -> None:
+    print("\nShallowCaps (paper-size) inference energy vs quantization")
+    stats = shallowcaps_stats()
+    model = InferenceEnergyModel(stats.op_counts())
+    layers = [layer.name for layer in stats.layers]
+    settings = [
+        ("FP32", None),
+        ("16-bit uniform", QuantizationConfig.uniform(layers, qw=15, qa=15)),
+        ("8-bit uniform", QuantizationConfig.uniform(layers, qw=7, qa=7)),
+        ("Q-CapsNets-like", QuantizationConfig.uniform(layers, qw=7, qa=5, qdr=3)),
+    ]
+    print(f"{'config':<18} {'total uJ':>9} {'compute uJ':>11} {'memory uJ':>10}")
+    for name, config in settings:
+        breakdown = model.estimate(config)
+        print(
+            f"{name:<18} {breakdown.total_nj / 1000:>9.2f} "
+            f"{breakdown.compute_nj / 1000:>11.3f} "
+            f"{breakdown.memory_nj / 1000:>10.3f}"
+        )
+
+
+def main() -> None:
+    mac_sweep()
+    special_ops_sweep()
+    node_scaling()
+    inference_energy()
+
+
+if __name__ == "__main__":
+    main()

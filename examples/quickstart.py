@@ -1,0 +1,79 @@
+"""Quickstart: train a CapsNet, quantize it with Q-CapsNets, inspect results.
+
+Runs in ~2 minutes on a laptop CPU:
+
+1. generate the SynthDigits dataset (MNIST stand-in, see DESIGN.md §2);
+2. train a CPU-scale ShallowCaps (same 3-layer structure as Sabour et
+   al.: Conv -> PrimaryCaps -> DigitCaps with dynamic routing);
+3. run the Q-CapsNets framework (Algorithm 1) with an accuracy
+   tolerance and a weight-memory budget;
+4. print the chosen per-layer wordlengths and memory reductions.
+
+Usage::
+
+    python examples/quickstart.py [--epochs N] [--budget-divisor D]
+"""
+
+import argparse
+
+from repro.capsnet import ShallowCaps, presets
+from repro.data import synth_digits
+from repro.framework import QCapsNets
+from repro.nn import Adam, Trainer
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=6,
+                        help="training epochs (default 6)")
+    parser.add_argument("--budget-divisor", type=float, default=5.0,
+                        help="memory budget = FP32 weight memory / divisor")
+    parser.add_argument("--tolerance", type=float, default=0.015,
+                        help="relative accuracy tolerance accTOL")
+    parser.add_argument("--scheme", default="RTN",
+                        choices=["TRN", "RTN", "RTNE", "SR"])
+    args = parser.parse_args()
+
+    print("1) generating SynthDigits ...")
+    train, test = synth_digits(train_size=2000, test_size=256, seed=0)
+
+    print("2) training ShallowCaps (CPU-scale preset) ...")
+    model = ShallowCaps(presets.shallowcaps_small())
+    trainer = Trainer(model, Adam(model.parameters(), lr=0.005))
+    history = trainer.fit(
+        train.images, train.labels, test.images, test.labels,
+        epochs=args.epochs, batch_size=64, verbose=True,
+    )
+    fp32_accuracy = history.final_test_accuracy
+
+    fp32_mbit = sum(model.layer_param_counts().values()) * 32 / 1e6
+    budget = fp32_mbit / args.budget_divisor
+    print(
+        f"\n3) running Q-CapsNets: accTOL={args.tolerance:.3f}, "
+        f"budget={budget:.3f} Mbit (FP32 is {fp32_mbit:.3f} Mbit), "
+        f"scheme={args.scheme}"
+    )
+    framework = QCapsNets(
+        model,
+        test.images,
+        test.labels,
+        accuracy_tolerance=args.tolerance,
+        memory_budget_mbit=budget,
+        scheme=args.scheme,
+        accuracy_fp32=fp32_accuracy,
+    )
+    result = framework.run()
+
+    print("\n4) result\n")
+    print(result.summary())
+    print("\nsearch log:")
+    for line in result.log:
+        print("  " + line)
+    for name, quantized in result.models().items():
+        print(f"\n{name} per-layer wordlengths:")
+        print(quantized.config.describe())
+        print(quantized.memory.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments whose pip lacks the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables
+the legacy ``pip install -e . --no-build-isolation --no-use-pep517``
+editable-install path used in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Q-CapsNets reproduction: quantizing Capsule Networks (DAC 2020).
+
+Reproduction of *"Q-CapsNets: A Specialized Framework for Quantizing
+Capsule Networks"* (Marchisio et al., DAC 2020) — including the full
+substrate it needs (NumPy autograd engine, CapsNet models, fixed-point
+quantization, 65nm hardware cost models and synthetic datasets).
+
+Quickstart::
+
+    from repro import capsnet, data, framework, quant
+    from repro.nn import Adam, Trainer
+
+    train, test = data.synth_digits(train_size=2000, test_size=512)
+    model = capsnet.ShallowCaps(capsnet.presets.shallowcaps_small())
+    trainer = Trainer(model, Adam(model.parameters(), lr=0.001))
+    trainer.fit(train.images, train.labels, epochs=3)
+
+    result = framework.QCapsNets(
+        model,
+        test_images=test.images,
+        test_labels=test.labels,
+        accuracy_tolerance=0.002,
+        memory_budget_mb=0.6,
+    ).run()
+    print(result.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro import autograd, capsnet, nn, quant
+
+__all__ = ["autograd", "capsnet", "nn", "quant", "__version__"]

@@ -1,0 +1,22 @@
+"""Architecture analysis: parameter, MAC and activation statistics.
+
+Provides the analytic per-layer statistics behind the paper's Fig. 1
+(memory and MACs/memory comparison of ShallowCaps vs AlexNet vs LeNet)
+and the operation counts consumed by the hardware energy estimator.
+"""
+
+from repro.analysis.arch_stats import (
+    ArchStats,
+    LayerStats,
+    deepcaps_stats,
+    shallowcaps_stats,
+)
+from repro.analysis.comparison import fig1_comparison
+
+__all__ = [
+    "LayerStats",
+    "ArchStats",
+    "shallowcaps_stats",
+    "deepcaps_stats",
+    "fig1_comparison",
+]

@@ -1,0 +1,262 @@
+"""Analytic per-layer statistics for the CapsNet architectures.
+
+Everything is computed from the architecture configuration alone —
+no parameter tensors are allocated — so the full-size paper models
+(ShallowCaps: 6.8M params = 217 Mbit, exactly the paper's Sec. IV-B
+figure; DeepCaps; AlexNet at 61M params) can be analyzed instantly.
+The test suite cross-validates these counts against instantiated small
+models' ``layer_param_counts()`` / ``layer_activation_counts()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.capsnet.deep import DeepCapsConfig
+from repro.capsnet.shallow import ShallowCapsConfig
+from repro.hw.accelerator import LayerOpCounts
+
+
+@dataclass(frozen=True)
+class LayerStats:
+    """Static statistics of one (quantization) layer.
+
+    ``macs`` counts multiply-accumulates for one inference;
+    ``activations`` counts the elements passing the activation
+    quantization hook; squash/softmax counts feed the hardware energy
+    model (see :class:`repro.hw.accelerator.LayerOpCounts`).
+    """
+
+    name: str
+    kind: str
+    params: int
+    macs: int
+    activations: int
+    squash_calls: int = 0
+    squash_dim: int = 8
+    softmax_calls: int = 0
+    softmax_width: int = 10
+
+
+@dataclass
+class ArchStats:
+    """Whole-architecture statistics."""
+
+    name: str
+    layers: List[LayerStats] = field(default_factory=list)
+
+    @property
+    def params(self) -> int:
+        return sum(layer.params for layer in self.layers)
+
+    @property
+    def macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def activations(self) -> int:
+        return sum(layer.activations for layer in self.layers)
+
+    def memory_mbit(self, bits_per_param: int = 32) -> float:
+        """Weight memory in Mbit (Fig. 1 left axis)."""
+        return self.params * bits_per_param / 1e6
+
+    def macs_per_mbit(self, bits_per_param: int = 32) -> float:
+        """M-MACs per Mbit of weights (Fig. 1 right axis, compute
+        intensity).  The paper's axis is unlabeled; the *ordering* of
+        the three architectures is the reproduced claim."""
+        return (self.macs / 1e6) / (self.params * bits_per_param / 1e6)
+
+    def param_counts(self) -> Dict[str, int]:
+        return {layer.name: layer.params for layer in self.layers}
+
+    def act_counts(self) -> Dict[str, int]:
+        return {layer.name: layer.activations for layer in self.layers}
+
+    def op_counts(self) -> Dict[str, LayerOpCounts]:
+        """Per-layer operation counts for the hardware energy model."""
+        return {
+            layer.name: LayerOpCounts(
+                macs=layer.macs,
+                params=layer.params,
+                activations=layer.activations,
+                squash_calls=layer.squash_calls,
+                squash_dim=layer.squash_dim,
+                softmax_calls=layer.softmax_calls,
+                softmax_width=layer.softmax_width,
+            )
+            for layer in self.layers
+        }
+
+    def describe(self) -> str:
+        rows = [
+            f"{self.name}: {self.params / 1e6:.2f}M params, "
+            f"{self.macs / 1e6:.1f}M MACs, {self.memory_mbit():.1f} Mbit"
+        ]
+        for layer in self.layers:
+            rows.append(
+                f"  {layer.name:<4} {layer.kind:<12} "
+                f"params={layer.params:>10,} macs={layer.macs:>12,} "
+                f"act={layer.activations:>9,}"
+            )
+        return "\n".join(rows)
+
+
+def _conv_out(size: int, kernel: int, stride: int = 1, padding: int = 0) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"empty convolution output (size={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding})"
+        )
+    return out
+
+
+def shallowcaps_stats(cfg: ShallowCapsConfig | None = None) -> ArchStats:
+    """Per-layer statistics for a ShallowCaps configuration.
+
+    With the default (paper) config this reproduces the 217 Mbit weight
+    memory the paper quotes in Sec. IV-B.
+    """
+    cfg = cfg if cfg is not None else ShallowCapsConfig()
+    stats = ArchStats(name="ShallowCaps")
+
+    # L1 — conv + ReLU.
+    h1 = _conv_out(cfg.input_size, cfg.conv1_kernel)
+    k2 = cfg.conv1_kernel**2
+    stats.layers.append(
+        LayerStats(
+            name="L1",
+            kind="conv",
+            params=k2 * cfg.input_channels * cfg.conv1_channels + cfg.conv1_channels,
+            macs=h1 * h1 * k2 * cfg.input_channels * cfg.conv1_channels,
+            activations=cfg.conv1_channels * h1 * h1,
+        )
+    )
+
+    # L2 — PrimaryCaps (conv + squash).
+    h2 = _conv_out(h1, cfg.primary_kernel, cfg.primary_stride)
+    pk2 = cfg.primary_kernel**2
+    primary_channels = cfg.primary_types * cfg.primary_dim
+    num_primary = cfg.primary_types * h2 * h2
+    stats.layers.append(
+        LayerStats(
+            name="L2",
+            kind="primarycaps",
+            params=pk2 * cfg.conv1_channels * primary_channels + primary_channels,
+            macs=h2 * h2 * pk2 * cfg.conv1_channels * primary_channels,
+            activations=num_primary * cfg.primary_dim,
+            squash_calls=num_primary,
+            squash_dim=cfg.primary_dim,
+        )
+    )
+
+    # L3 — DigitCaps (votes + dynamic routing).
+    in_caps, in_dim = num_primary, cfg.primary_dim
+    out_caps, out_dim = cfg.num_classes, cfg.class_dim
+    iters = cfg.routing_iterations
+    vote_macs = in_caps * out_caps * out_dim * in_dim
+    routing_macs = iters * 2 * in_caps * out_caps * out_dim
+    stats.layers.append(
+        LayerStats(
+            name="L3",
+            kind="capsfc",
+            params=in_caps * out_caps * out_dim * in_dim,
+            macs=vote_macs + routing_macs,
+            activations=in_caps * out_caps * out_dim,  # the vote tensor
+            squash_calls=out_caps * iters,
+            squash_dim=out_dim,
+            softmax_calls=in_caps * iters,
+            softmax_width=out_caps,
+        )
+    )
+    return stats
+
+
+def deepcaps_stats(cfg: DeepCapsConfig | None = None) -> ArchStats:
+    """Per-layer statistics for a DeepCaps configuration."""
+    cfg = cfg if cfg is not None else DeepCapsConfig()
+    stats = ArchStats(name="DeepCaps")
+
+    size = cfg.input_size
+    stats.layers.append(
+        LayerStats(
+            name="L1",
+            kind="conv",
+            params=9 * cfg.input_channels * cfg.conv1_channels + cfg.conv1_channels,
+            macs=size * size * 9 * cfg.input_channels * cfg.conv1_channels,
+            activations=cfg.conv1_channels * size * size,
+        )
+    )
+
+    in_types = cfg.conv1_channels // cfg.cell_dims[0]
+    in_dim = cfg.cell_dims[0]
+    iters = cfg.routing_iterations
+    for index, (types, dim) in enumerate(zip(cfg.cell_types, cfg.cell_dims)):
+        name = f"B{index + 2}"
+        routed = index == len(cfg.cell_types) - 1
+        out_size = _conv_out(size, 3, stride=2, padding=1)
+        in_ch = in_types * in_dim
+        out_ch = types * dim
+
+        conv1 = (9 * in_ch * out_ch + out_ch, out_size**2 * 9 * in_ch * out_ch)
+        inner = (9 * out_ch * out_ch + out_ch, out_size**2 * 9 * out_ch * out_ch)
+        params = conv1[0] + 2 * inner[0]
+        macs = conv1[1] + 2 * inner[1]
+        # Cell output passes the activation hook once.
+        activations = types * dim * out_size**2
+        # Squash once per output capsule per ConvCaps2d plus the merge.
+        squash_calls = 4 * types * out_size**2
+        softmax_calls = 0
+        softmax_width = 10
+        if routed:
+            # ConvCaps3d skip: weights shared across input types, no bias.
+            params += 9 * dim * out_ch
+            macs += types * out_size**2 * 9 * dim * out_ch
+            macs += out_size**2 * iters * 2 * types * types * dim
+            # The vote tensor also passes the activation hook (Fig. 9).
+            activations += out_size**2 * types * types * dim
+            squash_calls += out_size**2 * types * iters
+            softmax_calls = out_size**2 * types * iters
+            softmax_width = types
+        else:
+            inner_skip = (9 * out_ch * out_ch + out_ch, out_size**2 * 9 * out_ch * out_ch)
+            params += inner_skip[0]
+            macs += inner_skip[1]
+            squash_calls += types * out_size**2
+
+        stats.layers.append(
+            LayerStats(
+                name=name,
+                kind="capscell",
+                params=params,
+                macs=macs,
+                activations=activations,
+                squash_calls=squash_calls,
+                squash_dim=dim,
+                softmax_calls=softmax_calls,
+                softmax_width=softmax_width,
+            )
+        )
+        in_types, in_dim, size = types, dim, out_size
+
+    in_caps = cfg.cell_types[-1] * size * size
+    in_dim = cfg.cell_dims[-1]
+    out_caps, out_dim = cfg.num_classes, cfg.class_dim
+    vote_macs = in_caps * out_caps * out_dim * in_dim
+    routing_macs = iters * 2 * in_caps * out_caps * out_dim
+    stats.layers.append(
+        LayerStats(
+            name="L6",
+            kind="capsfc",
+            params=in_caps * out_caps * out_dim * in_dim,
+            macs=vote_macs + routing_macs,
+            activations=in_caps * out_caps * out_dim,
+            squash_calls=out_caps * iters,
+            squash_dim=out_dim,
+            softmax_calls=in_caps * iters,
+            softmax_width=out_caps,
+        )
+    )
+    return stats

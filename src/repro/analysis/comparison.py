@@ -1,0 +1,52 @@
+"""Fig. 1 — memory and compute-intensity comparison.
+
+Reproduces the paper's motivational analysis: ShallowCaps needs *less*
+memory than AlexNet yet has the *highest* MACs/memory ratio — CapsNets
+are compute-intensive relative to their size, because the dynamic
+routing re-processes the same (relatively few) parameters iteratively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.arch_stats import ArchStats, shallowcaps_stats
+
+
+@dataclass(frozen=True)
+class Fig1Row:
+    """One bar group of Fig. 1."""
+
+    name: str
+    memory_mbit: float
+    macs_millions: float
+    macs_per_mbit: float
+
+
+def fig1_comparison() -> List[Fig1Row]:
+    """Rows for ShallowCaps [21], AlexNet [12] and LeNet [13] (Fig. 1).
+
+    Expected shape (asserted by the bench): AlexNet has the largest
+    memory; ShallowCaps has the largest MACs/memory ratio; LeNet is the
+    smallest on both axes.
+    """
+    # Imported here: repro.baselines.lenet needs repro.analysis.arch_stats,
+    # so a module-level import would be circular.
+    from repro.baselines.alexnet import alexnet_stats
+    from repro.baselines.lenet import lenet5_stats
+
+    architectures: List[ArchStats] = [
+        shallowcaps_stats(),
+        alexnet_stats(),
+        lenet5_stats(),
+    ]
+    return [
+        Fig1Row(
+            name=stats.name,
+            memory_mbit=stats.memory_mbit(),
+            macs_millions=stats.macs / 1e6,
+            macs_per_mbit=stats.macs_per_mbit(),
+        )
+        for stats in architectures
+    ]

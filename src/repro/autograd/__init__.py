@@ -1,0 +1,54 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This package is the execution substrate of the reproduction: the paper's
+experiments were run on PyTorch, which is not available in this
+environment, so ``repro.autograd`` provides the minimal-but-complete
+tensor/autograd engine the CapsNet models and the Q-CapsNets framework
+are built on.
+
+The public surface is:
+
+* :class:`~repro.autograd.tensor.Tensor` — an ndarray wrapper carrying a
+  gradient tape (dynamic graph, reverse-mode).
+* :func:`~repro.autograd.tensor.no_grad` — context manager disabling tape
+  construction (used for inference / quantized evaluation).
+* Neural-network ops in :mod:`repro.autograd.ops_nn` — ``conv2d``,
+  ``relu``, ``sigmoid``, ``softmax``, ``log_softmax``, ``vector_norm``.
+* :func:`~repro.autograd.gradcheck.gradcheck` — central-difference
+  numerical gradient verification used throughout the test suite.
+"""
+
+from repro.autograd.tensor import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    grad_enabled,
+    no_grad,
+    stack,
+)
+from repro.autograd.ops_nn import (
+    conv2d,
+    log_softmax,
+    relu,
+    sigmoid,
+    softmax,
+    vector_norm,
+)
+from repro.autograd.gradcheck import gradcheck, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "no_grad",
+    "grad_enabled",
+    "conv2d",
+    "relu",
+    "sigmoid",
+    "softmax",
+    "log_softmax",
+    "vector_norm",
+    "gradcheck",
+    "numerical_gradient",
+]

@@ -1,0 +1,298 @@
+"""Neural-network operations: convolution, activations, softmax, norms.
+
+The convolution is implemented with an explicit im2col lowering so that
+the inner loop is a single large matrix multiplication — the only way to
+get acceptable throughput from a pure-NumPy engine.  The same lowering
+(patch extraction into columns) is what the paper's hardware accelerator
+reference (CapsAcc, DATE 2019) performs in its systolic array, so MAC
+counts derived from this code path match the analytical model in
+:mod:`repro.hw`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, as_tensor, grad_enabled
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _as_pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (value, value)
+
+
+def conv_output_shape(
+    height: int, width: int, kernel: IntPair, stride: IntPair = 1, padding: IntPair = 0
+) -> Tuple[int, int]:
+    """Spatial output shape of a 2-D convolution (floor semantics)."""
+    kh, kw = _as_pair(kernel)
+    sh, sw = _as_pair(stride)
+    ph, pw = _as_pair(padding)
+    out_h = (height + 2 * ph - kh) // sh + 1
+    out_w = (width + 2 * pw - kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution output would be empty: input {height}x{width}, "
+            f"kernel {kh}x{kw}, stride {sh}x{sw}, padding {ph}x{pw}"
+        )
+    return out_h, out_w
+
+
+def im2col(
+    x: np.ndarray, kernel: IntPair, stride: IntPair = 1, padding: IntPair = 0
+) -> np.ndarray:
+    """Lower image patches to columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(B, C, H, W)``.
+
+    Returns
+    -------
+    Array of shape ``(B, C * kh * kw, out_h * out_w)``.
+    """
+    kh, kw = _as_pair(kernel)
+    sh, sw = _as_pair(stride)
+    ph, pw = _as_pair(padding)
+    batch, channels, height, width = x.shape
+    out_h, out_w = conv_output_shape(height, width, (kh, kw), (sh, sw), (ph, pw))
+
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+
+    cols = np.empty((batch, channels, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            cols[:, :, i, j, :, :] = x[:, :, i:i_end:sh, j:j_end:sw]
+    return cols.reshape(batch, channels * kh * kw, out_h * out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: IntPair,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter columns back into an image."""
+    kh, kw = _as_pair(kernel)
+    sh, sw = _as_pair(stride)
+    ph, pw = _as_pair(padding)
+    batch, channels, height, width = input_shape
+    out_h, out_w = conv_output_shape(height, width, (kh, kw), (sh, sw), (ph, pw))
+
+    padded = np.zeros(
+        (batch, channels, height + 2 * ph, width + 2 * pw), dtype=cols.dtype
+    )
+    cols = cols.reshape(batch, channels, kh, kw, out_h, out_w)
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            padded[:, :, i:i_end:sh, j:j_end:sw] += cols[:, :, i, j, :, :]
+    if ph or pw:
+        return padded[:, :, ph : ph + height, pw : pw + width]
+    return padded
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """2-D convolution (cross-correlation) over ``(B, C, H, W)`` input.
+
+    ``weight`` has shape ``(F, C, kh, kw)``; ``bias`` shape ``(F,)``.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    batch, _, height, width = x.shape
+    filters, _, kh, kw = weight.shape
+    out_h, out_w = conv_output_shape(height, width, (kh, kw), stride, padding)
+
+    cols = im2col(x.data, (kh, kw), stride, padding)
+    w_mat = weight.data.reshape(filters, -1)
+    out = np.matmul(w_mat, cols)  # (B, F, out_h*out_w) via broadcasting
+    if bias is not None:
+        out = out + bias.data[:, None]
+    out = out.reshape(batch, filters, out_h, out_w)
+
+    needs_grad = grad_enabled() and (
+        x.requires_grad
+        or weight.requires_grad
+        or (bias is not None and bias.requires_grad)
+    )
+    if not needs_grad:
+        return Tensor(out)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        grad_mat = grad.reshape(batch, filters, out_h * out_w)
+        if weight.requires_grad or weight._backward_fn:
+            grad_w = np.einsum("bfo,bco->fc", grad_mat, cols, optimize=True)
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if bias is not None and (bias.requires_grad or bias._backward_fn):
+            bias._accumulate(grad_mat.sum(axis=(0, 2)))
+        if x.requires_grad or x._backward_fn:
+            grad_cols = np.matmul(w_mat.T, grad_mat)
+            x._accumulate(col2im(grad_cols, x.shape, (kh, kw), stride, padding))
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor(out, True, parents, backward_fn)
+
+
+def max_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    """Max pooling over ``(B, C, H, W)`` input (used by CNN baselines)."""
+    x = as_tensor(x)
+    kh, kw = _as_pair(kernel)
+    sh, sw = _as_pair(stride if stride is not None else kernel)
+    batch, channels, height, width = x.shape
+    out_h = (height - kh) // sh + 1
+    out_w = (width - kw) // sw + 1
+
+    windows = np.empty((batch, channels, out_h, out_w, kh * kw), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            windows[..., i * kw + j] = x.data[
+                :, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw
+            ]
+    arg = windows.argmax(axis=-1)
+    out = np.take_along_axis(windows, arg[..., None], axis=-1)[..., 0]
+
+    if not (grad_enabled() and x.requires_grad):
+        return Tensor(out)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        grad_x = np.zeros_like(x.data)
+        offsets_i = arg // kw
+        offsets_j = arg % kw
+        b_idx, c_idx, oh_idx, ow_idx = np.indices(arg.shape)
+        rows = oh_idx * sh + offsets_i
+        cols_ = ow_idx * sw + offsets_j
+        np.add.at(grad_x, (b_idx, c_idx, rows, cols_), grad)
+        x._accumulate(grad_x)
+
+    return Tensor(out, True, (x,), backward_fn)
+
+
+def avg_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    """Average pooling over ``(B, C, H, W)`` input."""
+    x = as_tensor(x)
+    kh, kw = _as_pair(kernel)
+    sh, sw = _as_pair(stride if stride is not None else kernel)
+    batch, channels, height, width = x.shape
+    out_h = (height - kh) // sh + 1
+    out_w = (width - kw) // sw + 1
+
+    out = np.zeros((batch, channels, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            out += x.data[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw]
+    out /= kh * kw
+
+    if not (grad_enabled() and x.requires_grad):
+        return Tensor(out)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        grad_x = np.zeros_like(x.data)
+        share = grad / (kh * kw)
+        for i in range(kh):
+            for j in range(kw):
+                grad_x[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw] += share
+        x._accumulate(grad_x)
+
+    return Tensor(out, True, (x,), backward_fn)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    x = as_tensor(x)
+    out = np.maximum(x.data, 0.0)
+    if not (grad_enabled() and x.requires_grad):
+        return Tensor(out)
+
+    mask = x.data > 0
+
+    def backward_fn(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor(out, True, (x,), backward_fn)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid (used by the reconstruction decoder)."""
+    x = as_tensor(x)
+    out = 1.0 / (1.0 + np.exp(-x.data))
+    if not (grad_enabled() and x.requires_grad):
+        return Tensor(out)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        x._accumulate(grad * out * (1.0 - out))
+
+    return Tensor(out, True, (x,), backward_fn)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` (Eq. 1 of the paper)."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out = exp / exp.sum(axis=axis, keepdims=True)
+    if not (grad_enabled() and x.requires_grad):
+        return Tensor(out)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        dot = (grad * out).sum(axis=axis, keepdims=True)
+        x._accumulate(out * (grad - dot))
+
+    return Tensor(out, True, (x,), backward_fn)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log of the softmax, computed stably (used by cross-entropy)."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_sum
+    if not (grad_enabled() and x.requires_grad):
+        return Tensor(out)
+
+    softmax_vals = np.exp(out)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        x._accumulate(grad - softmax_vals * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor(out, True, (x,), backward_fn)
+
+
+def vector_norm(
+    x: Tensor, axis: int = -1, keepdims: bool = False, eps: float = 1e-8
+) -> Tensor:
+    """Euclidean norm along ``axis`` with an epsilon-safe gradient.
+
+    The capsule length ``||v||`` is the class-instantiation probability in
+    CapsNets, so this op appears both in the margin loss and in inference
+    argmax.  The ``eps`` inside the square root keeps the gradient finite
+    for zero vectors.
+    """
+    x = as_tensor(x)
+    squared = (x.data * x.data).sum(axis=axis, keepdims=True)
+    norm = np.sqrt(squared + eps)
+    out = norm if keepdims else np.squeeze(norm, axis=axis)
+    if not (grad_enabled() and x.requires_grad):
+        return Tensor(out)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        grad_k = grad if keepdims else np.expand_dims(grad, axis)
+        x._accumulate(grad_k * x.data / norm)
+
+    return Tensor(out, True, (x,), backward_fn)

@@ -1,0 +1,526 @@
+"""Core tensor type with tape-based reverse-mode automatic differentiation.
+
+The design is a dynamic define-by-run graph, like PyTorch's: every
+operation on :class:`Tensor` objects records a backward closure and the
+parent tensors it needs.  Calling :meth:`Tensor.backward` topologically
+sorts the recorded graph and accumulates gradients into ``.grad``.
+
+Only float dtypes are supported.  ``float32`` is the default compute
+dtype (it is what the paper's PyTorch implementation uses); ``float64``
+is preserved when passed in explicitly, which the numerical gradient
+checker relies on.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Scalar = Union[int, float, np.floating, np.integer]
+ArrayLike = Union[Scalar, Sequence, np.ndarray, "Tensor"]
+
+_GRAD_ENABLED = True
+
+
+def grad_enabled() -> bool:
+    """Return whether operations currently record the autograd tape."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables autograd-tape construction.
+
+    Inference — in particular every quantized evaluation performed by the
+    Q-CapsNets search — runs under ``no_grad`` so that forward passes
+    allocate no graph and no gradient buffers.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _coerce_array(data: ArrayLike) -> np.ndarray:
+    if isinstance(data, Tensor):
+        return data.data
+    if isinstance(data, (np.ndarray, np.generic)) and data.dtype in (
+        np.float32,
+        np.float64,
+    ):
+        # Preserve explicit float arrays and NumPy scalars (reductions
+        # return np.float64 scalars; float64 must survive for gradcheck).
+        return np.asarray(data)
+    return np.asarray(data, dtype=np.float32)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing broadcast dimensions."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading dimensions added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum dimensions that were broadcast from size 1.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """An ndarray with an optional gradient and a backward closure.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a NumPy float array.
+    requires_grad:
+        Whether gradients should be accumulated into this tensor during
+        :meth:`backward`.
+    parents:
+        Tensors this one was computed from (autograd-internal).
+    backward_fn:
+        Closure mapping the output gradient to ``None`` while side-
+        effecting gradient accumulation on the parents (autograd-internal).
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        parents: Tuple["Tensor", ...] = (),
+        backward_fn: Optional[Callable[[np.ndarray], None]] = None,
+    ):
+        self.data = _coerce_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._parents = parents if self.requires_grad or backward_fn else ()
+        self._backward_fn = backward_fn
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut from the autograd graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def astype(self, dtype) -> "Tensor":
+        return Tensor(self.data.astype(dtype), requires_grad=False)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Autograd engine
+    # ------------------------------------------------------------------
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        ``grad`` defaults to ones (for scalar losses, the usual seed).
+        Gradients accumulate into ``.grad`` of every reachable tensor that
+        has ``requires_grad=True``.
+        """
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"backward seed shape {grad.shape} does not match tensor shape {self.shape}"
+            )
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+            if not node.requires_grad and node is not self:
+                # Intermediate nodes do not need to retain their gradient.
+                node.grad = None
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+        if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
+            return Tensor(out_data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad or self._backward_fn:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad or other._backward_fn:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return Tensor(out_data, True, (self, other), backward_fn)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(as_tensor(other).__neg__())
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other).__sub__(self)
+
+    def __neg__(self) -> "Tensor":
+        out_data = -self.data
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return Tensor(out_data, True, (self,), backward_fn)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+        if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
+            return Tensor(out_data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad or self._backward_fn:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad or other._backward_fn:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor(out_data, True, (self, other), backward_fn)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data / other.data
+        if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
+            return Tensor(out_data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad or self._backward_fn:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad or other._backward_fn:
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / (other.data**2), other.shape)
+                )
+
+        return Tensor(out_data, True, (self, other), backward_fn)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other).__truediv__(self)
+
+    def __pow__(self, exponent: Scalar) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        out_data = self.data**exponent
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor(out_data, True, (self,), backward_fn)
+
+    # ------------------------------------------------------------------
+    # Transcendental functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        return Tensor(out_data, True, (self,), backward_fn)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return Tensor(out_data, True, (self,), backward_fn)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad * 0.5 / out_data)
+
+        return Tensor(out_data, True, (self,), backward_fn)
+
+    def maximum(self, other: ArrayLike) -> "Tensor":
+        """Elementwise maximum.  At ties the gradient goes to ``self``."""
+        other = as_tensor(other)
+        out_data = np.maximum(self.data, other.data)
+        if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
+            return Tensor(out_data)
+
+        self_wins = self.data >= other.data
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad or self._backward_fn:
+                self._accumulate(_unbroadcast(grad * self_wins, self.shape))
+            if other.requires_grad or other._backward_fn:
+                other._accumulate(_unbroadcast(grad * (~self_wins), other.shape))
+
+        return Tensor(out_data, True, (self, other), backward_fn)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            expanded = grad
+            if not keepdims and axis is not None:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.data.ndim for a in axes)
+                for a in sorted(axes):
+                    expanded = np.expand_dims(expanded, a)
+            self._accumulate(np.broadcast_to(expanded, self.shape).copy())
+
+        return Tensor(out_data, True, (self,), backward_fn)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            expanded = grad
+            out_expanded = out_data
+            if not keepdims and axis is not None:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.data.ndim for a in axes)
+                for a in sorted(axes):
+                    expanded = np.expand_dims(expanded, a)
+                    out_expanded = np.expand_dims(out_expanded, a)
+            elif not keepdims and axis is None:
+                out_expanded = np.broadcast_to(out_data, self.shape)
+            mask = self.data == out_expanded
+            counts = mask.sum(
+                axis=axis if axis is not None else None, keepdims=True
+            )
+            self._accumulate(np.where(mask, expanded / counts, 0.0))
+
+        return Tensor(out_data, True, (self,), backward_fn)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(self.shape))
+
+        return Tensor(out_data, True, (self,), backward_fn)
+
+    def flatten(self, start_axis: int = 1) -> "Tensor":
+        new_shape = self.shape[:start_axis] + (-1,)
+        return self.reshape(new_shape)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        out_data = self.data.transpose(axes)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
+
+        inverse = np.argsort(axes)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        return Tensor(out_data, True, (self,), backward_fn)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(tuple(axes))
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        out_data = np.expand_dims(self.data, axis)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(np.squeeze(grad, axis=axis))
+
+        return Tensor(out_data, True, (self,), backward_fn)
+
+    def squeeze(self, axis: int) -> "Tensor":
+        out_data = np.squeeze(self.data, axis=axis)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            self._accumulate(np.expand_dims(grad, axis))
+
+        return Tensor(out_data, True, (self,), backward_fn)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(out_data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return Tensor(out_data, True, (self,), backward_fn)
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = np.matmul(self.data, other.data)
+        if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
+            return Tensor(out_data)
+
+        def backward_fn(grad: np.ndarray) -> None:
+            if self.requires_grad or self._backward_fn:
+                if other.data.ndim == 1:
+                    grad_self = np.expand_dims(grad, -1) * other.data
+                else:
+                    grad_self = np.matmul(grad, np.swapaxes(other.data, -1, -2))
+                if self.data.ndim == 1:
+                    grad_self = grad_self.sum(axis=tuple(range(grad_self.ndim - 1)))
+                self._accumulate(_unbroadcast(grad_self, self.shape))
+            if other.requires_grad or other._backward_fn:
+                if self.data.ndim == 1:
+                    grad_other = np.expand_dims(self.data, -1) * np.expand_dims(
+                        grad, -2
+                    )
+                else:
+                    grad_other = np.matmul(np.swapaxes(self.data, -1, -2), grad)
+                if other.data.ndim == 1:
+                    grad_other = grad_other.sum(
+                        axis=tuple(range(grad_other.ndim - 1))
+                    )
+                other._accumulate(_unbroadcast(grad_other, other.shape))
+
+        return Tensor(out_data, True, (self, other), backward_fn)
+
+
+def as_tensor(value: ArrayLike) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    if not (_GRAD_ENABLED and any(t.requires_grad for t in tensors)):
+        return Tensor(out_data)
+
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad or tensor._backward_fn:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(index)])
+
+    return Tensor(out_data, True, tuple(tensors), backward_fn)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient support."""
+    tensors = [as_tensor(t) for t in tensors]
+    expanded = [t.expand_dims(axis) for t in tensors]
+    return concatenate(expanded, axis=axis)

@@ -1,0 +1,23 @@
+"""Baseline architectures and traditional DNN quantization.
+
+* :mod:`repro.baselines.lenet` — LeNet-5: analytic statistics for
+  Fig. 1 plus a runnable implementation with quantization hooks;
+* :mod:`repro.baselines.alexnet` — AlexNet: analytic statistics for
+  Fig. 1 (61M parameters — statistics only, never instantiated);
+* :mod:`repro.baselines.dnn_quant` — the "traditional" uniform
+  fixed-point post-training quantization of Vanhoucke [23] / Jacob [10]
+  style, used as the comparison point for Q-CapsNets' specialized
+  search.
+"""
+
+from repro.baselines.lenet import LeNet5, lenet5_stats
+from repro.baselines.alexnet import alexnet_stats
+from repro.baselines.dnn_quant import sweep_uniform_bits, uniform_ptq_accuracy
+
+__all__ = [
+    "LeNet5",
+    "lenet5_stats",
+    "alexnet_stats",
+    "uniform_ptq_accuracy",
+    "sweep_uniform_bits",
+]

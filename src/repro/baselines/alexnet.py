@@ -1,0 +1,35 @@
+"""AlexNet (Krizhevsky et al., 2012) — the large-CNN baseline of Fig. 1.
+
+Statistics only: the paper uses AlexNet purely as a reference point for
+memory (60M parameters ≈ 250MB as FP32, quoted in the paper's
+introduction) and compute intensity.  The layer dimensions below are
+the original two-GPU (grouped) configuration, which is what yields the
+canonical 61M-parameter count.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.arch_stats import ArchStats, LayerStats
+
+
+def alexnet_stats() -> ArchStats:
+    """Canonical AlexNet statistics: ≈61M params, ≈724M MACs."""
+    stats = ArchStats(name="AlexNet")
+    # (name, params, macs, activations) — ImageNet 227x227x3 input;
+    # conv2/4/5 are grouped (2 groups), as in the original.
+    rows = [
+        ("L1", 11 * 11 * 3 * 96 + 96, 55 * 55 * 121 * 3 * 96, 96 * 55 * 55),
+        ("L2", 5 * 5 * 48 * 256 + 256, 27 * 27 * 25 * 48 * 256, 256 * 27 * 27),
+        ("L3", 3 * 3 * 256 * 384 + 384, 13 * 13 * 9 * 256 * 384, 384 * 13 * 13),
+        ("L4", 3 * 3 * 192 * 384 + 384, 13 * 13 * 9 * 192 * 384, 384 * 13 * 13),
+        ("L5", 3 * 3 * 192 * 256 + 256, 13 * 13 * 9 * 192 * 256, 256 * 13 * 13),
+        ("L6", 9216 * 4096 + 4096, 9216 * 4096, 4096),
+        ("L7", 4096 * 4096 + 4096, 4096 * 4096, 4096),
+        ("L8", 4096 * 1000 + 1000, 4096 * 1000, 1000),
+    ]
+    for name, params, macs, activations in rows:
+        kind = "conv" if name in ("L1", "L2", "L3", "L4", "L5") else "linear"
+        stats.layers.append(
+            LayerStats(name, kind, params=params, macs=macs, activations=activations)
+        )
+    return stats

@@ -1,0 +1,84 @@
+"""Traditional DNN quantization baselines (paper Sec. II-C).
+
+The comparison point for Q-CapsNets is the standard, non-specialized
+post-training quantization used for CNNs:
+
+* **uniform** fixed-point for every layer, weights and activations
+  (Vanhoucke et al. [23], Jacob et al. [10]): a single wordlength,
+  no per-layer or per-array specialization;
+* the bit-sweep of :func:`sweep_uniform_bits` shows where accuracy
+  collapses, which is the curve Q-CapsNets improves on by specializing
+  the routing arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.trainer import default_predictions, evaluate_accuracy
+from repro.quant.calibrate import calibrate_scales
+from repro.quant.config import QuantizationConfig
+from repro.quant.qcontext import FixedPointQuant
+from repro.quant.rounding import RoundingScheme, get_rounding_scheme
+
+
+def uniform_ptq_accuracy(
+    model: Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    bits: int,
+    scheme: Union[str, RoundingScheme] = "RTN",
+    batch_size: int = 128,
+    predict_fn=default_predictions,
+    scales: Optional[Dict[str, float]] = None,
+    seed: int = 0,
+) -> float:
+    """Accuracy (%) under uniform ``bits``-fractional-bit quantization.
+
+    Weights, activations and (for CapsNets) routing arrays all use the
+    same wordlength — the traditional baseline the paper contrasts with
+    its layer-wise, routing-specialized search.
+    """
+    if scales is None:
+        scales = calibrate_scales(model, images, batch_size=batch_size)
+    config = QuantizationConfig.uniform(model.quant_layers, qw=bits, qa=bits)
+    context = FixedPointQuant(
+        config,
+        get_rounding_scheme(scheme, seed=seed) if isinstance(scheme, str) else scheme,
+        seed=seed,
+        scales=scales,
+    )
+    context.reset()
+    return evaluate_accuracy(
+        model, images, labels, batch_size=batch_size, q=context,
+        predict_fn=predict_fn,
+    )
+
+
+def sweep_uniform_bits(
+    model: Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    bits_list: Sequence[int] = (16, 12, 10, 8, 6, 5, 4, 3, 2),
+    scheme: Union[str, RoundingScheme] = "RTN",
+    batch_size: int = 128,
+    predict_fn=default_predictions,
+) -> List[dict]:
+    """Accuracy vs uniform wordlength sweep.
+
+    Returns rows ``{"bits": b, "accuracy": acc}`` in the given order;
+    calibration is shared across the sweep.
+    """
+    scales = calibrate_scales(model, images, batch_size=batch_size)
+    rows = []
+    for bits in bits_list:
+        accuracy = uniform_ptq_accuracy(
+            model, images, labels, bits,
+            scheme=scheme, batch_size=batch_size,
+            predict_fn=predict_fn, scales=scales,
+        )
+        rows.append({"bits": bits, "accuracy": accuracy})
+    return rows

@@ -1,0 +1,110 @@
+"""LeNet-5 (LeCun et al., 1998) — the small-CNN baseline of Fig. 1.
+
+Provides both the analytic statistics (for the memory / MACs-per-memory
+comparison) and a runnable implementation with the same quantization
+hook protocol as the CapsNets, so the Q-CapsNets framework can be
+applied to a conventional CNN for comparison experiments (it simply has
+no routing layers to specialize).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.arch_stats import ArchStats, LayerStats
+from repro.autograd.ops_nn import avg_pool2d, conv2d, relu
+from repro.autograd.tensor import Tensor, no_grad
+from repro.nn.conv import Conv2d
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.quant.qcontext import NULL_CONTEXT, QuantContext, RecordingContext
+
+
+def lenet5_stats() -> ArchStats:
+    """Classic LeNet-5 statistics: 61,706 params, ≈0.42M MACs."""
+    stats = ArchStats(name="LeNet")
+    stats.layers.append(
+        LayerStats("L1", "conv", params=5 * 5 * 1 * 6 + 6,
+                   macs=28 * 28 * 25 * 6, activations=6 * 28 * 28)
+    )
+    stats.layers.append(
+        LayerStats("L2", "conv", params=5 * 5 * 6 * 16 + 16,
+                   macs=10 * 10 * 25 * 6 * 16, activations=16 * 10 * 10)
+    )
+    stats.layers.append(
+        LayerStats("L3", "linear", params=400 * 120 + 120,
+                   macs=400 * 120, activations=120)
+    )
+    stats.layers.append(
+        LayerStats("L4", "linear", params=120 * 84 + 84,
+                   macs=120 * 84, activations=84)
+    )
+    stats.layers.append(
+        LayerStats("L5", "linear", params=84 * 10 + 10,
+                   macs=84 * 10, activations=10)
+    )
+    return stats
+
+
+class LeNet5(Module):
+    """Runnable LeNet-5 for 28×28 grayscale inputs (32×32 via padding).
+
+    Forward returns logits ``(B, num_classes)``; use
+    ``predict_fn=logit_predictions`` and ``loss_fn=cross_entropy`` with
+    the :class:`~repro.nn.trainer.Trainer`.
+    """
+
+    quant_layers: List[str] = ["L1", "L2", "L3", "L4", "L5"]
+    routing_layers: List[str] = []  # no dynamic routing to specialize
+
+    def __init__(self, num_classes: int = 10, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.conv1 = Conv2d(1, 6, 5, padding=2, rng=rng)  # 28 -> 28
+        self.conv2 = Conv2d(6, 16, 5, rng=rng)  # 14 -> 10
+        self.fc1 = Linear(16 * 5 * 5, 120, rng=rng)
+        self.fc2 = Linear(120, 84, rng=rng)
+        self.fc3 = Linear(84, num_classes, rng=rng)
+
+    def forward(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
+        w1 = q.weight("L1", "weight", self.conv1.weight)
+        b1 = q.weight("L1", "bias", self.conv1.bias)
+        x = relu(conv2d(x, w1, b1, 1, self.conv1.padding))
+        x = q.act("L1", avg_pool2d(x, 2))
+
+        w2 = q.weight("L2", "weight", self.conv2.weight)
+        b2 = q.weight("L2", "bias", self.conv2.bias)
+        x = relu(conv2d(x, w2, b2, 1, 0))
+        x = q.act("L2", avg_pool2d(x, 2))
+
+        x = x.flatten(1)
+        for name, layer in (("L3", self.fc1), ("L4", self.fc2), ("L5", self.fc3)):
+            weight = q.weight(name, "weight", layer.weight)
+            bias = q.weight(name, "bias", layer.bias)
+            x = x @ weight.swapaxes(-1, -2) + bias
+            if name != "L5":
+                x = relu(x)
+            x = q.act(name, x)
+        return x
+
+    def layer_param_counts(self) -> Dict[str, int]:
+        return {
+            "L1": self.conv1.weight.size + self.conv1.bias.size,
+            "L2": self.conv2.weight.size + self.conv2.bias.size,
+            "L3": self.fc1.weight.size + self.fc1.bias.size,
+            "L4": self.fc2.weight.size + self.fc2.bias.size,
+            "L5": self.fc3.weight.size + self.fc3.bias.size,
+        }
+
+    def layer_activation_counts(self) -> Dict[str, int]:
+        recorder = RecordingContext(batch_size=1)
+        probe = Tensor(np.zeros((1, 1, 28, 28), dtype=np.float32))
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            self.forward(probe, q=recorder)
+        if was_training:
+            self.train()
+        return dict(recorder.act_elements)

@@ -1,0 +1,191 @@
+"""Convolutional capsule layers (DeepCaps building blocks, paper Fig. 7).
+
+Two variants, following Rajasegaran et al. (CVPR 2019):
+
+* :class:`ConvCaps2d` — "CONV2D CAPS": a convolution over the flattened
+  ``(types × dim)`` channel axis whose output is regrouped into capsules
+  and squashed.  No routing; used for the three sequential layers of
+  each DeepCaps cell and the parallel branch of the early cells.
+* :class:`ConvCaps3d` — "CONV3D CAPS": produces a vote tensor from each
+  input capsule *type* with convolution weights shared across types
+  (this weight sharing is what the original implements as a 3-D
+  convolution), then runs routing-by-agreement at every spatial
+  location.  Used in the parallel branch of the last DeepCaps cell.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.ops_nn import conv2d
+from repro.autograd.tensor import Tensor
+from repro.capsnet.routing import dynamic_routing
+from repro.capsnet.squash import squash
+from repro.nn.conv import Conv2d
+from repro.nn.module import Module
+from repro.quant.qcontext import NULL_CONTEXT, QuantContext
+
+
+class ConvCaps2d(Module):
+    """Capsule convolution with squash activation, no routing.
+
+    Input/output tensors have capsule layout ``(B, types, dim, H, W)``.
+
+    Parameters
+    ----------
+    in_types, in_dim:
+        Input capsule types and dimension.
+    out_types, out_dim:
+        Output capsule types and dimension.
+    kernel_size, stride, padding:
+        Spatial convolution hyperparameters (3×3 in DeepCaps).
+    name:
+        Quantization-layer name of the *enclosing* cell; several
+        ConvCaps2d layers inside a cell share one wordlength, matching
+        the per-block bars of the paper's Fig. 12.
+    quantize_output:
+        Whether the squashed output passes through the activation hook.
+        Inner layers of a cell leave this off; the cell quantizes its
+        final output once.
+    """
+
+    def __init__(
+        self,
+        in_types: int,
+        in_dim: int,
+        out_types: int,
+        out_dim: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: int = 1,
+        name: str = "cell",
+        weight_tag: str = "conv",
+        quantize_output: bool = False,
+        init_gain: float = 4.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.in_types = in_types
+        self.in_dim = in_dim
+        self.out_types = out_types
+        self.out_dim = out_dim
+        self.name = name
+        self.weight_tag = weight_tag
+        self.quantize_output = quantize_output
+        self.conv = Conv2d(
+            in_types * in_dim,
+            out_types * out_dim,
+            kernel_size,
+            stride=stride,
+            padding=padding,
+            rng=rng,
+        )
+        # Stacked squashes shrink capsule norms multiplicatively; without
+        # an amplified initialization a deep capsule stack collapses to
+        # zero signal (and zero gradient) before training starts.  The
+        # gain places pre-squash norms in the nonlinearity's live region.
+        self.conv.weight.data = self.conv.weight.data * np.float32(init_gain)
+
+    def forward(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
+        batch, types, dim, height, width = x.shape
+        if types != self.in_types or dim != self.in_dim:
+            raise ValueError(
+                f"{self.name}/{self.weight_tag}: expected capsules "
+                f"({self.in_types}, {self.in_dim}), got ({types}, {dim})"
+            )
+        flat = x.reshape(batch, types * dim, height, width)
+        weight = q.weight(self.name, f"{self.weight_tag}.weight", self.conv.weight)
+        bias = q.weight(self.name, f"{self.weight_tag}.bias", self.conv.bias)
+        out = conv2d(flat, weight, bias, self.conv.stride, self.conv.padding)
+        _, _, out_h, out_w = out.shape
+        capsules = out.reshape(batch, self.out_types, self.out_dim, out_h, out_w)
+        activated = squash(capsules, axis=2)
+        if self.quantize_output:
+            activated = q.act(self.name, activated)
+        return activated
+
+    def output_shape(self, height: int, width: int) -> Tuple[int, int, int, int]:
+        """(types, dim, H', W') for a given input spatial size."""
+        _, out_h, out_w = self.conv.output_shape(height, width)
+        return (self.out_types, self.out_dim, out_h, out_w)
+
+
+class ConvCaps3d(Module):
+    """Capsule convolution with dynamic routing at each spatial location.
+
+    The vote projection is a convolution from one input type's ``in_dim``
+    channels to ``out_types × out_dim`` channels, shared across input
+    types (the "3-D convolution" of DeepCaps).  Votes of shape
+    ``(B, in_types, out_types, out_dim)`` are routed independently at
+    every output location (softmax over the ``out_types`` axis), by
+    folding the spatial grid into the batch before calling
+    :func:`~repro.capsnet.routing.dynamic_routing`.
+    """
+
+    def __init__(
+        self,
+        in_types: int,
+        in_dim: int,
+        out_types: int,
+        out_dim: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: int = 1,
+        routing_iterations: int = 3,
+        name: str = "cell",
+        weight_tag: str = "conv3d",
+        init_gain: float = 4.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.in_types = in_types
+        self.in_dim = in_dim
+        self.out_types = out_types
+        self.out_dim = out_dim
+        self.routing_iterations = routing_iterations
+        self.name = name
+        self.weight_tag = weight_tag
+        self.conv = Conv2d(
+            in_dim,
+            out_types * out_dim,
+            kernel_size,
+            stride=stride,
+            padding=padding,
+            bias=False,
+            rng=rng,
+        )
+        # See ConvCaps2d: amplified init keeps deep squash stacks alive.
+        self.conv.weight.data = self.conv.weight.data * np.float32(init_gain)
+
+    def forward(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
+        batch, types, dim, height, width = x.shape
+        if types != self.in_types or dim != self.in_dim:
+            raise ValueError(
+                f"{self.name}/{self.weight_tag}: expected capsules "
+                f"({self.in_types}, {self.in_dim}), got ({types}, {dim})"
+            )
+        weight = q.weight(self.name, f"{self.weight_tag}.weight", self.conv.weight)
+        # Shared projection: fold input types into the batch.
+        folded = x.reshape(batch * types, dim, height, width)
+        votes = conv2d(folded, weight, None, self.conv.stride, self.conv.padding)
+        _, _, out_h, out_w = votes.shape
+        # (B*I, J*D, H', W') -> (B, I, J, D, H', W') -> (B, H', W', I, J, D)
+        votes = votes.reshape(
+            batch, types, self.out_types, self.out_dim, out_h, out_w
+        )
+        votes = votes.transpose(0, 4, 5, 1, 2, 3)
+        votes = votes.reshape(
+            batch * out_h * out_w, types, self.out_types, self.out_dim
+        )
+        routed = dynamic_routing(
+            votes, iterations=self.routing_iterations, q=q, layer=self.name
+        )
+        # (B*H'*W', J, D) -> (B, J, D, H', W')
+        routed = routed.reshape(batch, out_h, out_w, self.out_types, self.out_dim)
+        return routed.transpose(0, 3, 4, 1, 2)
+
+    def output_shape(self, height: int, width: int) -> Tuple[int, int, int, int]:
+        _, out_h, out_w = self.conv.output_shape(height, width)
+        return (self.out_types, self.out_dim, out_h, out_w)

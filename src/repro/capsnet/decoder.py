@@ -1,0 +1,88 @@
+"""Reconstruction decoder (Sabour et al., Sec. 4.1).
+
+During training, the class capsule of the target class is fed through a
+small fully-connected decoder that reconstructs the input image; the
+mean-squared reconstruction error, scaled down by 0.0005·pixels, acts as
+a regularizer on top of the margin loss.
+
+The paper under reproduction focuses on inference and explicitly skips
+the decoder when quantizing (footnote 3), so the decoder is **not** a
+quantization layer — but it is implemented (and tested) so the training
+pipeline matches the reference models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.nn.layers import Linear, ReLU, Sequential, Sigmoid
+from repro.nn.losses import mse_loss, one_hot
+from repro.nn.module import Module
+
+
+def mask_capsules(class_capsules: Tensor, labels: Optional[np.ndarray] = None) -> Tensor:
+    """Zero every capsule except the target one and flatten.
+
+    With ``labels`` given (training), the target is the true class; at
+    inference time the longest capsule is kept instead.
+    """
+    class_capsules = as_tensor(class_capsules)
+    batch, num_classes, _ = class_capsules.shape
+    if labels is None:
+        lengths = np.linalg.norm(class_capsules.data, axis=-1)
+        labels = lengths.argmax(axis=-1)
+    mask = one_hot(np.asarray(labels), num_classes)  # (B, J)
+    masked = class_capsules * Tensor(mask[:, :, None])
+    return masked.reshape(batch, -1)
+
+
+class ReconstructionDecoder(Module):
+    """Three-layer MLP decoder: masked capsules → flattened image."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        class_dim: int,
+        output_pixels: int,
+        hidden1: int = 512,
+        hidden2: int = 1024,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.output_pixels = output_pixels
+        self.net = Sequential(
+            Linear(num_classes * class_dim, hidden1, rng=rng),
+            ReLU(),
+            Linear(hidden1, hidden2, rng=rng),
+            ReLU(),
+            Linear(hidden2, output_pixels, rng=rng),
+            Sigmoid(),
+        )
+
+    def forward(self, masked_capsules: Tensor) -> Tensor:
+        return self.net(masked_capsules)
+
+    def reconstruction_loss(
+        self,
+        class_capsules: Tensor,
+        images: np.ndarray,
+        labels: np.ndarray,
+        scale: float = 0.0005,
+    ) -> Tensor:
+        """Scaled MSE between the reconstruction and the input image.
+
+        ``scale`` follows the reference implementation: 0.0005 per pixel
+        keeps the reconstruction term from dominating the margin loss.
+        """
+        masked = mask_capsules(class_capsules, labels)
+        reconstruction = self.forward(masked)
+        flat_images = np.asarray(images, dtype=np.float32).reshape(
+            len(labels), -1
+        )
+        return mse_loss(reconstruction, flat_images) * (
+            scale * self.output_pixels
+        )

@@ -1,0 +1,108 @@
+"""Model presets: paper-faithful full-size configs and laptop-scale ones.
+
+The ``*_paper`` presets match the dimensions in the paper (Figs. 5 and
+7) and are used for the *analytical* results — parameter counts, MAC
+counts, memory footprints (Fig. 1) — where no training is required.
+
+The ``*_small`` presets shrink channel counts (never the structure: the
+layer graph, routing, and quantization hook points are identical) so
+that training and the Q-CapsNets search run in minutes on a CPU.  This
+is the substitution documented in DESIGN.md for the paper's pair of
+GTX 1080 Ti GPUs.
+"""
+
+from __future__ import annotations
+
+from repro.capsnet.deep import DeepCaps, DeepCapsConfig
+from repro.capsnet.shallow import ShallowCaps, ShallowCapsConfig
+
+
+def shallowcaps_paper(num_classes: int = 10, input_channels: int = 1) -> ShallowCapsConfig:
+    """Full-size ShallowCaps (Sabour et al.): 256-ch conv, 32×8-D primary
+    capsules, 16-D class capsules — 28×28 inputs."""
+    return ShallowCapsConfig(
+        input_channels=input_channels,
+        input_size=28,
+        conv1_channels=256,
+        primary_types=32,
+        primary_dim=8,
+        num_classes=num_classes,
+        class_dim=16,
+    )
+
+
+def shallowcaps_small(
+    num_classes: int = 10,
+    input_channels: int = 1,
+    input_size: int = 28,
+    seed: int = 0,
+) -> ShallowCapsConfig:
+    """CPU-scale ShallowCaps: same 3-layer structure, narrower widths."""
+    return ShallowCapsConfig(
+        input_channels=input_channels,
+        input_size=input_size,
+        conv1_channels=16,
+        primary_types=8,
+        primary_dim=8,
+        num_classes=num_classes,
+        class_dim=8,
+        seed=seed,
+    )
+
+
+def shallowcaps_tiny(num_classes: int = 10, seed: int = 0) -> ShallowCapsConfig:
+    """Minimal ShallowCaps used by unit tests (seconds to train)."""
+    return ShallowCapsConfig(
+        input_channels=1,
+        input_size=14,
+        conv1_channels=8,
+        conv1_kernel=5,
+        primary_types=4,
+        primary_dim=4,
+        primary_kernel=5,
+        primary_stride=2,
+        num_classes=num_classes,
+        class_dim=8,
+        seed=seed,
+    )
+
+
+def deepcaps_paper(num_classes: int = 10, input_channels: int = 3) -> DeepCapsConfig:
+    """Full-size DeepCaps (Rajasegaran et al.) for 64×64 inputs."""
+    return DeepCapsConfig(
+        input_channels=input_channels,
+        input_size=64,
+        conv1_channels=128,
+        cell_types=(32, 32, 32, 32),
+        cell_dims=(4, 8, 8, 8),
+        num_classes=num_classes,
+        class_dim=32,
+    )
+
+
+def deepcaps_small(
+    num_classes: int = 10,
+    input_channels: int = 1,
+    input_size: int = 28,
+    seed: int = 0,
+) -> DeepCapsConfig:
+    """CPU-scale DeepCaps: same 6-layer structure (4 cells, routed skip in
+    B5, routed class capsules), narrower widths."""
+    return DeepCapsConfig(
+        input_channels=input_channels,
+        input_size=input_size,
+        conv1_channels=16,
+        cell_types=(4, 4, 4, 4),
+        cell_dims=(4, 8, 8, 8),
+        num_classes=num_classes,
+        class_dim=8,
+        seed=seed,
+    )
+
+
+def build_shallowcaps(config: ShallowCapsConfig) -> ShallowCaps:
+    return ShallowCaps(config)
+
+
+def build_deepcaps(config: DeepCapsConfig) -> DeepCaps:
+    return DeepCaps(config)

@@ -1,0 +1,135 @@
+"""ShallowCaps — the original CapsNet of Sabour et al. (paper Fig. 5).
+
+Three quantization layers, named as on the x-axis of the paper's Fig. 11:
+
+* **L1** — 9×9 convolution with ReLU;
+* **L2** — PrimaryCaps: 9×9 stride-2 capsule convolution with squash;
+* **L3** — DigitCaps: fully-connected capsules with dynamic routing.
+
+The reference (paper) dimensions are 256 conv channels, 32 types of 8-D
+primary capsules and 10 16-D digit capsules; the config makes every
+width a parameter so that laptop-scale variants (see
+:mod:`repro.capsnet.presets`) exercise identical code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.autograd.ops_nn import conv2d, relu
+from repro.autograd.tensor import Tensor, no_grad
+from repro.capsnet.caps_fc import CapsFC
+from repro.capsnet.primary import PrimaryCaps
+from repro.nn.conv import Conv2d
+from repro.nn.module import Module
+from repro.quant.qcontext import NULL_CONTEXT, QuantContext, RecordingContext
+
+
+@dataclass(frozen=True)
+class ShallowCapsConfig:
+    """Architecture hyperparameters for :class:`ShallowCaps`.
+
+    Defaults reproduce the paper's full-size model for 28×28 grayscale
+    inputs (MNIST / FashionMNIST).
+    """
+
+    input_channels: int = 1
+    input_size: int = 28
+    conv1_channels: int = 256
+    conv1_kernel: int = 9
+    primary_types: int = 32
+    primary_dim: int = 8
+    primary_kernel: int = 9
+    primary_stride: int = 2
+    num_classes: int = 10
+    class_dim: int = 16
+    routing_iterations: int = 3
+    seed: int = 0
+
+
+class ShallowCaps(Module):
+    """CapsNet: Conv(ReLU) → PrimaryCaps → DigitCaps (Fig. 5).
+
+    ``forward`` returns the class capsules ``(B, num_classes,
+    class_dim)``; the capsule length is the class probability.
+    """
+
+    #: Quantization-layer names, in order (x-axis of Fig. 11).
+    quant_layers: List[str] = ["L1", "L2", "L3"]
+    #: Layers that contain dynamic routing (targets of Step 4A).
+    routing_layers: List[str] = ["L3"]
+
+    def __init__(self, config: Optional[ShallowCapsConfig] = None):
+        super().__init__()
+        self.config = config if config is not None else ShallowCapsConfig()
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+
+        self.conv1 = Conv2d(
+            cfg.input_channels, cfg.conv1_channels, cfg.conv1_kernel, rng=rng
+        )
+        _, conv_h, conv_w = self.conv1.output_shape(cfg.input_size, cfg.input_size)
+        self.primary = PrimaryCaps(
+            cfg.conv1_channels,
+            cfg.primary_types,
+            cfg.primary_dim,
+            kernel_size=cfg.primary_kernel,
+            stride=cfg.primary_stride,
+            name="L2",
+            rng=rng,
+        )
+        num_primary, _ = self.primary.output_caps(conv_h, conv_w)
+        self.digit = CapsFC(
+            num_primary,
+            cfg.primary_dim,
+            cfg.num_classes,
+            cfg.class_dim,
+            routing_iterations=cfg.routing_iterations,
+            name="L3",
+            rng=rng,
+        )
+
+    def forward(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
+        weight = q.weight("L1", "weight", self.conv1.weight)
+        bias = q.weight("L1", "bias", self.conv1.bias)
+        features = relu(conv2d(x, weight, bias, self.conv1.stride, self.conv1.padding))
+        features = q.act("L1", features)
+        primary_caps = self.primary(features, q=q)
+        return self.digit(primary_caps, q=q)
+
+    # ------------------------------------------------------------------
+    # Introspection used by the framework and the memory accounting
+    # ------------------------------------------------------------------
+    def layer_param_counts(self) -> Dict[str, int]:
+        """Parameter count per quantization layer (``P_l`` in Eq. 6)."""
+        return {
+            "L1": self.conv1.weight.size + self.conv1.bias.size,
+            "L2": self.primary.conv.weight.size + self.primary.conv.bias.size,
+            "L3": self.digit.weight.size,
+        }
+
+    def layer_activation_counts(self) -> Dict[str, int]:
+        """Activation elements per layer for one sample (A-mem accounting)."""
+        recorder = self.record_sizes()
+        return dict(recorder.act_elements)
+
+    def record_sizes(self) -> RecordingContext:
+        """Probe forward pass that records every hooked array size."""
+        cfg = self.config
+        recorder = RecordingContext(batch_size=1)
+        probe = Tensor(
+            np.zeros(
+                (1, cfg.input_channels, cfg.input_size, cfg.input_size),
+                dtype=np.float32,
+            )
+        )
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            self.forward(probe, q=recorder)
+        if was_training:
+            self.train()
+        return recorder

@@ -1,0 +1,41 @@
+"""The squash nonlinearity (paper Eq. 2).
+
+``squash(s) = ||s||² / (1 + ||s||²) · s / ||s||``
+
+maps a capsule's pre-activation vector ``s`` to an activation ``v``
+whose direction is preserved and whose length lies in ``[0, 1)`` — the
+length is the capsule's instantiation probability.  Short vectors are
+shrunk toward zero, long vectors saturate toward unit length.
+
+The implementation composes autograd primitives, so gradients are exact;
+the ``eps`` inside the norm keeps both the value and the gradient finite
+at ``s = 0`` (where the true squash has value 0 and a well-defined limit).
+"""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor, as_tensor
+
+
+def squash(s: Tensor, axis: int = -1, eps: float = 1e-8) -> Tensor:
+    """Apply the squash nonlinearity along ``axis``.
+
+    Parameters
+    ----------
+    s:
+        Pre-activation capsule tensor; the capsule vector dimension is
+        ``axis``.
+    axis:
+        Axis holding the capsule components.
+    eps:
+        Numerical-safety constant added under the square root.
+
+    Returns
+    -------
+    Tensor of the same shape with every capsule vector length in [0, 1).
+    """
+    s = as_tensor(s)
+    squared_norm = (s * s).sum(axis=axis, keepdims=True)
+    # scale = ||s||² / (1 + ||s||²) / sqrt(||s||² + eps)
+    scale = squared_norm / (1.0 + squared_norm) / (squared_norm + eps).sqrt()
+    return s * scale

@@ -1,0 +1,252 @@
+"""Command-line interface: train, quantize, evaluate, hardware report.
+
+Installed as the ``qcapsnets`` console script::
+
+    qcapsnets train    --model shallow-small --dataset digits --epochs 6 \
+                       --out model.npz
+    qcapsnets quantize --model shallow-small --dataset digits \
+                       --weights model.npz --tolerance 0.015 \
+                       --budget-divisor 5 --scheme RTN --out quantized.npz
+    qcapsnets evaluate --model shallow-small --dataset digits \
+                       --artifact quantized.npz
+    qcapsnets hw-report --model shallow-paper --qw 7 --qa 5 --qdr 3
+
+Every subcommand is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis import deepcaps_stats, shallowcaps_stats
+from repro.capsnet import DeepCaps, ShallowCaps, presets
+from repro.data import synth_cifar, synth_digits, synth_fashion
+from repro.framework import QCapsNets
+from repro.hw import CapsAccModel, InferenceEnergyModel, MacUnit, UMC65
+from repro.nn import Adam, Trainer, evaluate_accuracy
+from repro.quant import (
+    QuantizationConfig,
+    QuantizedCapsNet,
+    calibrate_scales,
+    get_rounding_scheme,
+)
+
+MODEL_CHOICES = ("shallow-small", "shallow-tiny", "shallow-paper",
+                 "deep-small", "deep-paper")
+DATASET_CHOICES = ("digits", "fashion", "cifar")
+
+
+def _dataset_channels(dataset: str) -> tuple:
+    return (3, 32) if dataset == "cifar" else (1, 28)
+
+
+def build_model(name: str, dataset: str, seed: int = 0):
+    """Instantiate a model preset matched to a dataset's shape."""
+    channels, size = _dataset_channels(dataset)
+    if name == "shallow-small":
+        return ShallowCaps(presets.shallowcaps_small(
+            input_channels=channels, input_size=size, seed=seed))
+    if name == "shallow-tiny":
+        if dataset == "cifar":
+            raise SystemExit("shallow-tiny supports grayscale datasets only")
+        return ShallowCaps(presets.shallowcaps_tiny(seed=seed))
+    if name == "shallow-paper":
+        return ShallowCaps(presets.shallowcaps_paper(input_channels=channels))
+    if name == "deep-small":
+        return DeepCaps(presets.deepcaps_small(
+            input_channels=channels, input_size=size, seed=seed))
+    if name == "deep-paper":
+        return DeepCaps(presets.deepcaps_paper(input_channels=channels))
+    raise SystemExit(f"unknown model '{name}'")
+
+
+def build_dataset(name: str, train_size: int, test_size: int, seed: int,
+                  image_size: Optional[int] = None):
+    factories = {
+        "digits": synth_digits,
+        "fashion": synth_fashion,
+        "cifar": synth_cifar,
+    }
+    if name not in factories:
+        raise SystemExit(f"unknown dataset '{name}'")
+    kwargs = dict(train_size=train_size, test_size=test_size, seed=seed)
+    if image_size is not None:
+        kwargs["image_size"] = image_size
+    return factories[name](**kwargs)
+
+
+def cmd_train(args) -> int:
+    image_size = 14 if args.model == "shallow-tiny" else None
+    train, test = build_dataset(
+        args.dataset, args.train_size, args.test_size, args.seed, image_size
+    )
+    model = build_model(args.model, args.dataset, seed=args.seed)
+    print(f"training {args.model} on {args.dataset} "
+          f"({model.num_parameters():,} params, {args.epochs} epochs)")
+    trainer = Trainer(model, Adam(model.parameters(), lr=args.lr),
+                      seed=args.seed)
+    history = trainer.fit(
+        train.images, train.labels, test.images, test.labels,
+        epochs=args.epochs, batch_size=args.batch_size, verbose=True,
+    )
+    model.save(args.out)
+    print(f"saved weights to {args.out} "
+          f"(test accuracy {history.final_test_accuracy:.2f}%)")
+    return 0
+
+
+def cmd_quantize(args) -> int:
+    image_size = 14 if args.model == "shallow-tiny" else None
+    _, test = build_dataset(
+        args.dataset, 1, args.test_size, args.seed, image_size
+    )
+    model = build_model(args.model, args.dataset, seed=args.seed)
+    model.load(args.weights)
+    fp32_accuracy = evaluate_accuracy(model, test.images, test.labels)
+    fp32_mbit = sum(model.layer_param_counts().values()) * 32 / 1e6
+    budget = (
+        args.budget_mbit
+        if args.budget_mbit is not None
+        else fp32_mbit / args.budget_divisor
+    )
+    print(f"FP32 accuracy {fp32_accuracy:.2f}%, weights {fp32_mbit:.3f} Mbit, "
+          f"budget {budget:.3f} Mbit, accTOL {args.tolerance}")
+
+    framework = QCapsNets(
+        model, test.images, test.labels,
+        accuracy_tolerance=args.tolerance,
+        memory_budget_mbit=budget,
+        scheme=args.scheme,
+        seed=args.seed,
+        accuracy_fp32=fp32_accuracy,
+    )
+    result = framework.run()
+    print(result.summary())
+    chosen = result.model_satisfied or result.model_accuracy
+    print(chosen.config.describe())
+
+    if args.out:
+        scales = calibrate_scales(model, test.images)
+        artifact = QuantizedCapsNet(
+            model, chosen.config,
+            get_rounding_scheme(args.scheme, seed=args.seed),
+            act_scales=scales, seed=args.seed,
+        )
+        artifact.save(args.out)
+        print(f"saved quantized artifact to {args.out} "
+              f"({artifact.weight_storage_bits() / 1e6:.3f} Mbit of codes)")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    image_size = 14 if args.model == "shallow-tiny" else None
+    _, test = build_dataset(
+        args.dataset, 1, args.test_size, args.seed, image_size
+    )
+    model = build_model(args.model, args.dataset, seed=args.seed)
+    artifact = QuantizedCapsNet.load(args.artifact, model)
+    accuracy = artifact.accuracy(test.images, test.labels)
+    print(f"quantized accuracy on {args.dataset}: {accuracy:.2f}% "
+          f"({artifact.weight_storage_bits() / 1e6:.3f} Mbit of weights)")
+    print(artifact.config.describe())
+    return 0
+
+
+def cmd_hw_report(args) -> int:
+    stats = (
+        deepcaps_stats() if args.model.startswith("deep") else shallowcaps_stats()
+    )
+    layers = [layer.name for layer in stats.layers]
+    config = None
+    if args.qw is not None:
+        config = QuantizationConfig.uniform(
+            layers, qw=args.qw, qa=args.qa, qdr=args.qdr
+        )
+    print(stats.describe())
+
+    print("\nMAC unit sweep (Fig. 2):")
+    for bits in (4, 8, 16, 32):
+        mac = MacUnit(bits)
+        print(f"  {bits:>2}b: {mac.energy_per_op_pj(UMC65):.3f} pJ, "
+              f"{mac.area_um2(UMC65):.0f} um2")
+
+    energy = InferenceEnergyModel(stats.op_counts())
+    fp32 = energy.estimate(None)
+    print(f"\nFP32 inference energy: {fp32.describe()}")
+    if config is not None:
+        quant = energy.estimate(config)
+        print(f"quantized inference energy: {quant.describe()}")
+        print(f"energy reduction: {fp32.total_nj / quant.total_nj:.1f}x")
+
+    timing = CapsAccModel(stats)
+    print(f"\nCapsAcc-style timing (FP32):\n{timing.estimate(None).describe()}")
+    if config is not None:
+        print(f"\nCapsAcc-style timing (quantized):\n"
+              f"{timing.estimate(config).describe()}")
+        print(f"speedup: {timing.speedup(config):.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="qcapsnets",
+        description="Q-CapsNets: quantize capsule networks (DAC 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, with_model=True):
+        if with_model:
+            p.add_argument("--model", choices=MODEL_CHOICES,
+                           default="shallow-small")
+            p.add_argument("--dataset", choices=DATASET_CHOICES,
+                           default="digits")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--test-size", type=int, default=256)
+
+    p_train = sub.add_parser("train", help="train an FP32 CapsNet")
+    common(p_train)
+    p_train.add_argument("--train-size", type=int, default=2000)
+    p_train.add_argument("--epochs", type=int, default=6)
+    p_train.add_argument("--batch-size", type=int, default=64)
+    p_train.add_argument("--lr", type=float, default=0.005)
+    p_train.add_argument("--out", required=True, help="weights .npz path")
+    p_train.set_defaults(fn=cmd_train)
+
+    p_quant = sub.add_parser("quantize", help="run the Q-CapsNets framework")
+    common(p_quant)
+    p_quant.add_argument("--weights", required=True)
+    p_quant.add_argument("--tolerance", type=float, default=0.015)
+    p_quant.add_argument("--budget-mbit", type=float, default=None)
+    p_quant.add_argument("--budget-divisor", type=float, default=5.0)
+    p_quant.add_argument("--scheme", default="RTN",
+                         choices=["TRN", "RTN", "RTNE", "SR"])
+    p_quant.add_argument("--out", default=None,
+                         help="optional quantized-artifact .npz path")
+    p_quant.set_defaults(fn=cmd_quantize)
+
+    p_eval = sub.add_parser("evaluate", help="evaluate a quantized artifact")
+    common(p_eval)
+    p_eval.add_argument("--artifact", required=True)
+    p_eval.set_defaults(fn=cmd_evaluate)
+
+    p_hw = sub.add_parser("hw-report", help="hardware energy/latency report")
+    p_hw.add_argument("--model", choices=["shallow-paper", "deep-paper"],
+                      default="shallow-paper")
+    p_hw.add_argument("--qw", type=int, default=None)
+    p_hw.add_argument("--qa", type=int, default=None)
+    p_hw.add_argument("--qdr", type=int, default=None)
+    p_hw.set_defaults(fn=cmd_hw_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Synthetic datasets and augmentation.
+
+The evaluation environment has no network access, so the paper's
+datasets are substituted by deterministic procedural generators that
+produce the same tensor shapes and a comparable 10-class classification
+task (see DESIGN.md §2 for why this preserves the paper's claims):
+
+* :func:`synth_digits` — 28×28 grayscale digit glyphs (MNIST stand-in);
+* :func:`synth_fashion` — 28×28 garment silhouettes (Fashion-MNIST
+  stand-in);
+* :func:`synth_cifar` — 32×32 RGB textured shapes (CIFAR10 stand-in).
+
+Augmentation (:mod:`repro.data.augment`) implements the paper's
+Sec. IV-A pipeline: random shifts, rotations, horizontal flips and
+bilinear resizing.
+"""
+
+from repro.data.loader import DataLoader, Dataset, train_test_split
+from repro.data.synthetic import synth_digits
+from repro.data.fashion import synth_fashion
+from repro.data.cifar import synth_cifar
+from repro.data.augment import (
+    augment_cifar,
+    augment_digits,
+    augment_fashion,
+    random_hflip,
+    random_rotate,
+    random_shift,
+    resize_bilinear,
+)
+
+__all__ = [
+    "Dataset",
+    "DataLoader",
+    "train_test_split",
+    "synth_digits",
+    "synth_fashion",
+    "synth_cifar",
+    "random_shift",
+    "random_rotate",
+    "random_hflip",
+    "resize_bilinear",
+    "augment_digits",
+    "augment_fashion",
+    "augment_cifar",
+]

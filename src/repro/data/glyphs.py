@@ -1,0 +1,118 @@
+"""5×7 pixel glyphs for the ten digits.
+
+The classic 5×7 dot-matrix font; each glyph is rendered procedurally
+with per-sample geometric and photometric jitter by
+:mod:`repro.data.synthetic` to build an MNIST-like dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_DIGIT_ROWS = {
+    0: (
+        "01110",
+        "10001",
+        "10011",
+        "10101",
+        "11001",
+        "10001",
+        "01110",
+    ),
+    1: (
+        "00100",
+        "01100",
+        "00100",
+        "00100",
+        "00100",
+        "00100",
+        "01110",
+    ),
+    2: (
+        "01110",
+        "10001",
+        "00001",
+        "00010",
+        "00100",
+        "01000",
+        "11111",
+    ),
+    3: (
+        "11111",
+        "00010",
+        "00100",
+        "00010",
+        "00001",
+        "10001",
+        "01110",
+    ),
+    4: (
+        "00010",
+        "00110",
+        "01010",
+        "10010",
+        "11111",
+        "00010",
+        "00010",
+    ),
+    5: (
+        "11111",
+        "10000",
+        "11110",
+        "00001",
+        "00001",
+        "10001",
+        "01110",
+    ),
+    6: (
+        "00110",
+        "01000",
+        "10000",
+        "11110",
+        "10001",
+        "10001",
+        "01110",
+    ),
+    7: (
+        "11111",
+        "00001",
+        "00010",
+        "00100",
+        "01000",
+        "01000",
+        "01000",
+    ),
+    8: (
+        "01110",
+        "10001",
+        "10001",
+        "01110",
+        "10001",
+        "10001",
+        "01110",
+    ),
+    9: (
+        "01110",
+        "10001",
+        "10001",
+        "01111",
+        "00001",
+        "00010",
+        "01100",
+    ),
+}
+
+
+def digit_glyph(digit: int) -> np.ndarray:
+    """Return the 7×5 float32 bitmap of a digit (0..9)."""
+    if digit not in _DIGIT_ROWS:
+        raise ValueError(f"digit must be 0..9, got {digit}")
+    rows = _DIGIT_ROWS[digit]
+    return np.array(
+        [[float(pixel) for pixel in row] for row in rows], dtype=np.float32
+    )
+
+
+def all_digit_glyphs() -> np.ndarray:
+    """Stack of the ten glyphs, shape (10, 7, 5)."""
+    return np.stack([digit_glyph(d) for d in range(10)])

@@ -1,0 +1,127 @@
+"""Dataset container and mini-batch loader."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Dataset:
+    """Images ``(N, C, H, W)`` in [0, 1] float32 and integer labels ``(N,)``."""
+
+    images: np.ndarray
+    labels: np.ndarray
+    name: str = "dataset"
+
+    def __post_init__(self):
+        self.images = np.asarray(self.images, dtype=np.float32)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.images.ndim != 4:
+            raise ValueError(
+                f"images must be (N, C, H, W), got shape {self.images.shape}"
+            )
+        if len(self.images) != len(self.labels):
+            raise ValueError(
+                f"{len(self.images)} images vs {len(self.labels)} labels"
+            )
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self.labels) else 0
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        return tuple(self.images.shape[1:])
+
+    def subset(self, count: int, seed: int = 0) -> "Dataset":
+        """Class-balanced random subset of ``count`` samples."""
+        if count >= len(self):
+            return self
+        rng = np.random.default_rng(seed)
+        per_class = count // max(self.num_classes, 1)
+        chosen = []
+        for cls in range(self.num_classes):
+            indices = np.flatnonzero(self.labels == cls)
+            take = min(per_class, len(indices))
+            chosen.append(rng.choice(indices, size=take, replace=False))
+        index = np.concatenate(chosen) if chosen else np.arange(0)
+        remainder = count - len(index)
+        if remainder > 0:
+            rest = np.setdiff1d(np.arange(len(self)), index)
+            index = np.concatenate(
+                [index, rng.choice(rest, size=remainder, replace=False)]
+            )
+        rng.shuffle(index)
+        return Dataset(self.images[index], self.labels[index], self.name)
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float = 0.2, seed: int = 0
+) -> Tuple[Dataset, Dataset]:
+    """Shuffle and split a dataset into train/test parts."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(dataset))
+    cut = int(len(dataset) * (1.0 - test_fraction))
+    train_idx, test_idx = order[:cut], order[cut:]
+    return (
+        Dataset(dataset.images[train_idx], dataset.labels[train_idx], dataset.name),
+        Dataset(dataset.images[test_idx], dataset.labels[test_idx], dataset.name),
+    )
+
+
+class DataLoader:
+    """Iterates over (images, labels) mini-batches.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset.
+    batch_size:
+        Samples per batch (the final batch may be smaller).
+    shuffle:
+        Reshuffle at the start of every epoch.
+    augment_fn:
+        Optional per-batch augmentation ``(images, rng) -> images``.
+    seed:
+        Seed for shuffling and augmentation.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 64,
+        shuffle: bool = True,
+        augment_fn: Optional[Callable] = None,
+        seed: int = 0,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.augment_fn = augment_fn
+        self.rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return (len(self.dataset) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        order = (
+            self.rng.permutation(len(self.dataset))
+            if self.shuffle
+            else np.arange(len(self.dataset))
+        )
+        for start in range(0, len(order), self.batch_size):
+            index = order[start : start + self.batch_size]
+            images = self.dataset.images[index]
+            if self.augment_fn is not None:
+                images = self.augment_fn(images, self.rng)
+            yield images, self.dataset.labels[index]

@@ -1,0 +1,121 @@
+"""Quantized-accuracy evaluation — the ``test(quant(model, ...))``
+primitive of the paper's Algorithms 1-3.
+
+The :class:`Evaluator` owns the trained model and the test split, builds
+a :class:`~repro.quant.qcontext.FixedPointQuant` context per candidate
+configuration, and memoizes accuracies: the greedy searches revisit
+configurations (e.g. the +1 restore step of Algorithm 2), and stochastic
+rounding is seeded per evaluation so accuracy is a pure function of
+(config, scheme) — making the cache exact, not approximate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.trainer import default_predictions, evaluate_accuracy
+from repro.quant.calibrate import calibrate_scales
+from repro.quant.config import QuantizationConfig
+from repro.quant.qcontext import FixedPointQuant
+from repro.quant.rounding import RoundingScheme
+
+
+def config_signature(config: QuantizationConfig) -> Tuple:
+    """Hashable identity of a configuration (for memoization)."""
+    return (
+        config.integer_bits,
+        tuple(config.qw_vector()),
+        tuple(config.qa_vector()),
+        tuple(config.qdr_vector()),
+    )
+
+
+class Evaluator:
+    """Accuracy oracle for quantization configurations.
+
+    Parameters
+    ----------
+    model:
+        Trained CapsNet (any module whose forward accepts ``q=``).
+    images, labels:
+        Test split used for every accuracy measurement.
+    scheme:
+        Rounding scheme applied to every array.
+    batch_size:
+        Evaluation batch size (purely a throughput knob).
+    seed:
+        Seed restored before each evaluation (stochastic rounding).
+    calibration_images:
+        Inputs used to calibrate per-array power-of-two pre-scaling
+        (defaults to a prefix of the test images); see
+        :mod:`repro.quant.calibrate`.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        images: np.ndarray,
+        labels: np.ndarray,
+        scheme: RoundingScheme,
+        batch_size: int = 128,
+        seed: int = 0,
+        calibration_images: Optional[np.ndarray] = None,
+    ):
+        self.model = model
+        self.images = images
+        self.labels = labels
+        self.scheme = scheme
+        self.batch_size = batch_size
+        self.seed = seed
+        self.eval_count = 0
+        self._cache: Dict[Tuple, float] = {}
+        source = calibration_images if calibration_images is not None else images
+        self.scales = calibrate_scales(model, source, batch_size=batch_size)
+
+    def accuracy_fp32(self) -> float:
+        """Full-precision accuracy (the paper's ``accFP32``)."""
+        return evaluate_accuracy(
+            self.model,
+            self.images,
+            self.labels,
+            batch_size=self.batch_size,
+            predict_fn=default_predictions,
+        )
+
+    def accuracy(self, config: QuantizationConfig) -> float:
+        """Accuracy (%) of the model quantized with ``config``."""
+        key = config_signature(config)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        context = FixedPointQuant(
+            config, self.scheme, seed=self.seed, scales=self.scales
+        )
+        context.reset()
+        value = evaluate_accuracy(
+            self.model,
+            self.images,
+            self.labels,
+            batch_size=self.batch_size,
+            q=context,
+            predict_fn=default_predictions,
+        )
+        self.eval_count += 1
+        self._cache[key] = value
+        return value
+
+    def quant_context(
+        self, config: QuantizationConfig, seed: Optional[int] = None
+    ) -> FixedPointQuant:
+        """Build a ready-to-use context for external inference runs."""
+        context = FixedPointQuant(
+            config,
+            self.scheme,
+            seed=self.seed if seed is None else seed,
+            scales=self.scales,
+        )
+        context.reset()
+        return context

@@ -1,0 +1,148 @@
+"""Quantization-aware fine-tuning (Ristretto-style, paper Sec. II-C).
+
+The paper's framework is strictly post-training, but its related work
+(Gysel et al.'s Ristretto [5]) fine-tunes the quantized model to
+recover accuracy — and notes that the model is "fine-tuned by
+retraining after the quantization".  This module provides that recovery
+step as an optional extension: a few epochs of training where the
+forward pass sees quantized weights/activations while gradients update
+the underlying float parameters (the straight-through estimator, STE).
+
+With the autograd engine here the STE needs no special casing: the
+context returns ``param + const(quantized − param_value)``, whose value
+is the quantized tensor and whose gradient w.r.t. ``param`` is the
+identity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+from repro.nn.trainer import Trainer, default_predictions, evaluate_accuracy
+from repro.quant.config import QuantizationConfig
+from repro.quant.fixed_point import FixedPointFormat
+from repro.quant.qcontext import (
+    FixedPointQuant,
+    QuantContext,
+    power_of_two_scale,
+)
+from repro.quant.quantize import quantize
+from repro.quant.rounding import RoundingScheme
+
+
+class StraightThroughQuant(QuantContext):
+    """Quantized forward, identity backward — for fine-tuning.
+
+    Unlike :class:`~repro.quant.qcontext.FixedPointQuant` (which detaches
+    everything, for inference), every hook here keeps the input tensor in
+    the graph and adds a constant correction, so the forward value is
+    exactly the quantized value while the gradient flows through
+    unchanged.
+    """
+
+    def __init__(
+        self,
+        config: QuantizationConfig,
+        scheme: RoundingScheme,
+        scales: Optional[Dict[str, float]] = None,
+    ):
+        self.config = config
+        self.scheme = scheme
+        self.scales = scales if scales is not None else {}
+
+    def _format(self, bits: int) -> FixedPointFormat:
+        return FixedPointFormat(self.config.integer_bits, bits)
+
+    def _ste(self, tensor: Tensor, bits: int, scale: float) -> Tensor:
+        fmt = self._format(bits)
+        if scale > 1.0:
+            quantized = scale * quantize(tensor.data / scale, fmt, self.scheme)
+        else:
+            quantized = quantize(tensor.data, fmt, self.scheme)
+        correction = Tensor(quantized - tensor.data)
+        return tensor + correction
+
+    def weight(self, layer: str, name: str, tensor: Tensor) -> Tensor:
+        bits = self.config[layer].qw
+        if bits is None:
+            return tensor
+        scale = power_of_two_scale(float(np.abs(tensor.data).max(initial=0.0)))
+        return self._ste(tensor, bits, scale)
+
+    def act(self, layer: str, tensor: Tensor) -> Tensor:
+        bits = self.config[layer].qa
+        if bits is None:
+            return tensor
+        from repro.quant.qcontext import act_scale_key
+
+        return self._ste(tensor, bits, self.scales.get(act_scale_key(layer), 1.0))
+
+    def routing(self, layer: str, array: str, tensor: Tensor) -> Tensor:
+        bits = self.config[layer].effective_qdr()
+        if bits is None:
+            return tensor
+        from repro.quant.qcontext import routing_scale_key
+
+        return self._ste(
+            tensor, bits, self.scales.get(routing_scale_key(layer, array), 1.0)
+        )
+
+
+class _QuantizedForwardModel(Module):
+    """Wraps a model so every forward runs under the STE context."""
+
+    def __init__(self, model: Module, context: StraightThroughQuant):
+        super().__init__()
+        self.inner = model
+        self._context = context
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.inner(x, q=self._context)
+
+
+def quantization_aware_finetune(
+    model: Module,
+    config: QuantizationConfig,
+    scheme: RoundingScheme,
+    train_images: np.ndarray,
+    train_labels: np.ndarray,
+    test_images: np.ndarray,
+    test_labels: np.ndarray,
+    epochs: int = 2,
+    lr: float = 0.0005,
+    batch_size: int = 64,
+    scales: Optional[Dict[str, float]] = None,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Fine-tune ``model`` under ``config`` and report the recovery.
+
+    Returns ``(accuracy_before, accuracy_after)`` — both measured with
+    the *inference* quantization context (detached, as deployed).  The
+    float parameters of ``model`` are updated in place, which is the
+    point: after fine-tuning they are the parameters whose quantization
+    works best, and re-freezing (e.g. via
+    :class:`~repro.quant.qmodel.QuantizedCapsNet`) captures the gain.
+    """
+
+    def quantized_accuracy() -> float:
+        context = FixedPointQuant(config, scheme, seed=seed, scales=scales)
+        context.reset()
+        return evaluate_accuracy(
+            model, test_images, test_labels,
+            q=context, predict_fn=default_predictions,
+        )
+
+    before = quantized_accuracy()
+
+    ste_context = StraightThroughQuant(config, scheme, scales=scales)
+    wrapped = _QuantizedForwardModel(model, ste_context)
+    trainer = Trainer(wrapped, Adam(model.parameters(), lr=lr), seed=seed)
+    trainer.fit(train_images, train_labels, epochs=epochs, batch_size=batch_size)
+
+    after = quantized_accuracy()
+    return before, after

@@ -1,0 +1,113 @@
+"""Memory/accuracy trade-off exploration on top of Algorithm 1.
+
+The paper reports isolated (budget, tolerance) design points; a
+practitioner usually wants the *frontier*: for each feasible weight
+memory, the best reachable accuracy.  :func:`sweep_memory_budgets` runs
+the framework across a budget grid with a shared (memoized) evaluator,
+and :func:`pareto_frontier` extracts the non-dominated points — the
+curve behind the paper's Sec. IV-D Pareto-dominance discussion of Q1
+vs Q2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.framework.evaluate import Evaluator
+from repro.framework.qcapsnets import QCapsNets
+from repro.framework.results import QCapsNetsResult
+from repro.nn.module import Module
+from repro.quant.rounding import RoundingScheme, get_rounding_scheme
+
+
+@dataclass(frozen=True)
+class TradeOffPoint:
+    """One design point of the memory/accuracy trade-off."""
+
+    budget_mbit: float
+    weight_mbit: float
+    act_mbit: float
+    accuracy: float
+    path: str
+    model_label: str
+
+    def dominates(self, other: "TradeOffPoint") -> bool:
+        """Pareto dominance: no worse on both axes, better on one."""
+        no_worse = (
+            self.weight_mbit <= other.weight_mbit
+            and self.accuracy >= other.accuracy
+        )
+        better = (
+            self.weight_mbit < other.weight_mbit
+            or self.accuracy > other.accuracy
+        )
+        return no_worse and better
+
+
+def sweep_memory_budgets(
+    model: Module,
+    test_images: np.ndarray,
+    test_labels: np.ndarray,
+    budgets_mbit: Sequence[float],
+    accuracy_tolerance: float,
+    scheme: Union[str, RoundingScheme] = "RTN",
+    batch_size: int = 128,
+    seed: int = 0,
+    accuracy_fp32: Optional[float] = None,
+) -> List[TradeOffPoint]:
+    """Run Algorithm 1 for every budget; evaluator cache is shared.
+
+    Each run contributes its best model (``model_satisfied`` on Path A,
+    else ``model_accuracy``) plus, on Path B, the ``model_memory``
+    point — both are legitimate deployment options.
+    """
+    if not budgets_mbit:
+        raise ValueError("budgets_mbit must not be empty")
+    if isinstance(scheme, str):
+        scheme = get_rounding_scheme(scheme, seed=seed)
+    evaluator = Evaluator(
+        model, test_images, test_labels, scheme,
+        batch_size=batch_size, seed=seed,
+    )
+    points: List[TradeOffPoint] = []
+    for budget in budgets_mbit:
+        result: QCapsNetsResult = QCapsNets(
+            model, test_images, test_labels,
+            accuracy_tolerance=accuracy_tolerance,
+            memory_budget_mbit=budget,
+            evaluator=evaluator,
+            accuracy_fp32=accuracy_fp32,
+        ).run()
+        accuracy_fp32 = result.accuracy_fp32  # reuse for later budgets
+        for quantized in result.models().values():
+            points.append(
+                TradeOffPoint(
+                    budget_mbit=budget,
+                    weight_mbit=quantized.memory.weight_megabits,
+                    act_mbit=quantized.memory.act_megabits,
+                    accuracy=quantized.accuracy,
+                    path=result.path,
+                    model_label=quantized.label,
+                )
+            )
+    return points
+
+
+def pareto_frontier(points: Sequence[TradeOffPoint]) -> List[TradeOffPoint]:
+    """Non-dominated subset, sorted by ascending weight memory."""
+    frontier = [
+        p for p in points
+        if not any(other.dominates(p) for other in points if other is not p)
+    ]
+    # Deduplicate identical (memory, accuracy) pairs.
+    seen = set()
+    unique = []
+    for point in sorted(frontier, key=lambda p: (p.weight_mbit, -p.accuracy)):
+        key = (round(point.weight_mbit, 9), round(point.accuracy, 9))
+        if key not in seen:
+            seen.add(key)
+            unique.append(point)
+    return unique

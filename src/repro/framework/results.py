@@ -1,0 +1,101 @@
+"""Result containers for the Q-CapsNets search.
+
+The framework returns up to three quantized models, named as in the
+paper:
+
+* ``model_satisfied`` — meets both the accuracy target and the memory
+  budget (Path A output);
+* ``model_memory`` — meets the memory budget with the best achievable
+  accuracy (Step 2 output, returned on Path B);
+* ``model_accuracy`` — meets the accuracy target with the smallest
+  achievable memory (Step 3B output, returned on Path B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.quant.config import QuantizationConfig
+from repro.quant.memory import MemoryReport
+
+
+@dataclass
+class QuantizedModelResult:
+    """One quantized model produced by the framework."""
+
+    label: str
+    config: QuantizationConfig
+    accuracy: float
+    memory: MemoryReport
+    scheme_name: str
+
+    @property
+    def weight_reduction(self) -> float:
+        """W-mem reduction vs FP32 (Table I column)."""
+        return self.memory.weight_reduction
+
+    @property
+    def act_reduction(self) -> float:
+        """A-mem reduction vs FP32 (Table I column)."""
+        return self.memory.act_reduction
+
+    def summary(self) -> str:
+        return (
+            f"{self.label} [{self.scheme_name}]: acc={self.accuracy:.2f}%, "
+            f"W mem reduction={self.weight_reduction:.2f}x, "
+            f"A mem reduction={self.act_reduction:.2f}x\n"
+            f"{self.config.describe()}"
+        )
+
+
+@dataclass
+class QCapsNetsResult:
+    """Full outcome of one Algorithm-1 run (one rounding scheme)."""
+
+    scheme_name: str
+    accuracy_fp32: float
+    accuracy_target: float
+    memory_budget_bits: int
+    path: str  # "A" or "B"
+    model_satisfied: Optional[QuantizedModelResult] = None
+    model_memory: Optional[QuantizedModelResult] = None
+    model_accuracy: Optional[QuantizedModelResult] = None
+    #: Step-1 layer-uniform model (not a paper output, but plotted as the
+    #: intermediate row of Fig. 11 and useful for ablations).
+    model_uniform: Optional[QuantizedModelResult] = None
+    eval_count: int = 0
+    log: List[str] = field(default_factory=list)
+
+    @property
+    def satisfied(self) -> bool:
+        """True when Path A produced a model meeting both constraints."""
+        return self.model_satisfied is not None
+
+    def models(self) -> Dict[str, QuantizedModelResult]:
+        """All produced models keyed by their paper name."""
+        out: Dict[str, QuantizedModelResult] = {}
+        if self.model_satisfied is not None:
+            out["model_satisfied"] = self.model_satisfied
+        if self.model_memory is not None:
+            out["model_memory"] = self.model_memory
+        if self.model_accuracy is not None:
+            out["model_accuracy"] = self.model_accuracy
+        return out
+
+    def summary(self) -> str:
+        lines = [
+            f"Q-CapsNets result (scheme={self.scheme_name}, path {self.path}, "
+            f"{self.eval_count} quantized evaluations)",
+            f"  accFP32={self.accuracy_fp32:.2f}%  "
+            f"acc_target={self.accuracy_target:.2f}%  "
+            f"budget={self.memory_budget_bits / 1e6:.3f} Mbit",
+        ]
+        for name, model in self.models().items():
+            lines.append(
+                f"  {name}: acc={model.accuracy:.2f}%, "
+                f"W x{model.weight_reduction:.2f}, A x{model.act_reduction:.2f}, "
+                f"Qw={model.config.qw_vector()}, Qa={model.config.qa_vector()}, "
+                f"QDR={model.config.qdr_vector()}"
+            )
+        return "\n".join(lines)

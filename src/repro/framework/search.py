@@ -1,0 +1,59 @@
+"""Binary search on a uniform wordlength (paper Step 1 and Step 3B).
+
+Algorithm 1 (lines 7 and 22) uses a binary search [15] to find the
+minimum uniform fractional-bit count whose accuracy still meets a floor.
+Accuracy is assumed monotonically non-decreasing in the wordlength —
+true in practice for uniform quantization of a trained network, and the
+standard assumption the paper inherits from the cited search literature.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+
+def binary_search_wordlength(
+    measure: Callable[[int], float],
+    acc_min: float,
+    q_init: int = 32,
+    q_min: int = 1,
+) -> Tuple[int, float]:
+    """Smallest ``bits`` in ``[q_min, q_init]`` with ``measure(bits) >= acc_min``.
+
+    Parameters
+    ----------
+    measure:
+        Maps a fractional-bit count to an accuracy (%).  Called O(log N)
+        times.
+    acc_min:
+        Accuracy floor.
+    q_init:
+        Upper bound; assumed (and verified) to satisfy the floor — if it
+        does not, ``(q_init, measure(q_init))`` is returned so the caller
+        can proceed with the least-destructive choice, mirroring the
+        paper's behaviour of never exceeding the initial wordlength.
+    q_min:
+        Lower bound of the search space.
+
+    Returns
+    -------
+    (bits, accuracy) at the chosen wordlength.
+    """
+    if q_min > q_init:
+        raise ValueError(f"q_min ({q_min}) must be <= q_init ({q_init})")
+
+    top_accuracy = measure(q_init)
+    if top_accuracy < acc_min:
+        return q_init, top_accuracy
+
+    low, high = q_min, q_init  # invariant: high satisfies the floor
+    best_accuracy = top_accuracy
+    while low < high:
+        mid = (low + high) // 2
+        accuracy = measure(mid)
+        if accuracy >= acc_min:
+            high = mid
+            best_accuracy = accuracy
+        else:
+            low = mid + 1
+    return high, best_accuracy

@@ -1,0 +1,106 @@
+"""Step 2 of Algorithm 1 — memory-requirements fulfillment (Eq. 6).
+
+Following Raghu et al. (ICML 2017) — perturbations to later layers cost
+more than perturbations to earlier ones — the paper assigns *descending*
+weight wordlengths: ``(Qw)_{l+1} = (Qw)_l − 1``.  The first layer's
+wordlength is the maximum integer satisfying
+
+    Σ_{l=0}^{L-1}  P_l · ((Qw)_0 − l)  ≤  M          (Eq. 6)
+
+where ``P_l`` is the parameter count of layer ``l`` and ``M`` the weight
+memory budget in bits.  In this implementation the per-weight bit count
+``(Qw)_0 − l`` is the *total* wordlength (``NI`` integer + fractional
+bits); the searched fractional bits are obtained by subtracting ``NI``.
+
+Two practical guards the paper leaves implicit:
+
+* wordlengths are clamped to at least 1 total bit per weight — for
+  extreme budgets Eq. 6's un-clamped arithmetic would go non-positive;
+* if even all-minimum wordlengths exceed the budget, the minimum
+  configuration is returned and flagged (``budget_met = False``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+MIN_TOTAL_BITS = 1
+
+
+@dataclass
+class Eq6Solution:
+    """Result of the Eq. 6 solve."""
+
+    total_bits_per_layer: List[int]
+    weight_bits_total: int
+    budget_bits: int
+    budget_met: bool
+
+    @property
+    def first_layer_bits(self) -> int:
+        return self.total_bits_per_layer[0]
+
+
+def solve_eq6(param_counts: List[int], budget_bits: int) -> Eq6Solution:
+    """Maximum descending wordlength assignment within ``budget_bits``.
+
+    Parameters
+    ----------
+    param_counts:
+        ``P_l`` per layer, in topological order.
+    budget_bits:
+        ``M`` — the weight-memory budget in bits.
+    """
+    if not param_counts:
+        raise ValueError("param_counts must not be empty")
+    if any(count <= 0 for count in param_counts):
+        raise ValueError(f"parameter counts must be positive: {param_counts}")
+    if budget_bits <= 0:
+        raise ValueError(f"budget must be positive, got {budget_bits}")
+
+    def footprint(first_bits: int) -> int:
+        return sum(
+            count * max(first_bits - layer, MIN_TOTAL_BITS)
+            for layer, count in enumerate(param_counts)
+        )
+
+    # Closed-form upper bound ignoring the clamp, then walk down.
+    total_params = sum(param_counts)
+    weighted_depth = sum(l * count for l, count in enumerate(param_counts))
+    first_bits = (budget_bits + weighted_depth) // total_params
+    first_bits = max(first_bits, MIN_TOTAL_BITS)
+    while first_bits > MIN_TOTAL_BITS and footprint(first_bits) > budget_bits:
+        first_bits -= 1
+
+    assignment = [
+        max(first_bits - layer, MIN_TOTAL_BITS) for layer in range(len(param_counts))
+    ]
+    used = footprint(first_bits)
+    return Eq6Solution(
+        total_bits_per_layer=assignment,
+        weight_bits_total=used,
+        budget_bits=budget_bits,
+        budget_met=used <= budget_bits,
+    )
+
+
+def memory_fulfillment_bits(
+    param_counts: Dict[str, int],
+    layer_order: List[str],
+    budget_bits: int,
+    integer_bits: int = 1,
+) -> Dict[str, int]:
+    """Per-layer *fractional* weight bits implementing Step 2.
+
+    Returns ``{layer: qw}`` where ``qw = total_bits − integer_bits``
+    (floored at 0 — a 1-total-bit weight has no fractional bits and is
+    the sign-only degenerate format the paper's Path-B collapse cases
+    produce).
+    """
+    counts = [param_counts[name] for name in layer_order]
+    solution = solve_eq6(counts, budget_bits)
+    return {
+        name: max(total - integer_bits, 0)
+        for name, total in zip(layer_order, solution.total_bits_per_layer)
+    }

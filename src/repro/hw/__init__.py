@@ -1,0 +1,57 @@
+"""Hardware cost models (paper Sec. I motivational analysis, Figs. 2-3).
+
+The paper synthesizes MAC, squash and softmax modules in UMC 65nm CMOS
+with Synopsys Design Compiler to motivate wordlength reduction: area and
+energy grow ~quadratically with the wordlength.  That toolchain is not
+available here, so this package provides a *structural* gate-level
+model: each unit is decomposed into adders/multipliers/registers whose
+NAND2-equivalent gate counts are standard, and a
+:class:`~repro.hw.technology.Technology` supplies per-gate area/energy
+constants calibrated to the paper's reported 65nm endpoints (DESIGN.md
+§2).  The quadratic shape then emerges from the multiplier's O(N²)
+structure rather than from a curve fit.
+
+Also included:
+
+* bit-accurate integer reference ops (:mod:`repro.hw.fixed_ref`) that
+  verify the float "fake quantization" used by the framework matches
+  what a real fixed-point datapath computes;
+* SRAM/DRAM access energy (:mod:`repro.hw.memory_model`);
+* a per-inference energy estimator (:mod:`repro.hw.accelerator`)
+  combining all of the above with an architecture's statistics — used
+  to quantify the paper's Sec. IV-D claim that lower-wordlength
+  routing brings "huge" energy-efficiency gains.
+"""
+
+from repro.hw.technology import UMC65, Technology
+from repro.hw.gates import GateCounts
+from repro.hw.arith import (
+    ArrayMultiplier,
+    Register,
+    RippleCarryAdder,
+)
+from repro.hw.mac import MacUnit
+from repro.hw.special_ops import SoftmaxUnit, SquashUnit
+from repro.hw.memory_model import MemoryInterface
+from repro.hw.accelerator import EnergyBreakdown, InferenceEnergyModel
+from repro.hw.capsacc import CapsAccConfig, CapsAccModel, InferenceTiming
+from repro.hw import fixed_ref
+
+__all__ = [
+    "Technology",
+    "UMC65",
+    "GateCounts",
+    "RippleCarryAdder",
+    "ArrayMultiplier",
+    "Register",
+    "MacUnit",
+    "SquashUnit",
+    "SoftmaxUnit",
+    "MemoryInterface",
+    "InferenceEnergyModel",
+    "EnergyBreakdown",
+    "CapsAccConfig",
+    "CapsAccModel",
+    "InferenceTiming",
+    "fixed_ref",
+]

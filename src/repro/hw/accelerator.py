@@ -1,0 +1,177 @@
+"""Per-inference energy estimation for a quantized CapsNet.
+
+Combines the structural unit models (MAC, squash, softmax), the memory
+interface and a model's per-layer operation counts into an energy
+breakdown.  This quantifies the paper's Sec. IV-D observation: models
+with lower activation/routing wordlengths (e.g. Q1 vs Q2 in Fig. 11)
+win on *energy* even when their weight memory is slightly larger,
+because MAC/squash/softmax energies scale quadratically with the
+operand width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.hw.mac import MacUnit
+from repro.hw.memory_model import MemoryInterface
+from repro.hw.special_ops import SoftmaxUnit, SquashUnit
+from repro.hw.technology import UMC65, Technology
+from repro.quant.config import QuantizationConfig
+
+FP32_BITS = 32
+
+
+@dataclass(frozen=True)
+class LayerOpCounts:
+    """Operation counts of one layer for a single inference.
+
+    Produced analytically by :mod:`repro.analysis.arch_stats`.
+
+    Attributes
+    ----------
+    macs:
+        Multiply-accumulate count (convolutions, votes, routing sums).
+    params:
+        Parameter count (weight-fetch traffic).
+    activations:
+        Activation elements written by the layer (activation traffic).
+    squash_calls:
+        Number of capsule squashes (one per capsule per squash site,
+        times routing iterations where applicable).
+    squash_dim:
+        Capsule dimension seen by the squash unit.
+    softmax_calls:
+        Number of softmax evaluations (one per input capsule per
+        routing iteration).
+    softmax_width:
+        Number of logits per softmax (output capsules J).
+    """
+
+    macs: int = 0
+    params: int = 0
+    activations: int = 0
+    squash_calls: int = 0
+    squash_dim: int = 8
+    softmax_calls: int = 0
+    softmax_width: int = 10
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy of one inference, split by source (all in nanojoules)."""
+
+    mac_nj: float = 0.0
+    squash_nj: float = 0.0
+    softmax_nj: float = 0.0
+    sram_nj: float = 0.0
+    dram_nj: float = 0.0
+    per_layer_nj: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def compute_nj(self) -> float:
+        return self.mac_nj + self.squash_nj + self.softmax_nj
+
+    @property
+    def memory_nj(self) -> float:
+        return self.sram_nj + self.dram_nj
+
+    @property
+    def total_nj(self) -> float:
+        return self.compute_nj + self.memory_nj
+
+    def describe(self) -> str:
+        return (
+            f"total {self.total_nj:.1f} nJ = "
+            f"MAC {self.mac_nj:.1f} + squash {self.squash_nj:.1f} + "
+            f"softmax {self.softmax_nj:.1f} + SRAM {self.sram_nj:.1f} + "
+            f"DRAM {self.dram_nj:.1f}"
+        )
+
+
+class InferenceEnergyModel:
+    """Estimates one inference's energy under a quantization config.
+
+    Parameters
+    ----------
+    op_counts:
+        Per-layer :class:`LayerOpCounts` keyed by quantization-layer
+        name (ordering irrelevant).
+    tech:
+        Technology constants (default UMC 65nm).
+    memory:
+        Memory interface; defaults to one sized so all weights stream
+        from SRAM.
+    """
+
+    def __init__(
+        self,
+        op_counts: Dict[str, LayerOpCounts],
+        tech: Technology = UMC65,
+        memory: Optional[MemoryInterface] = None,
+    ):
+        if not op_counts:
+            raise ValueError("op_counts must not be empty")
+        self.op_counts = dict(op_counts)
+        self.tech = tech
+        self.memory = memory if memory is not None else MemoryInterface(tech)
+
+    def _layer_bits(
+        self, config: Optional[QuantizationConfig], layer: str
+    ) -> Dict[str, int]:
+        if config is None:
+            return {"w": FP32_BITS, "a": FP32_BITS, "dr": FP32_BITS}
+        spec = config[layer]
+        ni = config.integer_bits
+
+        def total(bits: Optional[int]) -> int:
+            return FP32_BITS if bits is None else ni + bits
+
+        return {
+            "w": total(spec.qw),
+            "a": total(spec.qa),
+            "dr": total(spec.effective_qdr()),
+        }
+
+    def estimate(self, config: Optional[QuantizationConfig] = None) -> EnergyBreakdown:
+        """Energy breakdown for one inference (``config=None`` = FP32)."""
+        breakdown = EnergyBreakdown()
+        for layer, ops in self.op_counts.items():
+            bits = self._layer_bits(config, layer)
+            mac_width = max(bits["w"], bits["a"])
+            mac_pj = MacUnit(mac_width).energy_per_op_pj(self.tech) * ops.macs
+
+            squash_pj = 0.0
+            if ops.squash_calls:
+                unit = SquashUnit(
+                    fractional_bits=max(bits["dr"] - 1, 1),
+                    caps_dim=ops.squash_dim,
+                )
+                squash_pj = unit.energy_per_op_pj(self.tech) * ops.squash_calls
+
+            softmax_pj = 0.0
+            if ops.softmax_calls:
+                unit = SoftmaxUnit(
+                    fractional_bits=max(bits["dr"] - 1, 1),
+                    num_inputs=ops.softmax_width,
+                )
+                softmax_pj = unit.energy_per_op_pj(self.tech) * ops.softmax_calls
+
+            weight_bits = ops.params * bits["w"]
+            act_bits = ops.activations * bits["a"]
+            if self.memory.weights_fit_on_chip(weight_bits):
+                sram_pj = self.memory.sram_access_pj(weight_bits + 2 * act_bits)
+                dram_pj = 0.0
+            else:
+                sram_pj = self.memory.sram_access_pj(2 * act_bits)
+                dram_pj = self.memory.dram_access_pj(weight_bits)
+
+            layer_nj = (mac_pj + squash_pj + softmax_pj + sram_pj + dram_pj) / 1000.0
+            breakdown.per_layer_nj[layer] = layer_nj
+            breakdown.mac_nj += mac_pj / 1000.0
+            breakdown.squash_nj += squash_pj / 1000.0
+            breakdown.softmax_nj += softmax_pj / 1000.0
+            breakdown.sram_nj += sram_pj / 1000.0
+            breakdown.dram_nj += dram_pj / 1000.0
+        return breakdown

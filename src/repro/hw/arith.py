@@ -1,0 +1,92 @@
+"""Structural models of arithmetic building blocks.
+
+Gate counts follow textbook decompositions:
+
+* ripple-carry adder: one full adder per bit → O(N);
+* array multiplier: N×M AND partial-product matrix plus (N−1) rows of
+  M-bit carry-save adders → O(N·M), i.e. **quadratic** for N=M.  This
+  is where the paper's Fig. 2 quadratic area/energy trend comes from;
+* register: one DFF per bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.gates import GE_AND2, GE_DFF, GE_FULL_ADDER, GateCounts
+from repro.hw.technology import Technology
+
+
+def _require_positive(name: str, value: int) -> None:
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+
+
+@dataclass(frozen=True)
+class RippleCarryAdder:
+    """N-bit two's-complement adder."""
+
+    bits: int
+
+    def __post_init__(self):
+        _require_positive("bits", self.bits)
+
+    def gate_counts(self) -> GateCounts:
+        return GateCounts(combinational=self.bits * GE_FULL_ADDER)
+
+    def area_um2(self, tech: Technology) -> float:
+        return self.gate_counts().area_um2(tech)
+
+    def energy_per_op_pj(self, tech: Technology) -> float:
+        return self.gate_counts().energy_per_op_pj(tech)
+
+
+@dataclass(frozen=True)
+class ArrayMultiplier:
+    """N×M-bit signed array multiplier (Baugh-Wooley style).
+
+    Partial products: N·M AND gates; reduction: (N−1) rows of M-bit
+    carry-save adders; final 2N-bit merge adder.
+    """
+
+    bits_a: int
+    bits_b: int
+
+    def __post_init__(self):
+        _require_positive("bits_a", self.bits_a)
+        _require_positive("bits_b", self.bits_b)
+
+    @property
+    def output_bits(self) -> int:
+        return self.bits_a + self.bits_b
+
+    def gate_counts(self) -> GateCounts:
+        partial_products = self.bits_a * self.bits_b * GE_AND2
+        reduction = max(self.bits_a - 1, 0) * self.bits_b * GE_FULL_ADDER
+        merge = self.output_bits * GE_FULL_ADDER
+        return GateCounts(combinational=partial_products + reduction + merge)
+
+    def area_um2(self, tech: Technology) -> float:
+        return self.gate_counts().area_um2(tech)
+
+    def energy_per_op_pj(self, tech: Technology) -> float:
+        return self.gate_counts().energy_per_op_pj(tech)
+
+
+@dataclass(frozen=True)
+class Register:
+    """N-bit register (one DFF per bit)."""
+
+    bits: int
+
+    def __post_init__(self):
+        _require_positive("bits", self.bits)
+
+    def gate_counts(self) -> GateCounts:
+        return GateCounts(sequential=self.bits * GE_DFF)
+
+    def area_um2(self, tech: Technology) -> float:
+        return self.gate_counts().area_um2(tech)
+
+    def energy_per_op_pj(self, tech: Technology) -> float:
+        return self.gate_counts().energy_per_op_pj(tech)

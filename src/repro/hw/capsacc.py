@@ -1,0 +1,184 @@
+"""CapsAcc-style accelerator performance model (paper reference [17]).
+
+Marchisio et al., "CapsAcc: An Efficient Hardware Accelerator for
+CapsuleNets with Data Reuse" (DATE 2019) executes CapsNet inference on
+a weight-stationary systolic MAC array with dedicated squash/softmax
+units.  This module estimates per-layer cycle counts and end-to-end
+latency for such an accelerator, and — the part that matters for this
+paper — how *quantization changes latency*: lowering weight wordlengths
+shrinks the weight-streaming time of bandwidth-bound layers, so the
+Q-CapsNets outputs translate into real speedups, not just energy/area.
+
+The model is deliberately first-order (no dataflow simulation): each
+layer's GEMM-lowered compute time on an R×C PE array is
+``ceil(M/R) · ceil(N/C) · K`` cycles, overlapped with weight streaming
+at the memory interface's bits/cycle; routing iterations serialize on
+the squash/softmax units with per-element initiation intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.hw.accelerator import FP32_BITS
+from repro.quant.config import QuantizationConfig
+
+if TYPE_CHECKING:  # avoid a runtime hw <-> analysis import cycle
+    from repro.analysis.arch_stats import ArchStats
+
+
+@dataclass(frozen=True)
+class CapsAccConfig:
+    """Hardware configuration of the modeled accelerator.
+
+    Defaults follow the DATE'19 design point: a 16×16 PE array at
+    firmly sub-GHz 65nm clocking, an 8 GB/s (≈256 bits/cycle at 250MHz)
+    weight-memory interface, and pipelined special-function units with
+    initiation interval 1 (one capsule element / logit per cycle after
+    fill).
+    """
+
+    pe_rows: int = 16
+    pe_cols: int = 16
+    clock_mhz: float = 250.0
+    memory_bits_per_cycle: float = 256.0
+    squash_initiation_interval: int = 1
+    softmax_initiation_interval: int = 1
+    squash_pipeline_depth: int = 12
+    softmax_pipeline_depth: int = 16
+
+    def __post_init__(self):
+        if self.pe_rows < 1 or self.pe_cols < 1:
+            raise ValueError("PE array dimensions must be >= 1")
+        if self.clock_mhz <= 0:
+            raise ValueError(f"clock must be positive, got {self.clock_mhz}")
+        if self.memory_bits_per_cycle <= 0:
+            raise ValueError("memory interface width must be positive")
+
+    @property
+    def num_pes(self) -> int:
+        return self.pe_rows * self.pe_cols
+
+
+@dataclass
+class LayerTiming:
+    """Cycle breakdown of one layer."""
+
+    name: str
+    compute_cycles: int
+    weight_stream_cycles: int
+    routing_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        # Weight streaming overlaps with compute (weight-stationary,
+        # double-buffered); routing serializes after the GEMMs.
+        return max(self.compute_cycles, self.weight_stream_cycles) + self.routing_cycles
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.weight_stream_cycles > self.compute_cycles
+
+
+@dataclass
+class InferenceTiming:
+    """End-to-end timing of one inference."""
+
+    layers: Dict[str, LayerTiming]
+    clock_mhz: float
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(layer.total_cycles for layer in self.layers.values())
+
+    @property
+    def latency_ms(self) -> float:
+        return self.total_cycles / (self.clock_mhz * 1e3)
+
+    @property
+    def throughput_fps(self) -> float:
+        return 1000.0 / self.latency_ms
+
+    def describe(self) -> str:
+        lines = [
+            f"total {self.total_cycles:,} cycles = {self.latency_ms:.3f} ms "
+            f"@ {self.clock_mhz:.0f} MHz ({self.throughput_fps:.1f} fps)"
+        ]
+        for layer in self.layers.values():
+            bound = "memory" if layer.memory_bound else "compute"
+            lines.append(
+                f"  {layer.name:<4} {layer.total_cycles:>12,} cycles "
+                f"({bound}-bound; gemm {layer.compute_cycles:,}, "
+                f"stream {layer.weight_stream_cycles:,}, "
+                f"routing {layer.routing_cycles:,})"
+            )
+        return "\n".join(lines)
+
+
+class CapsAccModel:
+    """Latency estimator for CapsNet inference on a CapsAcc-like array.
+
+    Parameters
+    ----------
+    stats:
+        Architecture statistics from :mod:`repro.analysis.arch_stats`
+        (per-layer MACs, params, squash/softmax counts).
+    hw:
+        Accelerator configuration.
+    """
+
+    def __init__(self, stats: "ArchStats", hw: Optional[CapsAccConfig] = None):
+        self.stats = stats
+        self.hw = hw if hw is not None else CapsAccConfig()
+
+    def _weight_bits(self, config: Optional[QuantizationConfig], layer: str) -> int:
+        if config is None:
+            return FP32_BITS
+        qw = config[layer].qw
+        return FP32_BITS if qw is None else config.integer_bits + qw
+
+    def estimate(self, config: Optional[QuantizationConfig] = None) -> InferenceTiming:
+        """Per-layer and total timing under a quantization config."""
+        layers: Dict[str, LayerTiming] = {}
+        for layer in self.stats.layers:
+            # GEMM compute: MACs spread over the PE array at one MAC per
+            # PE per cycle, derated by array-edge fragmentation (~the
+            # ceil terms of the exact tiling formula).
+            utilization = 0.85
+            compute = math.ceil(
+                layer.macs / (self.hw.num_pes * utilization)
+            )
+            weight_bits = layer.params * self._weight_bits(config, layer.name)
+            stream = math.ceil(weight_bits / self.hw.memory_bits_per_cycle)
+
+            routing = 0
+            if layer.squash_calls:
+                routing += (
+                    self.hw.squash_pipeline_depth
+                    + layer.squash_calls
+                    * layer.squash_dim
+                    * self.hw.squash_initiation_interval
+                )
+            if layer.softmax_calls:
+                routing += (
+                    self.hw.softmax_pipeline_depth
+                    + layer.softmax_calls
+                    * layer.softmax_width
+                    * self.hw.softmax_initiation_interval
+                )
+
+            layers[layer.name] = LayerTiming(
+                name=layer.name,
+                compute_cycles=compute,
+                weight_stream_cycles=stream,
+                routing_cycles=routing,
+            )
+        return InferenceTiming(layers=layers, clock_mhz=self.hw.clock_mhz)
+
+    def speedup(self, config: QuantizationConfig) -> float:
+        """Latency ratio FP32 / quantized (> 1 when quantization helps)."""
+        fp32 = self.estimate(None).total_cycles
+        quantized = self.estimate(config).total_cycles
+        return fp32 / quantized

@@ -1,0 +1,62 @@
+"""Gate-equivalent accounting primitives.
+
+All structural hardware models express their size as NAND2-equivalent
+gate counts (GE), the standard-cell convention used in synthesis
+reports; area and energy follow from the
+:class:`~repro.hw.technology.Technology` constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.technology import Technology
+
+#: NAND2-equivalents of common cells (28-transistor mirror-adder FA,
+#: transmission-gate DFF, 2:1 mux, 2-input AND).
+GE_FULL_ADDER = 7.0
+GE_DFF = 6.0
+GE_MUX2 = 3.0
+GE_AND2 = 1.5
+GE_XOR2 = 2.5
+
+
+@dataclass(frozen=True)
+class GateCounts:
+    """A bag of gate equivalents, split by function.
+
+    ``combinational`` gates toggle on (almost) every operation;
+    ``sequential`` gates (flip-flops) toggle on clock edges.  The energy
+    model applies the technology's activity factor to both — the
+    distinction is kept because registers dominate leakage and clock
+    power in real designs and several tests assert on it.
+    """
+
+    combinational: float = 0.0
+    sequential: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.combinational + self.sequential
+
+    def __add__(self, other: "GateCounts") -> "GateCounts":
+        return GateCounts(
+            self.combinational + other.combinational,
+            self.sequential + other.sequential,
+        )
+
+    def scaled(self, factor: float) -> "GateCounts":
+        return GateCounts(self.combinational * factor, self.sequential * factor)
+
+    def area_um2(self, tech: Technology) -> float:
+        """Cell area in µm²."""
+        return self.total * tech.gate_area_um2
+
+    def energy_per_op_pj(self, tech: Technology, ops_fraction: float = 1.0) -> float:
+        """Dynamic energy of one operation in pJ.
+
+        ``ops_fraction`` scales for units only partially active per
+        operation (e.g. a shared divider used every K cycles).
+        """
+        switched = self.total * tech.activity * ops_fraction
+        return switched * tech.gate_energy_fj / 1000.0

@@ -1,0 +1,64 @@
+"""Fixed-point multiply-accumulate unit (paper Fig. 2).
+
+The MAC is the basic block of CapsNet accelerators (CapsAcc, DATE
+2019): an N×N multiplier feeding an accumulator sized 2N plus guard
+bits.  Area and energy are dominated by the multiplier's O(N²)
+structure, which reproduces the quadratic wordlength dependence the
+paper measures with Synopsys synthesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.arith import ArrayMultiplier, Register, RippleCarryAdder
+from repro.hw.gates import GateCounts
+from repro.hw.technology import Technology
+
+#: Extra accumulator bits to absorb summation growth (log2 of the
+#: longest dot product the unit is expected to accumulate).
+DEFAULT_GUARD_BITS = 4
+
+
+@dataclass(frozen=True)
+class MacUnit:
+    """N-bit fixed-point multiply-accumulate unit.
+
+    Parameters
+    ----------
+    wordlength:
+        Operand width N in bits (both inputs).
+    guard_bits:
+        Accumulator headroom beyond the 2N-bit product.
+    """
+
+    wordlength: int
+    guard_bits: int = DEFAULT_GUARD_BITS
+
+    def __post_init__(self):
+        if self.wordlength < 1:
+            raise ValueError(f"wordlength must be >= 1, got {self.wordlength}")
+        if self.guard_bits < 0:
+            raise ValueError(f"guard_bits must be >= 0, got {self.guard_bits}")
+
+    @property
+    def accumulator_bits(self) -> int:
+        return 2 * self.wordlength + self.guard_bits
+
+    def gate_counts(self) -> GateCounts:
+        multiplier = ArrayMultiplier(self.wordlength, self.wordlength)
+        adder = RippleCarryAdder(self.accumulator_bits)
+        accumulator = Register(self.accumulator_bits)
+        return (
+            multiplier.gate_counts()
+            + adder.gate_counts()
+            + accumulator.gate_counts()
+        )
+
+    def area_um2(self, tech: Technology) -> float:
+        """Cell area in µm² (Fig. 2 right axis)."""
+        return self.gate_counts().area_um2(tech)
+
+    def energy_per_op_pj(self, tech: Technology) -> float:
+        """Energy of one multiply-accumulate in pJ (Fig. 2 left axis)."""
+        return self.gate_counts().energy_per_op_pj(tech)

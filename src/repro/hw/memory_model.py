@@ -1,0 +1,60 @@
+"""Memory access energy (on-chip SRAM buffers and off-chip DRAM).
+
+Quantization's system-level payoff is dominated by memory traffic: a
+DRAM bit transfer costs ~three orders of magnitude more than a MAC at
+small wordlengths, so halving the wordlength nearly halves the energy
+of fetching weights.  This module provides the per-bit access costs the
+:mod:`repro.hw.accelerator` estimator combines with a model's traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.technology import Technology
+
+
+@dataclass(frozen=True)
+class MemoryInterface:
+    """Energy/area model of the accelerator's memory system.
+
+    Parameters
+    ----------
+    tech:
+        Technology constants (provides per-bit energies).
+    sram_bytes:
+        On-chip buffer capacity; weights that fit are read from SRAM
+        once per inference, anything larger streams from DRAM.
+    """
+
+    tech: Technology
+    sram_bytes: int = 8 * 1024 * 1024
+
+    def __post_init__(self):
+        if self.sram_bytes <= 0:
+            raise ValueError(f"sram_bytes must be positive, got {self.sram_bytes}")
+
+    def sram_access_pj(self, bits: float) -> float:
+        """Energy of moving ``bits`` through the on-chip SRAM, in pJ."""
+        if bits < 0:
+            raise ValueError(f"bits must be >= 0, got {bits}")
+        return bits * self.tech.sram_access_fj_per_bit / 1000.0
+
+    def dram_access_pj(self, bits: float) -> float:
+        """Energy of moving ``bits`` over the DRAM interface, in pJ."""
+        if bits < 0:
+            raise ValueError(f"bits must be >= 0, got {bits}")
+        return bits * self.tech.dram_access_pj_per_bit
+
+    def sram_area_um2(self, bits: float) -> float:
+        """Array area of an SRAM buffer holding ``bits``."""
+        return bits * self.tech.sram_bit_area_um2
+
+    def weights_fit_on_chip(self, weight_bits: int) -> bool:
+        """Whether the quantized weights fit in the on-chip buffer.
+
+        This is the deployment criterion that makes the paper's memory
+        budget meaningful: ``model_memory``'s budget would typically be
+        chosen as the accelerator's SRAM capacity.
+        """
+        return weight_bits <= self.sram_bytes * 8

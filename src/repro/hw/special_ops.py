@@ -1,0 +1,199 @@
+"""Squash and softmax hardware modules (paper Fig. 3).
+
+The paper synthesizes dedicated fixed-point squash and softmax units
+(⟨1.QF⟩ operands, QF swept 2..8) and finds both cost far more than a
+MAC at equal wordlength, growing ~quadratically with the fractional
+bits.  The structural models here reproduce that:
+
+* **SquashUnit** — Eq. 2 datapath: ``lanes`` shared multiplier lanes
+  compute the squared norm of a ``caps_dim``-element capsule, an
+  inverse-square-root is refined by Newton-Raphson iterations on a
+  shared multiplier, and the capsule is rescaled.  The per-operation
+  energy counts every multiply/add event; the area counts the physical
+  units (multipliers are shared across the serialized schedule).
+* **SoftmaxUnit** — Eq. 1 datapath over ``num_inputs`` logits:
+  piecewise-linear exponential evaluations, an accumulation pass, a
+  Newton-Raphson reciprocal and a normalization multiply per input.
+
+``DATAPATH_OVERHEAD`` folds control logic, pipeline registers and
+wiring into the gate counts — the single calibration knob (besides the
+technology constants) aligning the model with the paper's Synopsys
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.arith import ArrayMultiplier, Register, RippleCarryAdder
+from repro.hw.gates import GateCounts
+from repro.hw.technology import Technology
+
+#: Multiplicative overhead for control, pipelining and wiring on top of
+#: raw datapath gate counts (typical for GE-level pre-synthesis
+#: estimates).
+DATAPATH_OVERHEAD = 1.8
+
+#: ROM bits for the Newton-Raphson seed / piecewise-linear tables,
+#: expressed as gate equivalents per bit.
+GE_PER_ROM_BIT = 0.25
+
+
+@dataclass(frozen=True)
+class SquashUnit:
+    """Fixed-point squash module for one capsule (paper Fig. 3 left).
+
+    Parameters
+    ----------
+    fractional_bits:
+        QF of the ⟨1.QF⟩ operand format (the paper sweeps 2..8).
+    caps_dim:
+        Capsule vector length D (8 for PrimaryCaps, 16 for DigitCaps).
+    nr_iterations:
+        Newton-Raphson refinement steps of the inverse square root.
+    lanes:
+        Physical multiplier lanes (capsule elements are time-multiplexed
+        over them).
+    integer_bits:
+        Integer bits of the operand format (the paper uses 1).
+    """
+
+    fractional_bits: int
+    caps_dim: int = 8
+    nr_iterations: int = 3
+    lanes: int = 2
+    integer_bits: int = 1
+
+    def __post_init__(self):
+        if self.fractional_bits < 1:
+            raise ValueError(
+                f"fractional_bits must be >= 1, got {self.fractional_bits}"
+            )
+        if self.caps_dim < 1 or self.lanes < 1 or self.nr_iterations < 1:
+            raise ValueError("caps_dim, lanes and nr_iterations must be >= 1")
+
+    @property
+    def wordlength(self) -> int:
+        return self.integer_bits + self.fractional_bits
+
+    # ------------------------------------------------------------------
+    # Structure (area)
+    # ------------------------------------------------------------------
+    def gate_counts(self) -> GateCounts:
+        n = self.wordlength
+        mult = ArrayMultiplier(n, n).gate_counts()
+        accumulator_bits = 2 * n + max(self.caps_dim - 1, 1).bit_length()
+        structure = (
+            mult.scaled(self.lanes)  # shared multiplier lanes
+            + RippleCarryAdder(accumulator_bits).gate_counts()  # norm tree
+            + RippleCarryAdder(n).gate_counts()  # 1 + ||s||^2
+            + mult  # Newton-Raphson engine multiplier
+            + RippleCarryAdder(n).gate_counts().scaled(2)  # NR add/sub
+            + Register(n).gate_counts().scaled(4)  # operand/result regs
+            + GateCounts(combinational=32 * n * GE_PER_ROM_BIT)  # NR seed ROM
+        )
+        return structure.scaled(DATAPATH_OVERHEAD)
+
+    def area_um2(self, tech: Technology) -> float:
+        """Module area in µm² (Fig. 3 left, right axis)."""
+        return self.gate_counts().area_um2(tech)
+
+    # ------------------------------------------------------------------
+    # Activity (energy)
+    # ------------------------------------------------------------------
+    def multiply_events(self) -> int:
+        """Multiplier activations per squash operation."""
+        squares = self.caps_dim  # ||s||² partial products
+        newton = 3 * self.nr_iterations  # y·y, x·y², correction product
+        rescale = self.caps_dim  # s_d × scale
+        return squares + newton + rescale
+
+    def add_events(self) -> int:
+        tree = self.caps_dim - 1
+        bias = 1  # 1 + ||s||²
+        newton = 2 * self.nr_iterations
+        return tree + bias + newton
+
+    def energy_per_op_pj(self, tech: Technology) -> float:
+        """Energy of squashing one capsule in pJ (Fig. 3 left)."""
+        n = self.wordlength
+        mult = ArrayMultiplier(n, n).gate_counts().energy_per_op_pj(tech)
+        add = RippleCarryAdder(2 * n).gate_counts().energy_per_op_pj(tech)
+        raw = self.multiply_events() * mult + self.add_events() * add
+        return raw * DATAPATH_OVERHEAD
+
+
+@dataclass(frozen=True)
+class SoftmaxUnit:
+    """Fixed-point softmax module (paper Fig. 3 right).
+
+    Parameters
+    ----------
+    fractional_bits:
+        QF of the ⟨1.QF⟩ operand format.
+    num_inputs:
+        Number of logits normalized together (10 output capsules in the
+        paper's models).
+    pla_segments:
+        Piecewise-linear segments of the exponential approximation.
+    nr_iterations:
+        Newton-Raphson steps of the reciprocal of the sum.
+    """
+
+    fractional_bits: int
+    num_inputs: int = 10
+    pla_segments: int = 8
+    nr_iterations: int = 2
+    integer_bits: int = 1
+
+    def __post_init__(self):
+        if self.fractional_bits < 1:
+            raise ValueError(
+                f"fractional_bits must be >= 1, got {self.fractional_bits}"
+            )
+        if self.num_inputs < 2:
+            raise ValueError(f"num_inputs must be >= 2, got {self.num_inputs}")
+
+    @property
+    def wordlength(self) -> int:
+        return self.integer_bits + self.fractional_bits
+
+    def gate_counts(self) -> GateCounts:
+        n = self.wordlength
+        mult = ArrayMultiplier(n, n).gate_counts()
+        accumulator_bits = 2 * n + max(self.num_inputs - 1, 1).bit_length()
+        structure = (
+            mult  # PLA slope multiply / normalization (shared)
+            + RippleCarryAdder(n).gate_counts()  # PLA intercept add
+            + RippleCarryAdder(accumulator_bits).gate_counts()  # Σ exp
+            + mult  # Newton-Raphson reciprocal engine
+            + RippleCarryAdder(n).gate_counts().scaled(2)
+            + Register(n).gate_counts().scaled(4)
+            + GateCounts(
+                combinational=self.pla_segments * 2 * n * GE_PER_ROM_BIT
+            )  # slope/intercept tables
+        )
+        return structure.scaled(DATAPATH_OVERHEAD)
+
+    def area_um2(self, tech: Technology) -> float:
+        return self.gate_counts().area_um2(tech)
+
+    def multiply_events(self) -> int:
+        exponentials = self.num_inputs  # PLA slope multiply per logit
+        newton = 2 * self.nr_iterations
+        normalize = self.num_inputs
+        return exponentials + newton + normalize
+
+    def add_events(self) -> int:
+        exponentials = self.num_inputs  # PLA intercept add
+        accumulate = self.num_inputs - 1
+        newton = self.nr_iterations
+        return exponentials + accumulate + newton
+
+    def energy_per_op_pj(self, tech: Technology) -> float:
+        """Energy of one softmax over ``num_inputs`` logits, pJ."""
+        n = self.wordlength
+        mult = ArrayMultiplier(n, n).gate_counts().energy_per_op_pj(tech)
+        add = RippleCarryAdder(2 * n).gate_counts().energy_per_op_pj(tech)
+        raw = self.multiply_events() * mult + self.add_events() * add
+        return raw * DATAPATH_OVERHEAD

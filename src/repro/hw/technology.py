@@ -1,0 +1,93 @@
+"""CMOS technology constants and node scaling.
+
+``UMC65`` is calibrated so that the structural models of
+:mod:`repro.hw.mac` reproduce the paper's Fig. 2 endpoints (a 32-bit
+fixed-point MAC at ≈1.4 pJ/op and ≈10.8·10³ µm² in UMC 65nm): the
+gate-level decomposition fixes the *shape* of the area/energy curves,
+and the two per-gate constants fix the absolute calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Per-gate and per-bitcell constants of a CMOS node.
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. ``"umc65"``.
+    node_nm:
+        Feature size in nanometres.
+    vdd:
+        Nominal supply voltage (volts).
+    gate_area_um2:
+        Area of one NAND2-equivalent gate (GE) including routing
+        overhead, µm².
+    gate_energy_fj:
+        Average dynamic energy of one gate switching event, fJ.
+    activity:
+        Average switching-activity factor of datapath gates per
+        operation (0..1).
+    sram_bit_area_um2:
+        Area of one 6T SRAM bit including array overhead, µm².
+    sram_access_fj_per_bit:
+        Energy of reading or writing one on-chip SRAM bit, fJ.
+    dram_access_pj_per_bit:
+        Energy of one off-chip DRAM bit transfer, pJ (orders of
+        magnitude above SRAM — the reason quantization shrinks system
+        energy even when compute is cheap).
+    """
+
+    name: str
+    node_nm: float
+    vdd: float
+    gate_area_um2: float
+    gate_energy_fj: float
+    activity: float
+    sram_bit_area_um2: float
+    sram_access_fj_per_bit: float
+    dram_access_pj_per_bit: float
+
+    def scaled_to(self, node_nm: float, vdd: float | None = None) -> "Technology":
+        """First-order Dennard scaling to another node.
+
+        Area scales with the square of the feature size; dynamic energy
+        with feature size times the square of the voltage ratio.  This
+        is deliberately coarse — it supports "what would 28nm look
+        like" exploration, not sign-off.
+        """
+        if node_nm <= 0:
+            raise ValueError(f"node must be positive, got {node_nm}")
+        length_ratio = node_nm / self.node_nm
+        new_vdd = vdd if vdd is not None else self.vdd * length_ratio**0.3
+        voltage_ratio = new_vdd / self.vdd
+        energy_ratio = length_ratio * voltage_ratio**2
+        return replace(
+            self,
+            name=f"{self.name}-scaled-{node_nm:g}nm",
+            node_nm=node_nm,
+            vdd=new_vdd,
+            gate_area_um2=self.gate_area_um2 * length_ratio**2,
+            gate_energy_fj=self.gate_energy_fj * energy_ratio,
+            sram_bit_area_um2=self.sram_bit_area_um2 * length_ratio**2,
+            sram_access_fj_per_bit=self.sram_access_fj_per_bit * energy_ratio,
+            dram_access_pj_per_bit=self.dram_access_pj_per_bit,
+        )
+
+
+#: UMC 65nm low-leakage, calibrated to the paper's Fig. 2 MAC endpoints.
+UMC65 = Technology(
+    name="umc65",
+    node_nm=65.0,
+    vdd=1.2,
+    gate_area_um2=1.15,
+    gate_energy_fj=0.30,
+    activity=0.5,
+    sram_bit_area_um2=0.52,
+    sram_access_fj_per_bit=12.0,
+    dram_access_pj_per_bit=20.0,
+)

@@ -1,0 +1,45 @@
+"""Minimal neural-network library on top of :mod:`repro.autograd`.
+
+Provides the module system, layers, losses, optimizers and the training
+loop used to produce the FP32 CapsNet models that the Q-CapsNets
+framework quantizes.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import (
+    BatchNorm2d,
+    Flatten,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+)
+from repro.nn.conv import Conv2d
+from repro.nn.losses import cross_entropy, margin_loss, mse_loss
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.schedule import ConstantLR, ExponentialDecay, LRSchedule
+from repro.nn.trainer import Trainer, TrainingHistory, evaluate_accuracy
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "ReLU",
+    "Sigmoid",
+    "Flatten",
+    "Sequential",
+    "BatchNorm2d",
+    "margin_loss",
+    "cross_entropy",
+    "mse_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRSchedule",
+    "ConstantLR",
+    "ExponentialDecay",
+    "Trainer",
+    "TrainingHistory",
+    "evaluate_accuracy",
+]

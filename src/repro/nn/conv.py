@@ -1,0 +1,73 @@
+"""2-D convolution layer."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.ops_nn import conv2d, conv_output_shape
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+class Conv2d(Module):
+    """Standard 2-D convolution over ``(B, C, H, W)`` tensors.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size, stride, padding:
+        Spatial hyperparameters (int or pair).
+    bias:
+        Whether to add a per-filter bias.
+    rng:
+        Generator for reproducible initialization.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: IntPair,
+        stride: IntPair = 1,
+        padding: IntPair = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        kh, kw = (kernel_size, kernel_size) if isinstance(kernel_size, int) else kernel_size
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels, kh, kw), rng)
+        )
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(x, self.weight, self.bias, self.stride, self.padding)
+
+    def output_shape(self, height: int, width: int) -> Tuple[int, int, int]:
+        """(channels, out_h, out_w) for a given input spatial size."""
+        out_h, out_w = conv_output_shape(
+            height, width, self.kernel_size, self.stride, self.padding
+        )
+        return (self.out_channels, out_h, out_w)
+
+    def macs(self, height: int, width: int) -> int:
+        """Multiply-accumulate count for one sample at the given input size.
+
+        This is the quantity plotted on the y-axis of the paper's Fig. 1
+        (MACs/Memory motivational analysis).
+        """
+        _, out_h, out_w = self.output_shape(height, width)
+        kh, kw = self.kernel_size
+        return out_h * out_w * self.out_channels * self.in_channels * kh * kw

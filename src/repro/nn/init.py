@@ -1,0 +1,56 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so model
+construction is fully reproducible — the benchmark harness relies on
+deterministic training runs to cache and compare quantization results.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 2:  # Linear: (out, in)
+        fan_out, fan_in = shape
+    elif len(shape) >= 3:  # Conv: (out, in, *kernel)
+        receptive = int(np.prod(shape[2:]))
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        fan_in = fan_out = shape[0]
+    return fan_in, fan_out
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He-uniform initialization, suited to ReLU layers."""
+    fan_in, _ = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform initialization, suited to squash/sigmoid layers."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def normal(
+    shape: Tuple[int, ...], rng: np.random.Generator, std: float = 0.01
+) -> np.ndarray:
+    """Zero-mean Gaussian initialization (used for routing weight tensors,
+
+    matching the reference CapsNet implementation's ``stddev=0.01``
+    transformation-matrix init)."""
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

@@ -1,0 +1,128 @@
+"""Dense, activation, normalization and container layers."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.autograd.ops_nn import relu, sigmoid
+from repro.autograd.tensor import Tensor, grad_enabled
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x Wᵀ + b`` with ``W`` of shape ``(out, in)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.swapaxes(-1, -2)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def macs(self) -> int:
+        """MAC count for one sample."""
+        return self.in_features * self.out_features
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return relu(x)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return sigmoid(x)
+
+
+class Flatten(Module):
+    def __init__(self, start_axis: int = 1):
+        super().__init__()
+        self.start_axis = start_axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(self.start_axis)
+
+
+class Sequential(Module):
+    """Run sub-modules in order.  Supports indexing and iteration."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._order: List[str] = []
+        for index, module in enumerate(modules):
+            name = f"layer{index}"
+            setattr(self, name, module)
+            self._order.append(name)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = getattr(self, name)(x)
+        return x
+
+    def __getitem__(self, index: int) -> Module:
+        return getattr(self, self._order[index])
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self):
+        return (getattr(self, name) for name in self._order)
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over the channel axis of ``(B, C, H, W)``.
+
+    DeepCaps uses batch normalization after its first convolution; the
+    running statistics make quantized inference deterministic.
+
+    Note: gradients are not propagated through the batch statistics (the
+    mean/variance are treated as constants of the forward pass).  This
+    "frozen statistics" approximation trains stably for the model sizes in
+    this repository and keeps the autograd graph small.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(init.ones((num_features,)))
+        self.beta = Parameter(init.zeros((num_features,)))
+        self.running_mean = np.zeros(num_features, dtype=np.float32)
+        self.running_var = np.ones(num_features, dtype=np.float32)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training and grad_enabled():
+            mean = x.data.mean(axis=(0, 2, 3))
+            var = x.data.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            ).astype(np.float32)
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            ).astype(np.float32)
+        else:
+            mean = self.running_mean
+            var = self.running_var
+
+        shape = (1, self.num_features, 1, 1)
+        mean_t = Tensor(mean.reshape(shape))
+        std_t = Tensor(np.sqrt(var + self.eps).reshape(shape))
+        normalized = (x - mean_t) / std_t
+        return normalized * self.gamma.reshape(shape) + self.beta.reshape(shape)

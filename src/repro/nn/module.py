@@ -1,0 +1,159 @@
+"""Module/Parameter system: composable layers with parameter registration.
+
+Mirrors the small subset of ``torch.nn.Module`` the paper's code needs:
+attribute-based registration of parameters and sub-modules, recursive
+parameter iteration, train/eval mode, and ``state_dict`` save/load (as
+plain ``.npz`` archives, so trained models can be cached on disk by the
+benchmark harness).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is always a leaf with ``requires_grad=True``."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+        # Parameters must stay differentiable even if constructed inside a
+        # ``no_grad`` block (Tensor.__init__ honours the global switch).
+        self.requires_grad = True
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; those are auto-registered for :meth:`parameters`,
+    :meth:`named_parameters` and ``state_dict`` traversal.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "_buffers", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        elif isinstance(value, np.ndarray) and not name.startswith("_"):
+            # Plain arrays (e.g. batch-norm running statistics) are
+            # registered as buffers so they round-trip through state_dict.
+            self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Parameter traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [param for _, param in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters (weights + biases)."""
+        return sum(param.size for param in self.parameters())
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    # ------------------------------------------------------------------
+    # Train / eval mode
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name in self._buffers:
+            # Read through the attribute so re-assignments are reflected.
+            yield (f"{prefix}{name}", getattr(self, name))
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{name}.")
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every named parameter and buffer as a plain ndarray."""
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        state.update(
+            {f"buffer:{name}": value.copy() for name, value in self.named_buffers()}
+        )
+        return state
+
+    def _assign_buffer(self, dotted_name: str, value: np.ndarray) -> None:
+        module: Module = self
+        parts = dotted_name.split(".")
+        for part in parts[:-1]:
+            module = module._modules[part]
+        setattr(module, parts[-1], value)
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        params = {k: v for k, v in state.items() if not k.startswith("buffer:")}
+        buffers = {
+            k[len("buffer:") :]: v for k, v in state.items() if k.startswith("buffer:")
+        }
+        own = dict(self.named_parameters())
+        missing = set(own) - set(params)
+        unexpected = set(params) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(params[name])
+            if value.shape != param.shape:
+                raise ValueError(
+                    f"shape mismatch for '{name}': "
+                    f"expected {param.shape}, got {value.shape}"
+                )
+            param.data = value.astype(param.data.dtype)
+        own_buffers = dict(self.named_buffers())
+        for name, value in buffers.items():
+            if name not in own_buffers:
+                raise KeyError(f"unexpected buffer '{name}' in state dict")
+            self._assign_buffer(name, np.asarray(value))
+
+    def save(self, path) -> None:
+        """Persist parameters to an ``.npz`` archive."""
+        np.savez(path, **self.state_dict())
+
+    def load(self, path) -> None:
+        """Load parameters previously stored with :meth:`save`."""
+        with np.load(path) as archive:
+            self.load_state_dict({name: archive[name] for name in archive.files})
+
+    # ------------------------------------------------------------------
+    # Forward dispatch
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

@@ -1,0 +1,104 @@
+"""Gradient-descent optimizers (SGD with momentum, Adam).
+
+The paper trains with an exponentially decaying learning rate
+(Sec. IV-B: initial LR 0.001, 2000 decay steps, 0.96 decay rate); the
+schedule lives in :mod:`repro.nn.schedule` and is consulted every step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.nn.schedule import ConstantLR, LRSchedule
+
+
+class Optimizer:
+    """Base class holding the parameter list and the LR schedule."""
+
+    def __init__(self, parameters: List[Parameter], schedule: LRSchedule):
+        if not parameters:
+            raise ValueError("optimizer received no parameters")
+        self.parameters = list(parameters)
+        self.schedule = schedule
+        self.step_count = 0
+
+    @property
+    def learning_rate(self) -> float:
+        return self.schedule(self.step_count)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(
+        self,
+        parameters: List[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        schedule: Optional[LRSchedule] = None,
+    ):
+        super().__init__(parameters, schedule or ConstantLR(lr))
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        lr = self.learning_rate
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += param.grad
+                update = velocity
+            else:
+                update = param.grad
+            param.data = param.data - lr * update
+        self.step_count += 1
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) — the optimizer used by both reference
+
+    CapsNet implementations (Sabour et al. and DeepCaps)."""
+
+    def __init__(
+        self,
+        parameters: List[Parameter],
+        lr: float = 0.001,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        schedule: Optional[LRSchedule] = None,
+    ):
+        super().__init__(parameters, schedule or ConstantLR(lr))
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        lr = self.learning_rate
+        self.step_count += 1
+        t = self.step_count
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,52 @@
+"""Learning-rate schedules.
+
+The paper (Sec. IV-B) trains ShallowCaps with "an exponential decay
+learning policy, with an initial learning rate of 0.001, 2000 decay steps
+and 0.96 decay rate" — exactly :class:`ExponentialDecay` below.
+"""
+
+from __future__ import annotations
+
+
+class LRSchedule:
+    """Maps a global step index to a learning rate."""
+
+    def __call__(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(LRSchedule):
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def __call__(self, step: int) -> float:
+        return self.lr
+
+    def __repr__(self) -> str:
+        return f"ConstantLR({self.lr})"
+
+
+class ExponentialDecay(LRSchedule):
+    """``lr = initial · rate^(step / decay_steps)`` (staircase=False)."""
+
+    def __init__(self, initial_lr: float = 0.001, decay_steps: int = 2000, decay_rate: float = 0.96):
+        if initial_lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {initial_lr}")
+        if decay_steps <= 0:
+            raise ValueError(f"decay_steps must be positive, got {decay_steps}")
+        if not 0 < decay_rate <= 1:
+            raise ValueError(f"decay_rate must be in (0, 1], got {decay_rate}")
+        self.initial_lr = initial_lr
+        self.decay_steps = decay_steps
+        self.decay_rate = decay_rate
+
+    def __call__(self, step: int) -> float:
+        return self.initial_lr * self.decay_rate ** (step / self.decay_steps)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExponentialDecay(initial_lr={self.initial_lr}, "
+            f"decay_steps={self.decay_steps}, decay_rate={self.decay_rate})"
+        )

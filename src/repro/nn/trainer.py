@@ -1,0 +1,194 @@
+"""Training loop and evaluation helpers.
+
+The :class:`Trainer` produces the FP32 ("full-precision") models that the
+Q-CapsNets framework starts from.  :func:`evaluate_accuracy` is the
+``test(...)`` primitive referenced throughout the paper's Algorithms 1-3;
+it accepts an optional quantization context so the same code path
+evaluates both FP32 and quantized models.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.autograd.ops_nn import vector_norm
+from repro.autograd.tensor import Tensor, no_grad
+from repro.nn.losses import margin_loss
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+
+
+def capsule_predictions(class_capsules: Tensor) -> np.ndarray:
+    """Predicted labels from output capsules: argmax of capsule length."""
+    lengths = vector_norm(class_capsules, axis=-1)
+    return lengths.data.argmax(axis=-1)
+
+
+def logit_predictions(logits: Tensor) -> np.ndarray:
+    """Predicted labels from raw logits (CNN baselines)."""
+    return logits.data.argmax(axis=-1)
+
+
+def default_predictions(outputs: Tensor) -> np.ndarray:
+    """Rank-aware prediction: capsules ``(B, J, D)`` by length, logits
+    ``(B, J)`` by argmax.  Lets model-agnostic tooling (the framework's
+    Evaluator, the PTQ baselines) handle CapsNets and CNNs alike."""
+    if outputs.ndim == 3:
+        return capsule_predictions(outputs)
+    if outputs.ndim == 2:
+        return logit_predictions(outputs)
+    raise ValueError(
+        f"cannot derive predictions from output of shape {outputs.shape}"
+    )
+
+
+def _forward(model: Module, batch: Tensor, q=None) -> Tensor:
+    """Call the model, passing the quantization context when supported."""
+    if q is None:
+        return model(batch)
+    return model(batch, q=q)
+
+
+def evaluate_accuracy(
+    model: Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int = 128,
+    q=None,
+    predict_fn: Callable[[Tensor], np.ndarray] = capsule_predictions,
+) -> float:
+    """Top-1 accuracy (in percent, matching the paper's reporting).
+
+    Runs under ``no_grad`` in eval mode; ``q`` is an optional
+    quantization context applied inside the model's forward pass.
+    """
+    was_training = model.training
+    model.eval()
+    correct = 0
+    total = labels.shape[0]
+    with no_grad():
+        for start in range(0, total, batch_size):
+            stop = min(start + batch_size, total)
+            batch = Tensor(images[start:stop])
+            outputs = _forward(model, batch, q=q)
+            predictions = predict_fn(outputs)
+            correct += int((predictions == labels[start:stop]).sum())
+    if was_training:
+        model.train()
+    return 100.0 * correct / total
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of a training run."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    test_accuracy: List[float] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def final_test_accuracy(self) -> float:
+        return self.test_accuracy[-1] if self.test_accuracy else float("nan")
+
+
+class Trainer:
+    """Mini-batch training driver.
+
+    Parameters
+    ----------
+    model:
+        Module whose forward returns either class capsules ``(B, J, D)``
+        (default) or logits (set ``predict_fn=logit_predictions`` and a
+        suitable ``loss_fn``).
+    optimizer:
+        Any :class:`repro.nn.optim.Optimizer`.
+    loss_fn:
+        Callable ``(outputs, labels) -> Tensor`` (defaults to the capsule
+        margin loss).
+    augment_fn:
+        Optional per-batch augmentation ``(images, rng) -> images``
+        applied to training batches only, as in the paper's Sec. IV-A.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        loss_fn: Callable = margin_loss,
+        predict_fn: Callable[[Tensor], np.ndarray] = capsule_predictions,
+        augment_fn: Optional[Callable] = None,
+        seed: int = 0,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_fn = loss_fn
+        self.predict_fn = predict_fn
+        self.augment_fn = augment_fn
+        self.rng = np.random.default_rng(seed)
+
+    def train_epoch(
+        self, images: np.ndarray, labels: np.ndarray, batch_size: int = 64
+    ) -> tuple:
+        """One pass over the training set; returns (mean loss, accuracy%)."""
+        self.model.train()
+        order = self.rng.permutation(labels.shape[0])
+        losses = []
+        correct = 0
+        for start in range(0, len(order), batch_size):
+            index = order[start : start + batch_size]
+            batch_images = images[index]
+            if self.augment_fn is not None:
+                batch_images = self.augment_fn(batch_images, self.rng)
+            batch = Tensor(batch_images)
+            outputs = self.model(batch)
+            loss = self.loss_fn(outputs, labels[index])
+            self.optimizer.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+            losses.append(loss.item())
+            correct += int((self.predict_fn(outputs) == labels[index]).sum())
+        return float(np.mean(losses)), 100.0 * correct / labels.shape[0]
+
+    def fit(
+        self,
+        train_images: np.ndarray,
+        train_labels: np.ndarray,
+        test_images: Optional[np.ndarray] = None,
+        test_labels: Optional[np.ndarray] = None,
+        epochs: int = 10,
+        batch_size: int = 64,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` passes; evaluates on the test split if given."""
+        history = TrainingHistory()
+        for epoch in range(epochs):
+            started = time.perf_counter()
+            loss, accuracy = self.train_epoch(train_images, train_labels, batch_size)
+            history.train_loss.append(loss)
+            history.train_accuracy.append(accuracy)
+            history.epoch_seconds.append(time.perf_counter() - started)
+            if test_images is not None and test_labels is not None:
+                test_accuracy = evaluate_accuracy(
+                    self.model,
+                    test_images,
+                    test_labels,
+                    batch_size=batch_size,
+                    predict_fn=self.predict_fn,
+                )
+                history.test_accuracy.append(test_accuracy)
+            if verbose:
+                test_str = (
+                    f", test acc {history.test_accuracy[-1]:.2f}%"
+                    if history.test_accuracy
+                    else ""
+                )
+                print(
+                    f"epoch {epoch + 1}/{epochs}: loss {loss:.4f}, "
+                    f"train acc {accuracy:.2f}%{test_str}"
+                )
+        return history

@@ -1,0 +1,75 @@
+"""Fixed-point quantization stack.
+
+Implements Sec. II-B of the paper (fixed-point formats and rounding
+schemes) plus the machinery that applies them to models:
+
+* :class:`~repro.quant.fixed_point.FixedPointFormat` — two's-complement
+  ⟨QI.QF⟩ format descriptor.
+* Rounding schemes (:mod:`repro.quant.rounding`): truncation ``TRN``,
+  round-to-nearest ``RTN`` (half-up, Eq. 3), round-to-nearest-even
+  ``RTNE`` and stochastic rounding ``SR`` (Eq. 4).
+* :class:`~repro.quant.config.QuantizationConfig` — per-layer wordlength
+  assignment (Qw / Qa / QDR) matching Figs. 11-12.
+* :class:`~repro.quant.qcontext.FixedPointQuant` — the hook object the
+  CapsNet models thread through their forward pass (Fig. 9's colored
+  quantization points).
+* Memory accounting (:mod:`repro.quant.memory`) for the W-mem / A-mem
+  reduction columns of Table I.
+"""
+
+from repro.quant.fixed_point import FixedPointFormat
+from repro.quant.rounding import (
+    ROUNDING_SCHEMES,
+    RoundToNearest,
+    RoundToNearestEven,
+    RoundingScheme,
+    StochasticRounding,
+    Truncation,
+    get_rounding_scheme,
+)
+from repro.quant.quantize import dequantize_from_int, quantize, quantize_to_int
+from repro.quant.config import LayerQuantSpec, QuantizationConfig
+from repro.quant.qcontext import (
+    NULL_CONTEXT,
+    CalibrationContext,
+    FixedPointQuant,
+    QuantContext,
+    RecordingContext,
+    power_of_two_scale,
+)
+from repro.quant.calibrate import calibrate_scales
+from repro.quant.qmodel import QuantizedCapsNet
+from repro.quant.memory import (
+    MemoryReport,
+    activation_memory_bits,
+    memory_reduction,
+    weight_memory_bits,
+)
+
+__all__ = [
+    "FixedPointFormat",
+    "RoundingScheme",
+    "Truncation",
+    "RoundToNearest",
+    "RoundToNearestEven",
+    "StochasticRounding",
+    "ROUNDING_SCHEMES",
+    "get_rounding_scheme",
+    "quantize",
+    "quantize_to_int",
+    "dequantize_from_int",
+    "LayerQuantSpec",
+    "QuantizationConfig",
+    "QuantContext",
+    "NULL_CONTEXT",
+    "FixedPointQuant",
+    "RecordingContext",
+    "CalibrationContext",
+    "calibrate_scales",
+    "power_of_two_scale",
+    "QuantizedCapsNet",
+    "MemoryReport",
+    "weight_memory_bits",
+    "activation_memory_bits",
+    "memory_reduction",
+]

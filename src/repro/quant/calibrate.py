@@ -1,0 +1,56 @@
+"""Range calibration for fixed-point pre-scaling.
+
+The paper pins the integer part of every format to a single sign bit
+(range ``[-1, 1)``).  Arrays whose FP32 dynamic range exceeds that —
+ReLU feature maps, routing votes — are pre-scaled by a per-array
+power of two (a shared exponent, cf. Ristretto's dynamic fixed point
+[5], which the paper cites).  The scale factors are *calibrated once*
+from the trained FP32 model by recording max-|value| statistics over a
+few batches; they are then frozen for every quantized evaluation, as a
+deployed accelerator would freeze them at compile time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.nn.module import Module
+from repro.quant.qcontext import CalibrationContext
+
+
+def calibrate_scales(
+    model: Module,
+    images: np.ndarray,
+    batch_size: int = 128,
+    max_samples: int = 256,
+) -> Dict[str, float]:
+    """Measure per-array power-of-two pre-scaling factors.
+
+    Parameters
+    ----------
+    model:
+        Trained model whose forward accepts ``q=``.
+    images:
+        Calibration inputs; only ranges are extracted, no labels needed.
+    max_samples:
+        Cap on calibration samples (ranges converge quickly).
+
+    Returns
+    -------
+    Mapping from array keys (``a:<layer>``, ``r:<layer>:<array>``,
+    ``w:<layer>:<name>``) to power-of-two scales ≥ 1.
+    """
+    context = CalibrationContext()
+    samples = images[:max_samples]
+    was_training = model.training
+    model.eval()
+    with no_grad():
+        for start in range(0, len(samples), batch_size):
+            batch = Tensor(samples[start : start + batch_size])
+            model(batch, q=context)
+    if was_training:
+        model.train()
+    return context.scales()

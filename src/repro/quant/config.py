@@ -1,0 +1,139 @@
+"""Per-layer quantization configuration (the search state of Algorithm 1).
+
+A :class:`QuantizationConfig` assigns each named model layer a
+:class:`LayerQuantSpec` holding three fractional-bit wordlengths:
+
+* ``qw`` — weights (and biases), the green arrays of Fig. 9;
+* ``qa`` — activations, the blue arrays (layer outputs / routing votes);
+* ``qdr`` — dynamic-routing arrays, the red arrays (logits ``b``,
+  coupling coefficients ``c``, pre-activations ``s``, activations ``v``
+  and agreements ``a``).  When ``qdr`` is ``None`` the routing arrays
+  fall back to ``qa`` — this is the state before the paper's Step 4A
+  specializes them.
+
+``None`` for any field means "not quantized" (FP32), which is how the
+framework leaves the first layer's activations untouched (Algorithm 2
+starts from ``StartL = 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+@dataclass
+class LayerQuantSpec:
+    """Wordlengths (fractional bits) for one layer; ``None`` = FP32."""
+
+    qw: Optional[int] = None
+    qa: Optional[int] = None
+    qdr: Optional[int] = None
+
+    def clone(self) -> "LayerQuantSpec":
+        return LayerQuantSpec(self.qw, self.qa, self.qdr)
+
+    def effective_qdr(self) -> Optional[int]:
+        """Routing-array bits: ``qdr`` if set, else the layer's ``qa``."""
+        return self.qdr if self.qdr is not None else self.qa
+
+
+@dataclass
+class QuantizationConfig:
+    """Ordered per-layer quantization state.
+
+    Parameters
+    ----------
+    layer_names:
+        Model layer names in topological order (e.g. ``["L1","L2","L3"]``
+        for ShallowCaps, ``["L1","B2","B3","B4","B5","L6"]`` for
+        DeepCaps) — the x-axes of Figs. 11-12.
+    integer_bits:
+        ``QI`` shared by every format (the paper pins this to 1).
+    """
+
+    layer_names: List[str]
+    integer_bits: int = 1
+    specs: Dict[str, LayerQuantSpec] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if len(set(self.layer_names)) != len(self.layer_names):
+            raise ValueError(f"duplicate layer names: {self.layer_names}")
+        for name in self.layer_names:
+            self.specs.setdefault(name, LayerQuantSpec())
+        unknown = set(self.specs) - set(self.layer_names)
+        if unknown:
+            raise ValueError(f"specs for unknown layers: {sorted(unknown)}")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(
+        cls,
+        layer_names: Iterable[str],
+        qw: Optional[int] = None,
+        qa: Optional[int] = None,
+        qdr: Optional[int] = None,
+        integer_bits: int = 1,
+    ) -> "QuantizationConfig":
+        """Config with identical bits on every layer (paper Step 1)."""
+        names = list(layer_names)
+        config = cls(names, integer_bits=integer_bits)
+        for name in names:
+            config.specs[name] = LayerQuantSpec(qw, qa, qdr)
+        return config
+
+    def clone(self) -> "QuantizationConfig":
+        copy = QuantizationConfig(list(self.layer_names), self.integer_bits)
+        copy.specs = {name: spec.clone() for name, spec in self.specs.items()}
+        return copy
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __getitem__(self, layer: str) -> LayerQuantSpec:
+        if layer not in self.specs:
+            raise KeyError(
+                f"unknown layer '{layer}'; known: {self.layer_names}"
+            )
+        return self.specs[layer]
+
+    def qw_vector(self) -> List[Optional[int]]:
+        return [self.specs[name].qw for name in self.layer_names]
+
+    def qa_vector(self) -> List[Optional[int]]:
+        return [self.specs[name].qa for name in self.layer_names]
+
+    def qdr_vector(self) -> List[Optional[int]]:
+        return [self.specs[name].effective_qdr() for name in self.layer_names]
+
+    # ------------------------------------------------------------------
+    # Mutation used by the search algorithms
+    # ------------------------------------------------------------------
+    def set_qw(self, layer: str, bits: Optional[int]) -> None:
+        self[layer].qw = bits
+
+    def set_qa(self, layer: str, bits: Optional[int]) -> None:
+        self[layer].qa = bits
+
+    def set_qdr(self, layer: str, bits: Optional[int]) -> None:
+        self[layer].qdr = bits
+
+    def max_activation_bits(self) -> int:
+        """Largest ``qa`` over quantized layers (selection criterion A3)."""
+        values = [spec.qa for spec in self.specs.values() if spec.qa is not None]
+        return max(values) if values else 32
+
+    def describe(self) -> str:
+        """Human-readable per-layer table (used in logs and examples)."""
+        rows = ["layer  Qw   Qa   QDR"]
+        for name in self.layer_names:
+            spec = self.specs[name]
+            rows.append(
+                f"{name:<6} "
+                f"{'-' if spec.qw is None else spec.qw:<4} "
+                f"{'-' if spec.qa is None else spec.qa:<4} "
+                f"{'-' if spec.effective_qdr() is None else spec.effective_qdr()}"
+            )
+        return "\n".join(rows)

@@ -1,0 +1,118 @@
+"""Two's-complement fixed-point format descriptor ⟨QI.QF⟩ (paper Sec. II-B).
+
+A fixed-point number has ``QI`` integer bits (including the sign bit) and
+``QF`` fractional bits.  The wordlength is ``N = QI + QF``, the precision
+(quantization step) is ``eps = 2^-QF`` and the representable range in
+two's complement is ``[-2^(QI-1), 2^(QI-1) - 2^-QF]``.
+
+The Q-CapsNets framework follows the paper's convention of pinning
+``QI = 1`` (sign bit only) for all searched formats, because trained
+CapsNet weights and squashed activations live in ``[-1, 1)``; the
+framework's searched "bits" are therefore fractional bits, exactly as
+plotted in Figs. 11-12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Immutable ⟨QI.QF⟩ format descriptor.
+
+    Attributes
+    ----------
+    integer_bits:
+        ``QI`` — number of integer bits, **including** the sign bit.
+        Must be at least 1.
+    fractional_bits:
+        ``QF`` — number of fractional bits.  May be 0 (integer-only).
+    """
+
+    integer_bits: int
+    fractional_bits: int
+
+    def __post_init__(self):
+        if self.integer_bits < 1:
+            raise ValueError(
+                f"integer_bits must be >= 1 (sign bit), got {self.integer_bits}"
+            )
+        if self.fractional_bits < 0:
+            raise ValueError(
+                f"fractional_bits must be >= 0, got {self.fractional_bits}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities (paper Sec. II-B)
+    # ------------------------------------------------------------------
+    @property
+    def wordlength(self) -> int:
+        """Total number of bits ``N = QI + QF``."""
+        return self.integer_bits + self.fractional_bits
+
+    @property
+    def eps(self) -> float:
+        """Precision ``2^-QF`` — the quantization step."""
+        return 2.0 ** (-self.fractional_bits)
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable value ``-2^(QI-1)``."""
+        return -(2.0 ** (self.integer_bits - 1))
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value ``2^(QI-1) - 2^-QF``."""
+        return 2.0 ** (self.integer_bits - 1) - self.eps
+
+    @property
+    def num_levels(self) -> int:
+        """Number of representable values, ``2^N``."""
+        return 2**self.wordlength
+
+    @property
+    def int_min(self) -> int:
+        """Smallest raw integer code, ``-2^(N-1)``."""
+        return -(2 ** (self.wordlength - 1))
+
+    @property
+    def int_max(self) -> int:
+        """Largest raw integer code, ``2^(N-1) - 1``."""
+        return 2 ** (self.wordlength - 1) - 1
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def clip(self, values: np.ndarray) -> np.ndarray:
+        """Saturate ``values`` into the representable range."""
+        return np.clip(values, self.min_value, self.max_value)
+
+    def representable(self, values: np.ndarray, atol: float = 1e-9) -> np.ndarray:
+        """Boolean mask of values exactly representable in this format."""
+        values = np.asarray(values, dtype=np.float64)
+        scaled = values * 2.0**self.fractional_bits
+        on_grid = np.abs(scaled - np.round(scaled)) <= atol
+        in_range = (values >= self.min_value - atol) & (
+            values <= self.max_value + atol
+        )
+        return on_grid & in_range
+
+    def grid(self) -> np.ndarray:
+        """All representable values in ascending order (small formats only)."""
+        if self.wordlength > 16:
+            raise ValueError(
+                f"refusing to materialize 2^{self.wordlength} grid points"
+            )
+        codes = np.arange(self.int_min, self.int_max + 1, dtype=np.int64)
+        return codes.astype(np.float64) * self.eps
+
+    def __str__(self) -> str:
+        return f"<{self.integer_bits}.{self.fractional_bits}>"
+
+    @classmethod
+    def from_wordlength(cls, wordlength: int, integer_bits: int = 1) -> "FixedPointFormat":
+        """Build a format from a total wordlength and integer-bit count."""
+        return cls(integer_bits, wordlength - integer_bits)

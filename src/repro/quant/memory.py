@@ -1,0 +1,101 @@
+"""Memory-footprint accounting (the W-mem / A-mem columns of Table I).
+
+Conventions (DESIGN.md §7): a value quantized to ``q`` fractional bits
+with ``NI`` integer bits occupies ``NI + q`` bits; unquantized values
+occupy 32 bits (IEEE float32, as in the paper's FP32 baseline).  Weight
+memory sums over parameters, activation memory sums the per-layer
+activation element counts for one sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.quant.config import QuantizationConfig
+
+FP32_BITS = 32
+
+
+def _bits_for(fractional_bits: Optional[int], integer_bits: int) -> int:
+    if fractional_bits is None:
+        return FP32_BITS
+    return integer_bits + fractional_bits
+
+
+def weight_memory_bits(
+    param_counts: Dict[str, int], config: Optional[QuantizationConfig] = None
+) -> int:
+    """Total weight-storage bits under ``config`` (``None`` = FP32)."""
+    total = 0
+    for layer, count in param_counts.items():
+        if config is None:
+            total += count * FP32_BITS
+        else:
+            total += count * _bits_for(config[layer].qw, config.integer_bits)
+    return total
+
+
+def activation_memory_bits(
+    act_counts: Dict[str, int], config: Optional[QuantizationConfig] = None
+) -> int:
+    """Total activation-storage bits for one sample under ``config``."""
+    total = 0
+    for layer, count in act_counts.items():
+        if config is None:
+            total += count * FP32_BITS
+        else:
+            total += count * _bits_for(config[layer].qa, config.integer_bits)
+    return total
+
+
+def memory_reduction(fp32_bits: int, quantized_bits: int) -> float:
+    """Reduction factor ``FP32 / quantized`` (the paper's "x" numbers)."""
+    if quantized_bits <= 0:
+        raise ValueError(f"quantized size must be positive, got {quantized_bits}")
+    return fp32_bits / quantized_bits
+
+
+@dataclass
+class MemoryReport:
+    """Weight/activation footprint of a (possibly quantized) model."""
+
+    param_counts: Dict[str, int]
+    act_counts: Dict[str, int]
+    config: Optional[QuantizationConfig] = None
+    weight_bits: int = field(init=False)
+    act_bits: int = field(init=False)
+    weight_bits_fp32: int = field(init=False)
+    act_bits_fp32: int = field(init=False)
+
+    def __post_init__(self):
+        self.weight_bits = weight_memory_bits(self.param_counts, self.config)
+        self.act_bits = activation_memory_bits(self.act_counts, self.config)
+        self.weight_bits_fp32 = weight_memory_bits(self.param_counts, None)
+        self.act_bits_fp32 = activation_memory_bits(self.act_counts, None)
+
+    @property
+    def weight_reduction(self) -> float:
+        """W-mem reduction vs FP32 (Table I column)."""
+        return memory_reduction(self.weight_bits_fp32, self.weight_bits)
+
+    @property
+    def act_reduction(self) -> float:
+        """A-mem reduction vs FP32 (Table I column)."""
+        return memory_reduction(self.act_bits_fp32, self.act_bits)
+
+    @property
+    def weight_megabits(self) -> float:
+        return self.weight_bits / 1e6
+
+    @property
+    def act_megabits(self) -> float:
+        return self.act_bits / 1e6
+
+    def describe(self) -> str:
+        return (
+            f"weights: {self.weight_megabits:.3f} Mbit "
+            f"({self.weight_reduction:.2f}x vs FP32), "
+            f"activations: {self.act_megabits:.3f} Mbit "
+            f"({self.act_reduction:.2f}x vs FP32)"
+        )

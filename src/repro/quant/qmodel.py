@@ -1,0 +1,250 @@
+"""Deployable quantized-model artifact.
+
+The framework's output (a :class:`~repro.quant.config.QuantizationConfig`
+plus a rounding scheme) describes *how* to quantize; this module
+materializes *the quantized model itself* the way a deployment flow
+would: every parameter stored as raw two's-complement integer codes
+with its per-tensor power-of-two scale, plus the activation/routing
+wordlengths and calibrated scales needed at runtime.
+
+The artifact round-trips through a single ``.npz`` file and can run
+inference directly (it reconstructs the fake-quantized weights exactly
+— bit-identical to the search-time evaluation, as verified in tests).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.nn.module import Module
+from repro.nn.trainer import default_predictions, evaluate_accuracy
+from repro.quant.config import LayerQuantSpec, QuantizationConfig
+from repro.quant.fixed_point import FixedPointFormat
+from repro.quant.qcontext import (
+    FixedPointQuant,
+    QuantContext,
+    power_of_two_scale,
+)
+from repro.quant.quantize import dequantize_from_int, quantize_to_int
+from repro.quant.rounding import (
+    RoundingScheme,
+    StochasticRounding,
+    get_rounding_scheme,
+)
+
+
+class _FrozenWeightContext(QuantContext):
+    """Serves pre-quantized weights; quantizes activations at runtime."""
+
+    def __init__(self, weights: Dict[str, Tensor], runtime: FixedPointQuant):
+        self._weights = weights
+        self._runtime = runtime
+
+    def weight(self, layer: str, name: str, tensor: Tensor) -> Tensor:
+        frozen = self._weights.get(f"{layer}:{name}")
+        return frozen if frozen is not None else tensor
+
+    def act(self, layer: str, tensor: Tensor) -> Tensor:
+        return self._runtime.act(layer, tensor)
+
+    def routing(self, layer: str, array: str, tensor: Tensor) -> Tensor:
+        return self._runtime.routing(layer, array, tensor)
+
+    def reset(self) -> None:
+        self._runtime.reset()
+
+
+class QuantizedCapsNet:
+    """A trained model frozen under a quantization configuration.
+
+    Parameters
+    ----------
+    model:
+        The FP32 model (architecture + float parameters; the float
+        parameters are not modified).
+    config:
+        Per-layer wordlengths from the framework.
+    scheme:
+        Rounding scheme used to freeze the weights and to round
+        activations at runtime.
+    act_scales:
+        Calibrated power-of-two pre-scaling factors for activations and
+        routing arrays (from :func:`repro.quant.calibrate.calibrate_scales`).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        config: QuantizationConfig,
+        scheme: RoundingScheme,
+        act_scales: Optional[Dict[str, float]] = None,
+        seed: int = 0,
+    ):
+        self.model = model
+        self.config = config.clone()
+        self.scheme = scheme
+        self.act_scales = dict(act_scales) if act_scales else {}
+        self.seed = seed
+        #: layer:name -> (int codes, FixedPointFormat, scale)
+        self.weight_codes: Dict[str, tuple] = {}
+        self._freeze_weights()
+
+    # ------------------------------------------------------------------
+    # Freezing
+    # ------------------------------------------------------------------
+    def _iter_hooked_params(self):
+        """Replay a recording pass to find every hooked (layer, name, param)."""
+        from repro.quant.qcontext import RecordingContext
+
+        class _Capture(RecordingContext):
+            def __init__(self):
+                super().__init__(batch_size=1)
+                self.params = []
+
+            def weight(self, layer, name, tensor):
+                self.params.append((layer, name, tensor))
+                return super().weight(layer, name, tensor)
+
+        capture = _Capture()
+        probe_shape = self._probe_shape()
+        probe = Tensor(np.zeros(probe_shape, dtype=np.float32))
+        was_training = self.model.training
+        self.model.eval()
+        with no_grad():
+            self.model(probe, q=capture)
+        if was_training:
+            self.model.train()
+        return capture.params
+
+    def _probe_shape(self):
+        cfg = getattr(self.model, "config", None)
+        if cfg is not None and hasattr(cfg, "input_size"):
+            return (1, cfg.input_channels, cfg.input_size, cfg.input_size)
+        return (1, 1, 28, 28)  # LeNet-style default
+
+    def _freeze_weights(self) -> None:
+        if isinstance(self.scheme, StochasticRounding):
+            self.scheme.reseed(self.seed)
+        for layer, name, param in self._iter_hooked_params():
+            bits = self.config[layer].qw
+            if bits is None:
+                continue
+            fmt = FixedPointFormat(self.config.integer_bits, bits)
+            scale = power_of_two_scale(float(np.abs(param.data).max(initial=0.0)))
+            codes = quantize_to_int(param.data / scale, fmt, self.scheme)
+            self.weight_codes[f"{layer}:{name}"] = (codes, fmt, scale)
+
+    def _frozen_tensors(self) -> Dict[str, Tensor]:
+        frozen = {}
+        for key, (codes, fmt, scale) in self.weight_codes.items():
+            values = dequantize_from_int(codes, fmt) * scale
+            frozen[key] = Tensor(values.astype(np.float32))
+        return frozen
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def context(self) -> QuantContext:
+        """Runtime context: frozen weights + activation quantization."""
+        runtime = FixedPointQuant(
+            self.config, self.scheme, seed=self.seed, scales=self.act_scales
+        )
+        runtime.reset()
+        return _FrozenWeightContext(self._frozen_tensors(), runtime)
+
+    def forward(self, images: np.ndarray) -> Tensor:
+        with no_grad():
+            return self.model(Tensor(images), q=self.context())
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        return default_predictions(self.forward(images))
+
+    def accuracy(self, images: np.ndarray, labels: np.ndarray,
+                 batch_size: int = 128) -> float:
+        return evaluate_accuracy(
+            self.model, images, labels,
+            batch_size=batch_size, q=self.context(),
+            predict_fn=default_predictions,
+        )
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def weight_storage_bits(self) -> int:
+        """Bits needed to store the frozen integer weights."""
+        return sum(
+            codes.size * fmt.wordlength
+            for codes, fmt, _ in self.weight_codes.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the artifact (codes + formats + scales + config)."""
+        meta = {
+            "scheme": self.scheme.name,
+            "seed": self.seed,
+            "integer_bits": self.config.integer_bits,
+            "layer_names": self.config.layer_names,
+            "specs": {
+                name: {
+                    "qw": spec.qw,
+                    "qa": spec.qa,
+                    "qdr": spec.qdr,
+                }
+                for name, spec in self.config.specs.items()
+            },
+            "act_scales": self.act_scales,
+            "weight_meta": {
+                key: {
+                    "integer_bits": fmt.integer_bits,
+                    "fractional_bits": fmt.fractional_bits,
+                    "scale": scale,
+                }
+                for key, (codes, fmt, scale) in self.weight_codes.items()
+            },
+        }
+        arrays = {
+            f"codes:{key}": codes
+            for key, (codes, _, _) in self.weight_codes.items()
+        }
+        np.savez(path, meta=json.dumps(meta), **arrays)
+
+    @classmethod
+    def load(cls, path, model: Module) -> "QuantizedCapsNet":
+        """Restore an artifact saved with :meth:`save` onto ``model``.
+
+        ``model`` must have the same architecture; its float weights are
+        irrelevant for the frozen layers (codes take precedence).
+        """
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            config = QuantizationConfig(
+                list(meta["layer_names"]), integer_bits=meta["integer_bits"]
+            )
+            for name, spec in meta["specs"].items():
+                config.specs[name] = LayerQuantSpec(
+                    spec["qw"], spec["qa"], spec["qdr"]
+                )
+            instance = cls.__new__(cls)
+            instance.model = model
+            instance.config = config
+            instance.scheme = get_rounding_scheme(
+                meta["scheme"], seed=meta["seed"]
+            )
+            instance.act_scales = dict(meta["act_scales"])
+            instance.seed = meta["seed"]
+            instance.weight_codes = {}
+            for key, info in meta["weight_meta"].items():
+                fmt = FixedPointFormat(
+                    info["integer_bits"], info["fractional_bits"]
+                )
+                instance.weight_codes[key] = (
+                    archive[f"codes:{key}"], fmt, info["scale"]
+                )
+        return instance

@@ -1,0 +1,86 @@
+"""Array quantization kernels: float → fixed-point grid → float/int codes.
+
+Two views of the same quantization are provided:
+
+* :func:`quantize` — "fake quantization": values snapped onto the
+  fixed-point grid but kept as floats.  This is how the Q-CapsNets search
+  evaluates candidate wordlengths (identical to the paper's PyTorch
+  implementation).
+* :func:`quantize_to_int` / :func:`dequantize_from_int` — raw integer
+  codes, used by :mod:`repro.hw.fixed_ref` to verify that the fake-
+  quantized arithmetic matches what an actual fixed-point datapath
+  computes bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.quant.fixed_point import FixedPointFormat
+from repro.quant.rounding import RoundingScheme, RoundToNearest
+
+
+def quantize(
+    values: np.ndarray,
+    fmt: FixedPointFormat,
+    scheme: Optional[RoundingScheme] = None,
+) -> np.ndarray:
+    """Snap ``values`` onto the grid of ``fmt`` (returns floats).
+
+    Output values satisfy ``fmt.representable(out).all()``.
+    """
+    scheme = scheme if scheme is not None else RoundToNearest()
+    return scheme.apply(values, fmt)
+
+
+def quantize_to_int(
+    values: np.ndarray,
+    fmt: FixedPointFormat,
+    scheme: Optional[RoundingScheme] = None,
+) -> np.ndarray:
+    """Quantize to raw two's-complement integer codes (int64)."""
+    scheme = scheme if scheme is not None else RoundToNearest()
+    scale = 2.0**fmt.fractional_bits
+    codes = scheme._round_codes(np.asarray(values, dtype=np.float64) * scale)
+    return np.clip(codes, fmt.int_min, fmt.int_max).astype(np.int64)
+
+
+def dequantize_from_int(codes: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Integer codes back to float values (``codes · 2^-QF``)."""
+    codes = np.asarray(codes)
+    if codes.min(initial=0) < fmt.int_min or codes.max(initial=0) > fmt.int_max:
+        raise ValueError(
+            f"codes out of range for format {fmt}: "
+            f"[{codes.min()}, {codes.max()}] vs [{fmt.int_min}, {fmt.int_max}]"
+        )
+    return codes.astype(np.float64) * fmt.eps
+
+
+def quantization_error(
+    values: np.ndarray,
+    fmt: FixedPointFormat,
+    scheme: Optional[RoundingScheme] = None,
+) -> np.ndarray:
+    """Elementwise error ``xq - x`` (the paper's bias definition)."""
+    values = np.asarray(values, dtype=np.float64)
+    return quantize(values, fmt, scheme) - values
+
+
+def sqnr_db(
+    values: np.ndarray,
+    fmt: FixedPointFormat,
+    scheme: Optional[RoundingScheme] = None,
+) -> float:
+    """Signal-to-quantization-noise ratio in dB (cf. Lin et al., ICML'16).
+
+    Provided for the traditional-DNN-quantization baseline comparisons.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    noise = quantization_error(values, fmt, scheme)
+    signal_power = float(np.mean(values**2))
+    noise_power = float(np.mean(noise**2))
+    if noise_power == 0.0:
+        return float("inf")
+    return 10.0 * np.log10(signal_power / noise_power)

@@ -1,0 +1,141 @@
+"""Rounding schemes (paper Sec. II-B).
+
+Each scheme maps real values onto the grid of a
+:class:`~repro.quant.fixed_point.FixedPointFormat`:
+
+* **Truncation (TRN)** — drop the extra fractional digits:
+  ``xq = floor(x / eps) * eps``.  For uniformly distributed inputs this
+  introduces a negative average error (bias) of ``-eps/2``.
+* **Round-to-nearest (RTN)** — half-up rule of the paper's Eq. 3:
+  ``xq = floor(x/eps + 1/2) * eps``.  Bias is ``+eps/2 · P(half-way)``,
+  negligible for continuous inputs.
+* **Round-to-nearest-even (RTNE)** — IEEE-style tie-to-even, listed in
+  the paper's scheme-selection order (Sec. III-B).
+* **Stochastic rounding (SR)** — Eq. 4: round up with probability equal
+  to the fractional residue.  Unbiased (``E[xq] = x``) but requires a
+  hardware random-number generator; the paper ranks it the most complex.
+
+All schemes saturate out-of-range values to the format's min/max, as a
+fixed-point hardware datapath would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+from repro.quant.fixed_point import FixedPointFormat
+
+
+class RoundingScheme:
+    """Base class: subclasses implement :meth:`_round_codes`.
+
+    The public entry point :meth:`apply` scales values to integer codes,
+    delegates the rounding decision, saturates, and scales back.
+    """
+
+    #: Short identifier used in configs, result tables and the registry.
+    name: str = "base"
+    #: Relative hardware-complexity rank used by the paper's selection
+    #: criteria (lower = simpler; TRN < RTN ≈ RTNE < SR).
+    complexity: int = 0
+
+    def _round_codes(self, scaled: np.ndarray) -> np.ndarray:
+        """Map real-valued integer-grid coordinates to integer codes."""
+        raise NotImplementedError
+
+    def apply(self, values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+        """Quantize ``values`` onto the grid of ``fmt``; same shape/dtype."""
+        values = np.asarray(values)
+        scale = 2.0**fmt.fractional_bits
+        codes = self._round_codes(values.astype(np.float64) * scale)
+        codes = np.clip(codes, fmt.int_min, fmt.int_max)
+        return (codes / scale).astype(values.dtype)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Truncation(RoundingScheme):
+    """TRN — floor toward negative infinity (delete the LSBs)."""
+
+    name = "TRN"
+    complexity = 0
+
+    def _round_codes(self, scaled: np.ndarray) -> np.ndarray:
+        return np.floor(scaled)
+
+
+class RoundToNearest(RoundingScheme):
+    """RTN — round half-up (paper Eq. 3: ``xq = floor(x + eps/2)``)."""
+
+    name = "RTN"
+    complexity = 1
+
+    def _round_codes(self, scaled: np.ndarray) -> np.ndarray:
+        return np.floor(scaled + 0.5)
+
+
+class RoundToNearestEven(RoundingScheme):
+    """RTNE — round half to even (banker's rounding)."""
+
+    name = "RTNE"
+    complexity = 2
+
+    def _round_codes(self, scaled: np.ndarray) -> np.ndarray:
+        return np.rint(scaled)
+
+
+class StochasticRounding(RoundingScheme):
+    """SR — round up with probability equal to the fractional residue.
+
+    Parameters
+    ----------
+    rng:
+        Random generator; pass a seeded generator for reproducible
+        experiments.  :meth:`reseed` restores a known stream before each
+        evaluation so that search results are deterministic.
+    """
+
+    name = "SR"
+    complexity = 3
+
+    def __init__(self, rng: Optional[np.random.Generator] = None, seed: int = 0):
+        self._seed = seed
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+
+    def reseed(self, seed: Optional[int] = None) -> None:
+        """Reset the random stream (used before each quantized evaluation)."""
+        self.rng = np.random.default_rng(self._seed if seed is None else seed)
+
+    def _round_codes(self, scaled: np.ndarray) -> np.ndarray:
+        floor = np.floor(scaled)
+        residue = scaled - floor
+        draws = self.rng.random(size=scaled.shape)
+        return floor + (draws < residue)
+
+    def __repr__(self) -> str:
+        return f"StochasticRounding(seed={self._seed})"
+
+
+#: Registry of scheme constructors keyed by paper name.
+ROUNDING_SCHEMES: Dict[str, Type[RoundingScheme]] = {
+    "TRN": Truncation,
+    "RTN": RoundToNearest,
+    "RTNE": RoundToNearestEven,
+    "SR": StochasticRounding,
+}
+
+
+def get_rounding_scheme(name: str, seed: int = 0) -> RoundingScheme:
+    """Instantiate a scheme by name (``TRN``/``RTN``/``RTNE``/``SR``)."""
+    key = name.upper()
+    if key not in ROUNDING_SCHEMES:
+        raise KeyError(
+            f"unknown rounding scheme '{name}'; "
+            f"available: {sorted(ROUNDING_SCHEMES)}"
+        )
+    if key == "SR":
+        return StochasticRounding(seed=seed)
+    return ROUNDING_SCHEMES[key]()

@@ -1,0 +1,37 @@
+"""Shared fixtures.
+
+``trained_tiny`` is session-scoped: one small ShallowCaps trained on
+SynthDigits backs every framework-level test, so the expensive part
+(training) runs once per session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.capsnet import ShallowCaps, presets
+from repro.data import synth_digits
+from repro.nn import Adam, Trainer
+
+
+@pytest.fixture(scope="session")
+def tiny_data():
+    """Small SynthDigits split (14×14) shared across the session."""
+    train, test = synth_digits(train_size=1200, test_size=256, image_size=14, seed=1)
+    return train, test
+
+
+@pytest.fixture(scope="session")
+def trained_tiny(tiny_data):
+    """A tiny ShallowCaps trained to usable accuracy (~80%)."""
+    train, test = tiny_data
+    model = ShallowCaps(presets.shallowcaps_tiny())
+    trainer = Trainer(model, Adam(model.parameters(), lr=0.005), seed=0)
+    trainer.fit(train.images, train.labels, epochs=20, batch_size=32)
+    return model
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

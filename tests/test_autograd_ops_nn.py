@@ -1,0 +1,179 @@
+"""Tests for convolution, pooling, activations, softmax and norms."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    conv2d,
+    gradcheck,
+    log_softmax,
+    relu,
+    sigmoid,
+    softmax,
+    vector_norm,
+)
+from repro.autograd.ops_nn import (
+    avg_pool2d,
+    col2im,
+    conv_output_shape,
+    im2col,
+    max_pool2d,
+)
+
+
+def naive_conv2d(x, w, b, stride=1, padding=0):
+    """Straightforward quadruple-loop reference convolution."""
+    batch, _, height, width = x.shape
+    filters, channels, kh, kw = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (x.shape[2] - kh) // stride + 1
+    out_w = (x.shape[3] - kw) // stride + 1
+    out = np.zeros((batch, filters, out_h, out_w))
+    for n in range(batch):
+        for f in range(filters):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = x[n, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                    out[n, f, i, j] = (patch * w[f]).sum()
+            if b is not None:
+                out[n, f] += b[f]
+    return out
+
+
+class TestConvOutputShape:
+    def test_basic(self):
+        assert conv_output_shape(28, 28, 9) == (20, 20)
+
+    def test_stride_padding(self):
+        assert conv_output_shape(20, 20, 9, 2) == (6, 6)
+        assert conv_output_shape(28, 28, 3, 2, 1) == (14, 14)
+
+    def test_empty_output_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_shape(4, 4, 9)
+
+
+class TestIm2col:
+    def test_adjointness(self, rng):
+        """col2im is the exact adjoint of im2col: <Ax, y> == <x, A'y>."""
+        x = rng.standard_normal((2, 3, 8, 8))
+        y_shape_cols = im2col(x, 3, 2, 1).shape
+        y = rng.standard_normal(y_shape_cols)
+        lhs = (im2col(x, 3, 2, 1) * y).sum()
+        rhs = (x * col2im(y, x.shape, 3, 2, 1)).sum()
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_values_identity_kernel(self, rng):
+        x = rng.standard_normal((1, 1, 4, 4))
+        cols = im2col(x, 1)
+        assert np.allclose(cols.reshape(4, 4), x[0, 0])
+
+
+class TestConv2d:
+    @pytest.mark.parametrize(
+        "stride,padding", [(1, 0), (2, 0), (1, 1), (2, 2)]
+    )
+    def test_matches_naive(self, rng, stride, padding):
+        x = rng.standard_normal((2, 3, 9, 9)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        b = rng.standard_normal(4).astype(np.float32)
+        out = conv2d(Tensor(x), Tensor(w), Tensor(b), stride, padding)
+        ref = naive_conv2d(x, w, b, stride, padding)
+        assert np.allclose(out.data, ref, atol=1e-4)
+
+    def test_no_bias(self, rng):
+        x = rng.standard_normal((1, 2, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+        out = conv2d(Tensor(x), Tensor(w))
+        assert np.allclose(out.data, naive_conv2d(x, w, None), atol=1e-4)
+
+    def test_gradcheck(self, rng):
+        x = rng.standard_normal((2, 2, 6, 6))
+        w = rng.standard_normal((3, 2, 3, 3))
+        b = rng.standard_normal(3)
+        assert gradcheck(
+            lambda a, ww, bb: conv2d(a, ww, bb, stride=2, padding=1), [x, w, b]
+        )
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = max_pool2d(x, 2)
+        assert np.allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_gradcheck(self, rng):
+        x = rng.standard_normal((2, 2, 4, 4))
+        assert gradcheck(lambda a: max_pool2d(a, 2), [x])
+
+    def test_avg_pool_values(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = avg_pool2d(x, 2)
+        assert np.allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_gradcheck(self, rng):
+        x = rng.standard_normal((2, 2, 4, 4))
+        assert gradcheck(lambda a: avg_pool2d(a, 2), [x])
+
+
+class TestActivations:
+    def test_relu_values_and_grad(self):
+        a = Tensor(np.array([-1.0, 0.5]), requires_grad=True)
+        out = relu(a)
+        assert np.allclose(out.data, [0, 0.5])
+        out.sum().backward()
+        assert np.allclose(a.grad, [0, 1])
+
+    def test_sigmoid_range(self, rng):
+        out = sigmoid(Tensor(rng.standard_normal(100)))
+        assert (out.data > 0).all() and (out.data < 1).all()
+
+    def test_sigmoid_gradcheck(self, rng):
+        assert gradcheck(sigmoid, [rng.standard_normal(10)])
+
+
+class TestSoftmax:
+    def test_normalizes(self, rng):
+        out = softmax(Tensor(rng.standard_normal((4, 7))), axis=1)
+        assert np.allclose(out.data.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_stable_with_large_inputs(self):
+        out = softmax(Tensor(np.array([1000.0, 1000.0])), axis=0)
+        assert np.allclose(out.data, [0.5, 0.5])
+
+    def test_gradcheck(self, rng):
+        assert gradcheck(lambda a: softmax(a, axis=-1), [rng.standard_normal((3, 5))])
+
+    def test_log_softmax_consistent(self, rng):
+        x = rng.standard_normal((3, 5))
+        assert np.allclose(
+            log_softmax(Tensor(x), axis=1).data,
+            np.log(softmax(Tensor(x), axis=1).data),
+            atol=1e-6,
+        )
+
+    def test_log_softmax_gradcheck(self, rng):
+        assert gradcheck(
+            lambda a: log_softmax(a, axis=-1), [rng.standard_normal((3, 5))]
+        )
+
+
+class TestVectorNorm:
+    def test_values(self):
+        out = vector_norm(Tensor(np.array([[3.0, 4.0]])), axis=1)
+        assert out.data[0] == pytest.approx(5.0, rel=1e-4)
+
+    def test_keepdims(self):
+        out = vector_norm(Tensor(np.ones((2, 3))), axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+
+    def test_gradcheck(self, rng):
+        x = rng.standard_normal((4, 6)) + 0.5  # keep away from 0
+        assert gradcheck(lambda a: vector_norm(a, axis=1), [x])
+
+    def test_zero_vector_finite_grad(self):
+        a = Tensor(np.zeros((1, 3)), requires_grad=True)
+        vector_norm(a, axis=1).sum().backward()
+        assert np.isfinite(a.grad).all()

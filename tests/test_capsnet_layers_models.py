@@ -1,0 +1,212 @@
+"""Tests for capsule layers and the ShallowCaps / DeepCaps models."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.capsnet import (
+    CapsFC,
+    ConvCaps2d,
+    ConvCaps3d,
+    DeepCaps,
+    PrimaryCaps,
+    ReconstructionDecoder,
+    ShallowCaps,
+    mask_capsules,
+    presets,
+)
+from repro.nn import margin_loss
+from repro.quant import RecordingContext
+
+
+class TestPrimaryCaps:
+    def test_output_shape(self, rng):
+        layer = PrimaryCaps(8, caps_types=4, caps_dim=4, kernel_size=5, stride=2,
+                            rng=np.random.default_rng(0))
+        x = Tensor(rng.standard_normal((2, 8, 12, 12)).astype(np.float32))
+        out = layer(x)
+        # (12-5)//2+1 = 4 -> 4 types * 16 locations = 64 capsules
+        assert out.shape == (2, 64, 4)
+        assert layer.output_caps(12, 12) == (64, 4)
+
+    def test_capsule_lengths_bounded(self, rng):
+        layer = PrimaryCaps(4, 2, 4, kernel_size=3, stride=1,
+                            rng=np.random.default_rng(0))
+        out = layer(Tensor(rng.standard_normal((1, 4, 6, 6)).astype(np.float32)))
+        assert (np.linalg.norm(out.data, axis=-1) < 1.0).all()
+
+
+class TestCapsFC:
+    def test_output_shape(self, rng):
+        layer = CapsFC(12, 4, 5, 6, rng=np.random.default_rng(0))
+        out = layer(Tensor(rng.standard_normal((3, 12, 4)).astype(np.float32)))
+        assert out.shape == (3, 5, 6)
+
+    def test_input_validation(self, rng):
+        layer = CapsFC(12, 4, 5, 6, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            layer(Tensor(rng.standard_normal((3, 9, 4)).astype(np.float32)))
+
+    def test_mac_counters(self):
+        layer = CapsFC(12, 4, 5, 6, routing_iterations=3,
+                       rng=np.random.default_rng(0))
+        assert layer.vote_macs() == 12 * 5 * 6 * 4
+        assert layer.routing_macs() == 3 * 2 * 12 * 5 * 6
+
+
+class TestConvCaps:
+    def test_conv2d_caps_shape(self, rng):
+        layer = ConvCaps2d(4, 4, 6, 8, stride=2, rng=np.random.default_rng(0))
+        x = Tensor(rng.standard_normal((2, 4, 4, 8, 8)).astype(np.float32))
+        out = layer(x)
+        assert out.shape == (2, 6, 8, 4, 4)
+        assert layer.output_shape(8, 8) == (6, 8, 4, 4)
+
+    def test_conv2d_caps_squashes(self, rng):
+        layer = ConvCaps2d(2, 4, 2, 4, rng=np.random.default_rng(0))
+        x = Tensor((rng.standard_normal((1, 2, 4, 5, 5)) * 10).astype(np.float32))
+        out = layer(x)
+        assert (np.linalg.norm(out.data, axis=2) < 1.0).all()
+
+    def test_conv2d_caps_validates_input(self, rng):
+        layer = ConvCaps2d(4, 4, 6, 8, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            layer(Tensor(rng.standard_normal((2, 3, 4, 8, 8)).astype(np.float32)))
+
+    def test_conv3d_caps_shape(self, rng):
+        layer = ConvCaps3d(4, 8, 4, 8, rng=np.random.default_rng(0))
+        x = Tensor(rng.standard_normal((2, 4, 8, 6, 6)).astype(np.float32))
+        out = layer(x)
+        assert out.shape == (2, 4, 8, 6, 6)
+
+    def test_conv3d_routing_arrays_recorded(self, rng):
+        layer = ConvCaps3d(2, 4, 3, 4, name="BX", rng=np.random.default_rng(0))
+        recorder = RecordingContext(batch_size=1)
+        x = Tensor(rng.standard_normal((1, 2, 4, 4, 4)).astype(np.float32))
+        layer(x, q=recorder)
+        assert ("BX", "coupling") in recorder.routing_elements
+
+
+class TestShallowCaps:
+    def test_forward_shape(self, rng):
+        model = ShallowCaps(presets.shallowcaps_tiny())
+        x = Tensor(rng.random((4, 1, 14, 14)).astype(np.float32))
+        out = model(x)
+        assert out.shape == (4, 10, 8)
+
+    def test_param_counts_match_parameters(self):
+        model = ShallowCaps(presets.shallowcaps_tiny())
+        assert sum(model.layer_param_counts().values()) == model.num_parameters()
+
+    def test_layer_names(self):
+        model = ShallowCaps(presets.shallowcaps_tiny())
+        assert model.quant_layers == ["L1", "L2", "L3"]
+        assert model.routing_layers == ["L3"]
+
+    def test_record_sizes_covers_all_layers(self):
+        model = ShallowCaps(presets.shallowcaps_tiny())
+        recorder = model.record_sizes()
+        assert set(recorder.act_elements) == {"L1", "L2", "L3"}
+        assert set(recorder.weight_elements) == {"L1", "L2", "L3"}
+
+    def test_training_step_backprop(self, rng):
+        model = ShallowCaps(presets.shallowcaps_tiny())
+        x = Tensor(rng.random((4, 1, 14, 14)).astype(np.float32))
+        loss = margin_loss(model(x), np.array([0, 1, 2, 3]))
+        loss.backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, name
+            assert np.isfinite(param.grad).all(), name
+
+
+class TestDeepCaps:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return DeepCaps(presets.deepcaps_small(input_size=28))
+
+    def test_forward_shape(self, model, rng):
+        x = Tensor(rng.random((2, 1, 28, 28)).astype(np.float32))
+        assert model(x).shape == (2, 10, 8)
+
+    def test_layer_names(self, model):
+        assert model.quant_layers == ["L1", "B2", "B3", "B4", "B5", "L6"]
+        assert model.routing_layers == ["B5", "L6"]
+
+    def test_param_counts_match_parameters(self, model):
+        # BN gamma/beta are outside the quantization accounting.
+        counted = sum(model.layer_param_counts().values())
+        total = model.num_parameters()
+        bn_params = model.bn1.gamma.size + model.bn1.beta.size
+        assert counted == total - bn_params
+
+    def test_routed_skip_only_in_last_cell(self, model):
+        from repro.capsnet.conv_caps import ConvCaps2d as C2, ConvCaps3d as C3
+
+        assert isinstance(model.cell2.skip, C2)
+        assert isinstance(model.cell5.skip, C3)
+
+    def test_conv1_channels_divisibility_validated(self):
+        from repro.capsnet.deep import DeepCapsConfig
+
+        with pytest.raises(ValueError):
+            DeepCaps(DeepCapsConfig(conv1_channels=10, cell_dims=(4, 8, 8, 8)))
+
+    def test_backprop_through_whole_model(self, model, rng):
+        x = Tensor(rng.random((2, 1, 28, 28)).astype(np.float32))
+        loss = margin_loss(model(x), np.array([0, 1]))
+        loss.backward()
+        grads = [p.grad for _, p in model.named_parameters()]
+        assert all(g is not None for g in grads)
+
+
+class TestDecoder:
+    def test_mask_with_labels(self, rng):
+        caps = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        masked = mask_capsules(Tensor(caps), np.array([1, 2]))
+        assert masked.shape == (2, 12)
+        reshaped = masked.data.reshape(2, 3, 4)
+        assert np.allclose(reshaped[0, 0], 0) and np.allclose(reshaped[0, 2], 0)
+        assert np.allclose(reshaped[0, 1], caps[0, 1])
+
+    def test_mask_without_labels_uses_longest(self):
+        caps = np.zeros((1, 3, 4), dtype=np.float32)
+        caps[0, 2, :] = 1.0
+        masked = mask_capsules(Tensor(caps)).data.reshape(1, 3, 4)
+        assert np.allclose(masked[0, 2], 1.0)
+
+    def test_decoder_output_range(self, rng):
+        decoder = ReconstructionDecoder(3, 4, output_pixels=49,
+                                        hidden1=16, hidden2=16,
+                                        rng=np.random.default_rng(0))
+        masked = Tensor(rng.standard_normal((2, 12)).astype(np.float32))
+        out = decoder(masked)
+        assert out.shape == (2, 49)
+        assert (out.data >= 0).all() and (out.data <= 1).all()
+
+    def test_reconstruction_loss_backprop(self, rng):
+        decoder = ReconstructionDecoder(3, 4, output_pixels=16,
+                                        hidden1=8, hidden2=8,
+                                        rng=np.random.default_rng(0))
+        caps = Tensor(
+            rng.standard_normal((2, 3, 4)).astype(np.float32), requires_grad=True
+        )
+        images = rng.random((2, 1, 4, 4)).astype(np.float32)
+        loss = decoder.reconstruction_loss(caps, images, np.array([0, 1]))
+        loss.backward()
+        assert caps.grad is not None
+
+
+class TestPresets:
+    def test_paper_presets_match_paper_dims(self):
+        cfg = presets.shallowcaps_paper()
+        assert cfg.conv1_channels == 256
+        assert cfg.primary_types == 32 and cfg.primary_dim == 8
+        assert cfg.class_dim == 16
+        deep = presets.deepcaps_paper()
+        assert deep.conv1_channels == 128
+        assert deep.cell_types == (32, 32, 32, 32)
+        assert deep.class_dim == 32
+
+    def test_small_presets_instantiate_quickly(self):
+        ShallowCaps(presets.shallowcaps_small())
+        DeepCaps(presets.deepcaps_small())

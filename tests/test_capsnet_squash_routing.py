@@ -1,0 +1,170 @@
+"""Tests for the squash nonlinearity and the dynamic-routing algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, gradcheck
+from repro.capsnet import dynamic_routing, squash
+from repro.capsnet.routing import routing_array_names
+from repro.quant import (
+    FixedPointQuant,
+    QuantizationConfig,
+    RecordingContext,
+    get_rounding_scheme,
+)
+
+
+class TestSquash:
+    def test_zero_maps_to_zero(self):
+        out = squash(Tensor(np.zeros((2, 4))))
+        assert np.allclose(out.data, 0.0)
+
+    def test_length_below_one(self, rng):
+        s = rng.standard_normal((50, 8)) * 10
+        lengths = np.linalg.norm(squash(Tensor(s)).data, axis=-1)
+        assert (lengths < 1.0).all()
+
+    def test_direction_preserved(self, rng):
+        s = rng.standard_normal((20, 8))
+        out = squash(Tensor(s)).data
+        cos = (s * out).sum(-1) / (
+            np.linalg.norm(s, axis=-1) * np.linalg.norm(out, axis=-1)
+        )
+        assert np.allclose(cos, 1.0, atol=1e-5)
+
+    def test_matches_eq2_formula(self, rng):
+        s = rng.standard_normal((10, 4))
+        norm = np.linalg.norm(s, axis=-1, keepdims=True)
+        expected = (norm**2 / (1 + norm**2)) * s / norm
+        assert np.allclose(squash(Tensor(s)).data, expected, atol=1e-5)
+
+    def test_long_vectors_saturate(self):
+        s = np.zeros((1, 4))
+        s[0, 0] = 100.0
+        length = np.linalg.norm(squash(Tensor(s)).data)
+        assert length == pytest.approx(1.0, abs=1e-3)
+
+    def test_monotone_in_input_length(self):
+        direction = np.array([1.0, 1.0, 0.0, 0.0]) / np.sqrt(2)
+        lengths = [
+            np.linalg.norm(squash(Tensor(direction[None] * scale)).data)
+            for scale in (0.1, 0.5, 1.0, 5.0)
+        ]
+        assert lengths == sorted(lengths)
+
+    def test_axis_argument(self, rng):
+        s = rng.standard_normal((2, 4, 3))
+        out = squash(Tensor(s), axis=1).data
+        assert (np.linalg.norm(out, axis=1) < 1.0).all()
+
+    def test_gradcheck(self, rng):
+        s = rng.standard_normal((3, 4))
+        assert gradcheck(lambda a: squash(a, axis=-1), [s])
+
+    @given(
+        st.lists(
+            st.floats(min_value=-5, max_value=5, allow_nan=False),
+            min_size=2,
+            max_size=16,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_length_in_unit_ball(self, values):
+        s = np.array(values, dtype=np.float64)[None]
+        length = np.linalg.norm(squash(Tensor(s)).data)
+        assert 0.0 <= length < 1.0 + 1e-9
+
+
+class TestDynamicRouting:
+    def test_output_shape(self, rng):
+        votes = Tensor(rng.standard_normal((2, 6, 3, 4)).astype(np.float32))
+        out = dynamic_routing(votes, iterations=3)
+        assert out.shape == (2, 3, 4)
+
+    def test_rejects_bad_rank(self, rng):
+        with pytest.raises(ValueError):
+            dynamic_routing(Tensor(rng.standard_normal((2, 6, 3))))
+
+    def test_rejects_zero_iterations(self, rng):
+        with pytest.raises(ValueError):
+            dynamic_routing(
+                Tensor(rng.standard_normal((1, 2, 3, 4))), iterations=0
+            )
+
+    def test_one_iteration_is_uniform_average(self, rng):
+        """With b=0, coupling is uniform 1/J, so s_j = mean-like sum."""
+        votes_np = rng.standard_normal((1, 5, 3, 4)).astype(np.float32)
+        out = dynamic_routing(Tensor(votes_np), iterations=1)
+        expected_s = votes_np.sum(axis=1) / 3.0  # c = 1/J with J=3
+        expected = squash(Tensor(expected_s), axis=-1).data
+        assert np.allclose(out.data, expected, atol=1e-5)
+
+    def test_agreement_concentrates_coupling(self, rng):
+        """Input capsules that agree should dominate the output capsule.
+
+        Build votes where all input capsules vote the same direction for
+        output 0 but random directions for output 1: after routing,
+        output 0 should be much longer than output 1.
+        """
+        in_caps, dim = 8, 4
+        votes = np.zeros((1, in_caps, 2, dim), dtype=np.float32)
+        votes[0, :, 0, :] = np.array([1.0, 0, 0, 0]) * 2.0  # consensus
+        votes[0, :, 1, :] = rng.standard_normal((in_caps, dim))  # noise
+        out = dynamic_routing(Tensor(votes), iterations=3)
+        lengths = np.linalg.norm(out.data[0], axis=-1)
+        assert lengths[0] > lengths[1]
+
+    def test_more_iterations_sharpen_agreement(self):
+        votes = np.zeros((1, 4, 2, 3), dtype=np.float32)
+        votes[0, :, 0] = [1.0, 0.0, 0.0]
+        votes[0, :, 1] = [[1, 0, 0], [-1, 0, 0], [0, 1, 0], [0, -1, 0]]
+        length = {}
+        for iters in (1, 3):
+            out = dynamic_routing(Tensor(votes.copy()), iterations=iters)
+            length[iters] = np.linalg.norm(out.data[0], axis=-1)
+        # The consensus output grows with iterations relative to the
+        # conflicted one.
+        ratio1 = length[1][0] / max(length[1][1], 1e-9)
+        ratio3 = length[3][0] / max(length[3][1], 1e-9)
+        assert ratio3 >= ratio1
+
+    def test_gradients_flow_to_votes(self, rng):
+        votes = Tensor(
+            rng.standard_normal((1, 4, 3, 2)).astype(np.float32), requires_grad=True
+        )
+        out = dynamic_routing(votes, iterations=2)
+        out.sum().backward()
+        assert votes.grad is not None
+        assert np.isfinite(votes.grad).all()
+
+    def test_gradcheck_small(self, rng):
+        votes = rng.standard_normal((1, 3, 2, 2))
+        assert gradcheck(
+            lambda v: dynamic_routing(v, iterations=2), [votes],
+            atol=1e-3, rtol=1e-2,
+        )
+
+    def test_routing_hooks_called(self, rng):
+        recorder = RecordingContext(batch_size=2)
+        votes = Tensor(rng.standard_normal((2, 5, 3, 4)).astype(np.float32))
+        dynamic_routing(votes, iterations=3, q=recorder, layer="LX")
+        recorded_arrays = {array for (_, array) in recorder.routing_elements}
+        assert recorded_arrays == set(routing_array_names())
+
+    def test_quantized_routing_close_to_float(self, rng):
+        """Moderate routing quantization perturbs the output only mildly.
+
+        Votes are drawn inside the representable range so the test
+        isolates rounding error from saturation.
+        """
+        votes_np = rng.uniform(-0.9, 0.9, (2, 6, 3, 4)).astype(np.float32)
+        config = QuantizationConfig.uniform(["LX"], qw=8, qa=8, qdr=6)
+        context = FixedPointQuant(config, get_rounding_scheme("RTN"))
+        out_q = dynamic_routing(
+            Tensor(votes_np), iterations=3, q=context, layer="LX"
+        )
+        out_f = dynamic_routing(Tensor(votes_np), iterations=3)
+        assert out_q.shape == out_f.shape
+        assert np.abs(out_q.data - out_f.data).max() < 0.1

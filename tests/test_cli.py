@@ -1,0 +1,82 @@
+"""Tests for the ``qcapsnets`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_model, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "--out", "x.npz"])
+        args_dict = vars(args)
+        assert args_dict["model"] == "shallow-small"
+        assert args_dict["dataset"] == "digits"
+        assert args_dict["epochs"] == 6
+
+    def test_quantize_scheme_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["quantize", "--weights", "w.npz", "--scheme", "FOO"]
+            )
+
+
+class TestBuildModel:
+    def test_dataset_shapes_respected(self):
+        model = build_model("deep-small", "cifar")
+        assert model.config.input_channels == 3
+        assert model.config.input_size == 32
+        gray = build_model("shallow-small", "fashion")
+        assert gray.config.input_channels == 1
+
+    def test_tiny_rejects_cifar(self):
+        with pytest.raises(SystemExit):
+            build_model("shallow-tiny", "cifar")
+
+    def test_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_model("nope", "digits")
+
+
+class TestEndToEndCli:
+    """Full pipeline through the CLI with tiny settings (seconds)."""
+
+    def test_train_quantize_evaluate_roundtrip(self, tmp_path, capsys):
+        weights = tmp_path / "weights.npz"
+        artifact = tmp_path / "artifact.npz"
+        base = [
+            "--model", "shallow-tiny", "--dataset", "digits",
+            "--test-size", "128", "--seed", "1",
+        ]
+        assert main([
+            "train", *base, "--train-size", "600", "--epochs", "6",
+            "--batch-size", "32", "--out", str(weights),
+        ]) == 0
+        assert weights.exists()
+
+        assert main([
+            "quantize", *base, "--weights", str(weights),
+            "--tolerance", "0.1", "--budget-divisor", "4",
+            "--out", str(artifact),
+        ]) == 0
+        assert artifact.exists()
+        out = capsys.readouterr().out
+        assert "Q-CapsNets result" in out
+
+        assert main(["evaluate", *base, "--artifact", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "quantized accuracy" in out
+
+    def test_hw_report(self, capsys):
+        assert main([
+            "hw-report", "--model", "shallow-paper",
+            "--qw", "7", "--qa", "5", "--qdr", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "MAC unit sweep" in out
+        assert "energy reduction" in out
+        assert "speedup" in out

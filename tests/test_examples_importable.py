@@ -1,0 +1,31 @@
+"""Examples must at least import cleanly (full runs are exercised
+manually / by the benches; this guards against bit-rot)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+def test_example_imports(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        assert hasattr(module, "main"), f"{path.name} must define main()"
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLE_FILES}
+    assert "quickstart" in names
+    assert len(names) >= 3  # deliverable (b): at least three examples

@@ -1,0 +1,108 @@
+"""Tests for quantization-aware fine-tuning (STE extension)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.framework import StraightThroughQuant, quantization_aware_finetune
+from repro.nn.module import Parameter
+from repro.quant import (
+    FixedPointQuant,
+    QuantizationConfig,
+    calibrate_scales,
+    get_rounding_scheme,
+    quantize,
+    FixedPointFormat,
+)
+
+LAYERS = ["L1", "L2", "L3"]
+
+
+class TestStraightThroughQuant:
+    def _context(self, qw=3, qa=4, scales=None):
+        config = QuantizationConfig.uniform(LAYERS, qw=qw, qa=qa)
+        return StraightThroughQuant(
+            config, get_rounding_scheme("RTN"), scales=scales
+        )
+
+    def test_forward_value_is_quantized(self):
+        context = self._context(qw=2)
+        param = Parameter(np.array([0.3, -0.6], dtype=np.float32))
+        out = context.weight("L1", "w", param)
+        expected = quantize(param.data, FixedPointFormat(1, 2))
+        assert np.allclose(out.data, expected)
+
+    def test_gradient_is_identity(self):
+        context = self._context(qw=2)
+        param = Parameter(np.array([0.3, -0.6], dtype=np.float32))
+        out = context.weight("L1", "w", param)
+        (out * Tensor(np.array([2.0, 5.0]))).sum().backward()
+        assert np.allclose(param.grad, [2.0, 5.0])
+
+    def test_activation_ste_with_scale(self):
+        context = self._context(qa=2, scales={"a:L1": 4.0})
+        x = Tensor(np.array([3.1], dtype=np.float32), requires_grad=True)
+        out = context.act("L1", x)
+        assert out.data[0] == pytest.approx(3.0)  # 3.1/4 -> 0.75 -> 3.0
+        out.sum().backward()
+        assert np.allclose(x.grad, [1.0])
+
+    def test_routing_ste(self):
+        config = QuantizationConfig.uniform(LAYERS, qw=8, qa=8, qdr=1)
+        context = StraightThroughQuant(config, get_rounding_scheme("RTN"))
+        x = Tensor(np.array([0.3], dtype=np.float32), requires_grad=True)
+        out = context.routing("L3", "coupling", x)
+        assert out.data[0] == pytest.approx(0.5)
+        out.sum().backward()
+        assert np.allclose(x.grad, [1.0])
+
+    def test_unquantized_layer_passthrough(self):
+        config = QuantizationConfig(LAYERS.copy())
+        context = StraightThroughQuant(config, get_rounding_scheme("RTN"))
+        x = Tensor(np.array([0.123], dtype=np.float32))
+        assert context.weight("L1", "w", x) is x
+        assert context.act("L1", x) is x
+        assert context.routing("L1", "logits", x) is x
+
+
+class TestQuantizationAwareFinetune:
+    def test_recovers_accuracy_at_aggressive_bits(self, trained_tiny, tiny_data):
+        train, test = tiny_data
+        config = QuantizationConfig.uniform(
+            trained_tiny.quant_layers, qw=2, qa=5
+        )
+        scales = calibrate_scales(trained_tiny, test.images)
+        # Work on a copy so the shared session fixture stays pristine.
+        from repro.capsnet import ShallowCaps, presets
+
+        model = ShallowCaps(presets.shallowcaps_tiny())
+        model.load_state_dict(trained_tiny.state_dict())
+
+        before, after = quantization_aware_finetune(
+            model, config, get_rounding_scheme("RTN"),
+            train.images, train.labels, test.images, test.labels,
+            epochs=2, lr=0.001, scales=scales,
+        )
+        # Fine-tuning must not hurt, and at 2 fractional weight bits it
+        # should measurably help a degraded model.
+        assert after >= before - 1.0
+        context = FixedPointQuant(
+            config, get_rounding_scheme("RTN"), scales=scales
+        )
+        context.reset()
+
+    def test_updates_float_parameters_in_place(self, trained_tiny, tiny_data):
+        train, test = tiny_data
+        from repro.capsnet import ShallowCaps, presets
+
+        model = ShallowCaps(presets.shallowcaps_tiny())
+        model.load_state_dict(trained_tiny.state_dict())
+        before_weights = model.conv1.weight.data.copy()
+        config = QuantizationConfig.uniform(model.quant_layers, qw=3, qa=5)
+        quantization_aware_finetune(
+            model, config, get_rounding_scheme("RTN"),
+            train.images[:128], train.labels[:128],
+            test.images[:64], test.labels[:64],
+            epochs=1, lr=0.001,
+        )
+        assert not np.allclose(model.conv1.weight.data, before_weights)

@@ -1,0 +1,90 @@
+"""Tests for the memory/accuracy trade-off sweep and Pareto extraction."""
+
+import pytest
+
+from repro.framework import TradeOffPoint, pareto_frontier, sweep_memory_budgets
+
+
+def _point(memory, accuracy, label="model_satisfied"):
+    return TradeOffPoint(
+        budget_mbit=memory,
+        weight_mbit=memory,
+        act_mbit=1.0,
+        accuracy=accuracy,
+        path="A",
+        model_label=label,
+    )
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert _point(1.0, 90.0).dominates(_point(2.0, 80.0))
+
+    def test_equal_does_not_dominate(self):
+        a, b = _point(1.0, 90.0), _point(1.0, 90.0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_trade_off_pair_mutually_nondominated(self):
+        small = _point(1.0, 80.0)
+        accurate = _point(2.0, 95.0)
+        assert not small.dominates(accurate)
+        assert not accurate.dominates(small)
+
+
+class TestParetoFrontier:
+    def test_removes_dominated_points(self):
+        points = [
+            _point(1.0, 90.0),
+            _point(2.0, 85.0),  # dominated: more memory, less accurate
+            _point(0.5, 70.0),
+            _point(3.0, 99.0),
+        ]
+        frontier = pareto_frontier(points)
+        memories = [p.weight_mbit for p in frontier]
+        assert memories == sorted(memories)
+        assert _point(2.0, 85.0) not in frontier
+        assert len(frontier) == 3
+
+    def test_deduplicates(self):
+        points = [_point(1.0, 90.0), _point(1.0, 90.0)]
+        assert len(pareto_frontier(points)) == 1
+
+    def test_frontier_accuracy_monotone_in_memory(self):
+        points = [_point(m, a) for m, a in
+                  [(0.5, 60), (1.0, 80), (1.5, 88), (2.0, 95), (1.2, 70)]]
+        frontier = pareto_frontier(points)
+        accuracies = [p.accuracy for p in frontier]
+        assert accuracies == sorted(accuracies)
+
+
+class TestSweep:
+    def test_budget_sweep_on_trained_model(self, trained_tiny, tiny_data):
+        _, test = tiny_data
+        fp32_mbit = sum(trained_tiny.layer_param_counts().values()) * 32 / 1e6
+        budgets = [fp32_mbit / 4, fp32_mbit / 8, fp32_mbit / 24]
+        points = sweep_memory_budgets(
+            trained_tiny, test.images, test.labels,
+            budgets_mbit=budgets,
+            accuracy_tolerance=0.03,
+            scheme="RTN",
+        )
+        assert len(points) >= len(budgets)
+        # Every point carries consistent metadata.
+        for point in points:
+            assert point.path in ("A", "B")
+            assert point.weight_mbit > 0
+            assert 0.0 <= point.accuracy <= 100.0
+        frontier = pareto_frontier(points)
+        assert frontier
+        # Frontier accuracy is non-decreasing in memory.
+        accuracies = [p.accuracy for p in frontier]
+        assert accuracies == sorted(accuracies)
+
+    def test_empty_budgets_rejected(self, trained_tiny, tiny_data):
+        _, test = tiny_data
+        with pytest.raises(ValueError):
+            sweep_memory_budgets(
+                trained_tiny, test.images, test.labels,
+                budgets_mbit=[], accuracy_tolerance=0.02,
+            )

@@ -1,0 +1,205 @@
+"""Tests for the hardware cost models (technology, gates, MAC, squash,
+softmax, memory, accelerator)."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    ArrayMultiplier,
+    EnergyBreakdown,
+    GateCounts,
+    InferenceEnergyModel,
+    MacUnit,
+    MemoryInterface,
+    Register,
+    RippleCarryAdder,
+    SoftmaxUnit,
+    SquashUnit,
+    UMC65,
+)
+from repro.hw.accelerator import LayerOpCounts
+from repro.quant import QuantizationConfig
+
+
+class TestTechnology:
+    def test_scaling_shrinks_area_and_energy(self):
+        scaled = UMC65.scaled_to(28.0)
+        assert scaled.gate_area_um2 < UMC65.gate_area_um2
+        assert scaled.gate_energy_fj < UMC65.gate_energy_fj
+        assert scaled.node_nm == 28.0
+
+    def test_scaling_validation(self):
+        with pytest.raises(ValueError):
+            UMC65.scaled_to(-1)
+
+
+class TestGateCounts:
+    def test_addition_and_scaling(self):
+        a = GateCounts(combinational=10, sequential=5)
+        b = GateCounts(combinational=1, sequential=2)
+        assert (a + b).total == 18
+        assert a.scaled(2.0).combinational == 20
+
+    def test_area_energy(self):
+        counts = GateCounts(combinational=1000)
+        assert counts.area_um2(UMC65) == pytest.approx(1000 * UMC65.gate_area_um2)
+        expected = 1000 * UMC65.activity * UMC65.gate_energy_fj / 1000
+        assert counts.energy_per_op_pj(UMC65) == pytest.approx(expected)
+
+
+class TestArith:
+    def test_adder_linear_in_bits(self):
+        a8 = RippleCarryAdder(8).gate_counts().total
+        a16 = RippleCarryAdder(16).gate_counts().total
+        assert a16 == pytest.approx(2 * a8)
+
+    def test_multiplier_quadratic_in_bits(self):
+        m8 = ArrayMultiplier(8, 8).gate_counts().total
+        m16 = ArrayMultiplier(16, 16).gate_counts().total
+        assert 3.0 < m16 / m8 < 4.5
+
+    def test_register_sequential(self):
+        counts = Register(8).gate_counts()
+        assert counts.combinational == 0
+        assert counts.sequential > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RippleCarryAdder(0)
+        with pytest.raises(ValueError):
+            ArrayMultiplier(0, 4)
+        with pytest.raises(ValueError):
+            Register(-1)
+
+
+class TestMacUnit:
+    def test_fig2_32bit_endpoint(self):
+        """Calibration: 32-bit MAC ≈ 1.4 pJ and ≈ 10800 µm² (Fig. 2)."""
+        mac = MacUnit(32)
+        assert mac.energy_per_op_pj(UMC65) == pytest.approx(1.4, rel=0.15)
+        assert mac.area_um2(UMC65) == pytest.approx(10800, rel=0.15)
+
+    def test_quadratic_shape(self):
+        """Doubling the wordlength should ~quadruple energy and area."""
+        ratio_e = MacUnit(32).energy_per_op_pj(UMC65) / MacUnit(16).energy_per_op_pj(UMC65)
+        ratio_a = MacUnit(32).area_um2(UMC65) / MacUnit(16).area_um2(UMC65)
+        assert 2.8 < ratio_e < 4.5
+        assert 2.8 < ratio_a < 4.5
+
+    def test_monotone_in_bits(self):
+        energies = [MacUnit(n).energy_per_op_pj(UMC65) for n in range(4, 33, 4)]
+        assert energies == sorted(energies)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MacUnit(0)
+        with pytest.raises(ValueError):
+            MacUnit(8, guard_bits=-1)
+
+
+class TestSpecialOps:
+    def test_costlier_than_mac_at_equal_bits(self):
+        """Fig. 3 claim: squash and softmax ≫ one MAC at the same QF."""
+        for qf in (2, 4, 6, 8):
+            mac = MacUnit(1 + qf).energy_per_op_pj(UMC65)
+            assert SquashUnit(qf).energy_per_op_pj(UMC65) > 5 * mac
+            assert SoftmaxUnit(qf).energy_per_op_pj(UMC65) > 5 * mac
+
+    def test_fig3_magnitudes(self):
+        """QF=8 endpoints land in the paper's few-pJ / few-1000-µm² range."""
+        squash = SquashUnit(8)
+        softmax = SoftmaxUnit(8)
+        assert 2.0 < squash.energy_per_op_pj(UMC65) < 8.0
+        assert 2.0 < softmax.energy_per_op_pj(UMC65) < 8.0
+        assert 3000 < squash.area_um2(UMC65) < 12000
+        assert 3000 < softmax.area_um2(UMC65) < 12000
+
+    def test_superlinear_growth(self):
+        ratio = (
+            SquashUnit(8).energy_per_op_pj(UMC65)
+            / SquashUnit(4).energy_per_op_pj(UMC65)
+        )
+        assert ratio > 2.0  # superlinear in fractional bits
+
+    def test_event_counts(self):
+        unit = SquashUnit(4, caps_dim=8, nr_iterations=3)
+        assert unit.multiply_events() == 8 + 9 + 8
+        soft = SoftmaxUnit(4, num_inputs=10, nr_iterations=2)
+        assert soft.multiply_events() == 10 + 4 + 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SquashUnit(0)
+        with pytest.raises(ValueError):
+            SoftmaxUnit(4, num_inputs=1)
+
+
+class TestMemoryInterface:
+    def test_dram_orders_of_magnitude_above_sram(self):
+        memory = MemoryInterface(UMC65)
+        bits = 1e6
+        assert memory.dram_access_pj(bits) > 100 * memory.sram_access_pj(bits)
+
+    def test_fit_check(self):
+        memory = MemoryInterface(UMC65, sram_bytes=1024)
+        assert memory.weights_fit_on_chip(8 * 1024)
+        assert not memory.weights_fit_on_chip(8 * 1024 + 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryInterface(UMC65, sram_bytes=0)
+        with pytest.raises(ValueError):
+            MemoryInterface(UMC65).sram_access_pj(-1)
+
+
+class TestInferenceEnergyModel:
+    OPS = {
+        "L1": LayerOpCounts(macs=1_000_000, params=1000, activations=5000),
+        "L3": LayerOpCounts(
+            macs=200_000, params=2000, activations=1000,
+            squash_calls=30, squash_dim=16,
+            softmax_calls=300, softmax_width=10,
+        ),
+    }
+
+    def test_quantization_reduces_energy(self):
+        model = InferenceEnergyModel(self.OPS)
+        fp32 = model.estimate(None)
+        q8 = model.estimate(QuantizationConfig.uniform(["L1", "L3"], qw=7, qa=7))
+        assert q8.total_nj < fp32.total_nj
+        assert q8.mac_nj < fp32.mac_nj
+        assert q8.squash_nj < fp32.squash_nj
+
+    def test_dr_bits_reduce_routing_energy_only(self):
+        model = InferenceEnergyModel(self.OPS)
+        base = QuantizationConfig.uniform(["L1", "L3"], qw=7, qa=7)
+        low_dr = base.clone()
+        low_dr.set_qdr("L3", 3)
+        a = model.estimate(base)
+        b = model.estimate(low_dr)
+        assert b.squash_nj < a.squash_nj
+        assert b.softmax_nj < a.softmax_nj
+        assert b.mac_nj == pytest.approx(a.mac_nj)
+
+    def test_breakdown_sums(self):
+        breakdown = InferenceEnergyModel(self.OPS).estimate(None)
+        assert breakdown.total_nj == pytest.approx(
+            breakdown.compute_nj + breakdown.memory_nj
+        )
+        assert breakdown.total_nj == pytest.approx(
+            sum(breakdown.per_layer_nj.values()), rel=1e-6
+        )
+
+    def test_dram_spill_for_large_models(self):
+        tiny_sram = MemoryInterface(UMC65, sram_bytes=16)
+        model = InferenceEnergyModel(self.OPS, memory=tiny_sram)
+        breakdown = model.estimate(None)
+        assert breakdown.dram_nj > 0
+
+    def test_empty_ops_rejected(self):
+        with pytest.raises(ValueError):
+            InferenceEnergyModel({})
+
+    def test_describe(self):
+        text = InferenceEnergyModel(self.OPS).estimate(None).describe()
+        assert "MAC" in text and "nJ" in text

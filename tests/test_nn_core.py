@@ -1,0 +1,269 @@
+"""Tests for the module system, layers, losses, optimizers and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.nn import (
+    Adam,
+    BatchNorm2d,
+    ConstantLR,
+    Conv2d,
+    ExponentialDecay,
+    Flatten,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    SGD,
+    Sequential,
+    Sigmoid,
+    cross_entropy,
+    margin_loss,
+    mse_loss,
+)
+from repro.nn.losses import one_hot
+
+
+class TestModule:
+    def _make(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.fc1 = Linear(4, 3, rng=np.random.default_rng(0))
+                self.fc2 = Linear(3, 2, rng=np.random.default_rng(1))
+
+            def forward(self, x):
+                return self.fc2(self.fc1(x))
+
+        return Net()
+
+    def test_parameter_registration(self):
+        net = self._make()
+        names = [name for name, _ in net.named_parameters()]
+        assert names == ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+
+    def test_num_parameters(self):
+        net = self._make()
+        assert net.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2
+
+    def test_state_dict_roundtrip(self):
+        net = self._make()
+        state = net.state_dict()
+        other = self._make()
+        other.fc1.weight.data[:] = 0
+        other.load_state_dict(state)
+        assert np.allclose(other.fc1.weight.data, net.fc1.weight.data)
+
+    def test_state_dict_shape_mismatch(self):
+        net = self._make()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_state_dict_key_mismatch(self):
+        net = self._make()
+        state = net.state_dict()
+        del state["fc1.weight"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_save_load(self, tmp_path):
+        net = self._make()
+        path = tmp_path / "model.npz"
+        net.save(path)
+        other = self._make()
+        other.fc2.bias.data[:] = 9
+        other.load(path)
+        assert np.allclose(other.fc2.bias.data, net.fc2.bias.data)
+
+    def test_train_eval_propagates(self):
+        net = self._make()
+        net.eval()
+        assert not net.fc1.training
+        net.train()
+        assert net.fc1.training
+
+    def test_zero_grad(self):
+        net = self._make()
+        out = net(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert net.fc1.weight.grad is not None
+        net.zero_grad()
+        assert net.fc1.weight.grad is None
+
+    def test_parameter_requires_grad_inside_no_grad(self):
+        from repro.autograd import no_grad
+
+        with no_grad():
+            p = Parameter(np.zeros(3))
+        assert p.requires_grad
+
+
+class TestLayers:
+    def test_linear_shapes_and_bias(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((2, 4))))
+        assert out.shape == (2, 3)
+        assert layer.macs() == 12
+
+    def test_conv2d_module(self):
+        conv = Conv2d(3, 8, 3, stride=2, padding=1, rng=np.random.default_rng(0))
+        out = conv(Tensor(np.ones((2, 3, 8, 8), dtype=np.float32)))
+        assert out.shape == (2, 8, 4, 4)
+        assert conv.output_shape(8, 8) == (8, 4, 4)
+        assert conv.macs(8, 8) == 4 * 4 * 8 * 3 * 9
+
+    def test_sequential(self):
+        net = Sequential(
+            Linear(4, 8, rng=np.random.default_rng(0)),
+            ReLU(),
+            Linear(8, 2, rng=np.random.default_rng(1)),
+        )
+        assert len(net) == 3
+        assert isinstance(net[1], ReLU)
+        out = net(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 2)
+
+    def test_flatten(self):
+        assert Flatten()(Tensor(np.zeros((2, 3, 4)))).shape == (2, 12)
+
+    def test_sigmoid_module(self):
+        out = Sigmoid()(Tensor(np.zeros(3)))
+        assert np.allclose(out.data, 0.5)
+
+    def test_batchnorm_normalizes_in_training(self):
+        bn = BatchNorm2d(4)
+        x = Tensor(np.random.default_rng(0).standard_normal((8, 4, 5, 5)).astype(np.float32) * 3 + 2)
+        out = bn(x)
+        assert abs(out.data.mean()) < 0.1
+        assert abs(out.data.std() - 1.0) < 0.15
+
+    def test_batchnorm_running_stats_used_in_eval(self):
+        bn = BatchNorm2d(2)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            bn(Tensor(rng.standard_normal((16, 2, 3, 3)).astype(np.float32) * 2 + 5))
+        bn.eval()
+        x = Tensor(np.full((4, 2, 3, 3), 5.0, dtype=np.float32))
+        out = bn(x)
+        assert abs(out.data.mean()) < 0.5  # ~ (5-5)/2
+
+    def test_batchnorm_buffers_in_state_dict(self):
+        bn = BatchNorm2d(2)
+        state = bn.state_dict()
+        assert "buffer:running_mean" in state
+        bn2 = BatchNorm2d(2)
+        bn.running_mean = np.array([1.0, 2.0], dtype=np.float32)
+        bn2.load_state_dict(bn.state_dict())
+        assert np.allclose(bn2.running_mean, [1.0, 2.0])
+
+
+class TestLosses:
+    def test_one_hot(self):
+        encoded = one_hot(np.array([0, 2]), 3)
+        assert np.allclose(encoded, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_rejects_2d(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+    def test_margin_loss_perfect_prediction_near_zero(self):
+        # Target capsule at length ~0.95, others at ~0.0.
+        caps = np.zeros((1, 3, 4), dtype=np.float32)
+        caps[0, 1, 0] = 0.95
+        loss = margin_loss(Tensor(caps), np.array([1]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-4)
+
+    def test_margin_loss_wrong_prediction_positive(self):
+        caps = np.zeros((1, 3, 4), dtype=np.float32)
+        caps[0, 0, 0] = 0.95  # long capsule on the wrong class
+        loss = margin_loss(Tensor(caps), np.array([1]))
+        # Present-class term (0.9)^2 plus absent penalty 0.5*(0.85)^2.
+        expected = 0.81 + 0.5 * 0.85**2
+        assert loss.item() == pytest.approx(expected, rel=1e-3)
+
+    def test_margin_loss_gradcheck(self, rng):
+        caps = rng.uniform(-0.5, 0.5, (2, 3, 4))
+        labels = np.array([0, 2])
+        assert gradcheck(lambda c: margin_loss(c, labels), [caps])
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.standard_normal((4, 5))
+        labels = np.array([0, 1, 2, 3])
+        loss = cross_entropy(Tensor(logits), labels)
+        probs = np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True)
+        manual = -np.log(probs[np.arange(4), labels]).mean()
+        assert loss.item() == pytest.approx(manual, rel=1e-4)
+
+    def test_mse(self):
+        loss = mse_loss(Tensor(np.array([1.0, 3.0])), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(5.0)
+
+
+class TestOptim:
+    def _quadratic_descent(self, make_opt, steps=200):
+        """Minimize ||x - t||² and return the final distance."""
+        target = np.array([1.0, -2.0, 3.0], dtype=np.float32)
+        param = Parameter(np.zeros(3))
+        opt = make_opt([param])
+        for _ in range(steps):
+            diff = param - Tensor(target)
+            loss = (diff * diff).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        return float(np.abs(param.data - target).max())
+
+    def test_sgd_converges(self):
+        assert self._quadratic_descent(lambda p: SGD(p, lr=0.1)) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        assert self._quadratic_descent(lambda p: SGD(p, lr=0.05, momentum=0.9)) < 1e-3
+
+    def test_adam_converges(self):
+        assert self._quadratic_descent(lambda p: Adam(p, lr=0.1)) < 1e-3
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_skips_parameters_without_grad(self):
+        p1 = Parameter(np.zeros(2))
+        p2 = Parameter(np.zeros(2))
+        opt = Adam([p1, p2], lr=0.1)
+        (p1.sum()).backward()
+        opt.step()
+        assert np.allclose(p2.data, 0.0)
+        assert not np.allclose(p1.data, 0.0)
+
+
+class TestSchedules:
+    def test_constant(self):
+        sched = ConstantLR(0.01)
+        assert sched(0) == sched(1000) == 0.01
+
+    def test_constant_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantLR(0.0)
+
+    def test_exponential_decay_paper_values(self):
+        # Paper Sec. IV-B: lr0=0.001, 2000 decay steps, 0.96 rate.
+        sched = ExponentialDecay(0.001, 2000, 0.96)
+        assert sched(0) == pytest.approx(0.001)
+        assert sched(2000) == pytest.approx(0.00096)
+        assert sched(4000) == pytest.approx(0.001 * 0.96**2)
+
+    def test_exponential_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(decay_steps=0)
+        with pytest.raises(ValueError):
+            ExponentialDecay(decay_rate=1.5)
+
+    def test_optimizer_follows_schedule(self):
+        param = Parameter(np.zeros(1))
+        opt = SGD([param], schedule=ExponentialDecay(0.1, 10, 0.5))
+        assert opt.learning_rate == pytest.approx(0.1)
+        opt.step_count = 10
+        assert opt.learning_rate == pytest.approx(0.05)

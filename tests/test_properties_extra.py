@@ -1,0 +1,242 @@
+"""Extra property-based tests on cross-module invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, softmax
+from repro.capsnet import dynamic_routing, squash
+from repro.framework.steps import solve_eq6
+from repro.hw import MacUnit, UMC65
+from repro.hw.fixed_ref import fixed_mul, fixed_squash
+from repro.quant import (
+    FixedPointFormat,
+    FixedPointQuant,
+    QuantizationConfig,
+    StochasticRounding,
+    get_rounding_scheme,
+    memory_reduction,
+    power_of_two_scale,
+    quantize,
+    quantize_to_int,
+    weight_memory_bits,
+)
+
+small_floats = st.floats(
+    min_value=-4.0, max_value=4.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestQuantizationOrderProperties:
+    @given(
+        st.lists(small_floats, min_size=1, max_size=20),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_more_bits_never_increase_error(self, values, qf):
+        """Refining the grid cannot worsen the RTN quantization error."""
+        values = np.array(values)
+        coarse = FixedPointFormat(2, qf)
+        fine = FixedPointFormat(2, qf + 2)
+        scheme = get_rounding_scheme("RTN")
+        in_range = values[(values >= coarse.min_value) & (values <= coarse.max_value)]
+        assume(len(in_range) > 0)
+        err_coarse = np.abs(quantize(in_range, coarse, scheme) - in_range)
+        err_fine = np.abs(quantize(in_range, fine, scheme) - in_range)
+        assert (err_fine <= err_coarse + 1e-12).all()
+
+    @given(st.lists(small_floats, min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_quantize_is_projection(self, values):
+        """Quantized values quantize to themselves (any scheme)."""
+        values = np.array(values)
+        fmt = FixedPointFormat(3, 4)
+        for name in ("TRN", "RTN", "RTNE"):
+            scheme = get_rounding_scheme(name)
+            once = quantize(values, fmt, scheme)
+            assert np.array_equal(once, quantize(once, fmt, scheme))
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    @settings(max_examples=100, deadline=None)
+    def test_power_of_two_scale_properties(self, max_abs):
+        scale = power_of_two_scale(max_abs)
+        assert scale >= 1.0
+        assert scale >= max_abs or max_abs <= 1.0
+        # Scale is a power of two.
+        assert float(scale).hex().rstrip("0").endswith("p+0") or (
+            np.log2(scale) == round(np.log2(scale))
+        )
+
+    @given(st.integers(min_value=2, max_value=12), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_sr_expectation_close_to_value(self, qf, data):
+        fmt = FixedPointFormat(1, qf)
+        value = data.draw(
+            st.floats(min_value=float(fmt.min_value),
+                      max_value=float(fmt.max_value))
+        )
+        scheme = StochasticRounding(seed=1)
+        samples = scheme.apply(np.full(4000, value), fmt)
+        assert abs(samples.mean() - value) < fmt.eps
+
+
+class TestRoutingInvariants:
+    @given(
+        st.integers(min_value=1, max_value=4),  # batch
+        st.integers(min_value=2, max_value=6),  # in caps
+        st.integers(min_value=2, max_value=4),  # out caps
+        st.integers(min_value=2, max_value=6),  # dim
+        st.integers(min_value=1, max_value=4),  # iterations
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_routing_output_in_unit_ball(self, b, i, j, d, iters):
+        rng = np.random.default_rng(b * 1000 + i * 100 + j * 10 + d)
+        votes = Tensor(rng.standard_normal((b, i, j, d)).astype(np.float32) * 3)
+        out = dynamic_routing(votes, iterations=iters)
+        lengths = np.linalg.norm(out.data, axis=-1)
+        assert (lengths < 1.0 + 1e-6).all()
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_routing_permutation_equivariance(self, seed):
+        """Permuting input capsules permutes nothing in the output
+        (the routing sum is symmetric over i)."""
+        rng = np.random.default_rng(seed)
+        votes = rng.standard_normal((1, 5, 3, 4)).astype(np.float32)
+        perm = rng.permutation(5)
+        out_a = dynamic_routing(Tensor(votes), iterations=3).data
+        out_b = dynamic_routing(Tensor(votes[:, perm]), iterations=3).data
+        assert np.allclose(out_a, out_b, atol=1e-5)
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_quantized_coupling_rows_bounded(self, seed):
+        """Quantized coupling coefficients stay in [0, 1]."""
+        rng = np.random.default_rng(seed)
+
+        captured = []
+
+        class Spy(FixedPointQuant):
+            def routing(self, layer, array, tensor):
+                out = super().routing(layer, array, tensor)
+                if array == "coupling":
+                    captured.append(out.data.copy())
+                return out
+
+        config = QuantizationConfig.uniform(["L"], qw=8, qa=8, qdr=4)
+        context = Spy(config, get_rounding_scheme("RTN"))
+        votes = Tensor(rng.uniform(-0.9, 0.9, (1, 4, 3, 4)).astype(np.float32))
+        dynamic_routing(votes, iterations=2, q=context, layer="L")
+        assert captured
+        for coupling in captured:
+            assert coupling.min() >= -1e-9
+            assert coupling.max() <= 1.0
+
+
+class TestSquashSoftmaxProperties:
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_squash_shrinks_norm(self, seed):
+        rng = np.random.default_rng(seed)
+        s = rng.standard_normal((4, 6))
+        out = squash(Tensor(s)).data
+        assert (
+            np.linalg.norm(out, axis=-1) <= np.linalg.norm(s, axis=-1) + 1e-9
+        ).all()
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_invariant_to_shift(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((3, 7))
+        a = softmax(Tensor(x), axis=-1).data
+        b = softmax(Tensor(x + 100.0), axis=-1).data
+        assert np.allclose(a, b, atol=1e-6)
+
+    @given(st.integers(min_value=4, max_value=10), st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_integer_squash_never_exceeds_format(self, qf, seed):
+        fmt = FixedPointFormat(1, qf)
+        rng = np.random.default_rng(seed)
+        codes = quantize_to_int(rng.uniform(-1, 1, (6, 8)), fmt)
+        out = fixed_squash(codes, fmt)
+        assert out.min() >= fmt.int_min
+        assert out.max() <= fmt.int_max
+
+    @given(st.integers(min_value=2, max_value=10), st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_integer_mul_commutative(self, qf, seed):
+        fmt = FixedPointFormat(1, qf)
+        rng = np.random.default_rng(seed)
+        a = quantize_to_int(rng.uniform(-0.9, 0.9, 50), fmt)
+        b = quantize_to_int(rng.uniform(-0.9, 0.9, 50), fmt)
+        assert np.array_equal(fixed_mul(a, b, fmt), fixed_mul(b, a, fmt))
+
+
+class TestEq6Properties:
+    @given(
+        st.lists(st.integers(min_value=1, max_value=10_000),
+                 min_size=1, max_size=8),
+        st.integers(min_value=1, max_value=10_000_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_solution_within_budget_or_all_minimum(self, counts, budget):
+        solution = solve_eq6(counts, budget)
+        if solution.budget_met:
+            assert solution.weight_bits_total <= budget
+        else:
+            assert all(b == 1 for b in solution.total_bits_per_layer)
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=10_000),
+                 min_size=2, max_size=8),
+        st.integers(min_value=1, max_value=10_000_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_profile_descends_by_one_until_clamp(self, counts, budget):
+        bits = solve_eq6(counts, budget).total_bits_per_layer
+        for earlier, later in zip(bits, bits[1:]):
+            assert later == max(earlier - 1, 1)
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=1000),
+                 min_size=1, max_size=6),
+        st.integers(min_value=100, max_value=1_000_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_maximality(self, counts, budget):
+        """One more bit on every layer must break a met budget."""
+        solution = solve_eq6(counts, budget)
+        assume(solution.budget_met)
+        bumped = sum(
+            count * (bits + 1)
+            for count, bits in zip(counts, solution.total_bits_per_layer)
+        )
+        assert bumped > budget
+
+
+class TestMemoryAccountingProperties:
+    @given(
+        st.dictionaries(
+            st.sampled_from(["L1", "L2", "L3"]),
+            st.integers(min_value=1, max_value=100_000),
+            min_size=3, max_size=3,
+        ),
+        st.integers(min_value=0, max_value=31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_reduction_formula(self, params, qw):
+        config = QuantizationConfig.uniform(["L1", "L2", "L3"], qw=qw)
+        quantized = weight_memory_bits(params, config)
+        fp32 = weight_memory_bits(params, None)
+        assert memory_reduction(fp32, quantized) == fp32 / quantized
+        assert quantized == sum(params.values()) * (qw + 1)
+
+
+class TestHardwareMonotonicity:
+    @given(st.integers(min_value=1, max_value=63))
+    @settings(max_examples=40, deadline=None)
+    def test_mac_energy_strictly_increasing(self, bits):
+        smaller = MacUnit(bits).energy_per_op_pj(UMC65)
+        larger = MacUnit(bits + 1).energy_per_op_pj(UMC65)
+        assert larger > smaller

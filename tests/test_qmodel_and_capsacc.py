@@ -1,0 +1,151 @@
+"""Tests for the deployable quantized artifact and the CapsAcc timing model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import deepcaps_stats, shallowcaps_stats
+from repro.capsnet import ShallowCaps, presets
+from repro.framework import Evaluator
+from repro.hw import CapsAccConfig, CapsAccModel
+from repro.nn.trainer import default_predictions, evaluate_accuracy
+from repro.quant import (
+    QuantizationConfig,
+    QuantizedCapsNet,
+    calibrate_scales,
+    get_rounding_scheme,
+)
+
+
+@pytest.fixture(scope="module")
+def quantized_artifact(trained_tiny, tiny_data):
+    _, test = tiny_data
+    config = QuantizationConfig.uniform(
+        trained_tiny.quant_layers, qw=6, qa=6, qdr=4
+    )
+    scales = calibrate_scales(trained_tiny, test.images)
+    artifact = QuantizedCapsNet(
+        trained_tiny, config, get_rounding_scheme("RTN"), act_scales=scales
+    )
+    return artifact, config, scales, test
+
+
+class TestQuantizedCapsNet:
+    def test_matches_search_time_evaluation(self, quantized_artifact, trained_tiny):
+        artifact, config, scales, test = quantized_artifact
+        evaluator = Evaluator(
+            trained_tiny, test.images, test.labels,
+            get_rounding_scheme("RTN"),
+        )
+        evaluator.scales = scales
+        search_acc = evaluator.accuracy(config)
+        deploy_acc = artifact.accuracy(test.images, test.labels)
+        assert deploy_acc == pytest.approx(search_acc, abs=1e-9)
+
+    def test_weight_storage_accounting(self, quantized_artifact, trained_tiny):
+        artifact, config, _, _ = quantized_artifact
+        # <1.6> everywhere -> 7 bits per parameter.
+        expected = trained_tiny.num_parameters() * 7
+        assert artifact.weight_storage_bits() == expected
+
+    def test_unquantized_layers_not_frozen(self, trained_tiny, tiny_data):
+        _, test = tiny_data
+        config = QuantizationConfig(list(trained_tiny.quant_layers))
+        config.set_qw("L2", 6)  # only L2 quantized
+        artifact = QuantizedCapsNet(
+            trained_tiny, config, get_rounding_scheme("RTN")
+        )
+        frozen_layers = {key.split(":")[0] for key in artifact.weight_codes}
+        assert frozen_layers == {"L2"}
+
+    def test_save_load_roundtrip_bit_exact(self, quantized_artifact, tmp_path):
+        artifact, _, _, test = quantized_artifact
+        path = tmp_path / "artifact.npz"
+        artifact.save(path)
+        # Load onto a *differently initialized* model: the frozen codes
+        # carry all quantized weights.
+        fresh = ShallowCaps(presets.shallowcaps_tiny(seed=99))
+        loaded = QuantizedCapsNet.load(path, fresh)
+        a = artifact.predict(test.images[:32])
+        b = loaded.predict(test.images[:32])
+        assert np.array_equal(a, b)
+        assert loaded.config.qw_vector() == artifact.config.qw_vector()
+        assert loaded.act_scales == artifact.act_scales
+
+    def test_codes_fit_declared_format(self, quantized_artifact):
+        artifact, _, _, _ = quantized_artifact
+        for codes, fmt, scale in artifact.weight_codes.values():
+            assert codes.dtype == np.int64
+            assert codes.min() >= fmt.int_min
+            assert codes.max() <= fmt.int_max
+            assert scale >= 1.0
+
+    def test_sr_freezing_deterministic(self, trained_tiny, tiny_data):
+        _, test = tiny_data
+        config = QuantizationConfig.uniform(
+            trained_tiny.quant_layers, qw=4, qa=6
+        )
+        first = QuantizedCapsNet(
+            trained_tiny, config, get_rounding_scheme("SR", seed=3), seed=3
+        )
+        second = QuantizedCapsNet(
+            trained_tiny, config, get_rounding_scheme("SR", seed=3), seed=3
+        )
+        for key in first.weight_codes:
+            assert np.array_equal(
+                first.weight_codes[key][0], second.weight_codes[key][0]
+            )
+
+
+class TestCapsAccModel:
+    def test_digitcaps_memory_bound_at_fp32(self):
+        timing = CapsAccModel(shallowcaps_stats()).estimate(None)
+        assert timing.layers["L3"].memory_bound
+        assert not timing.layers["L1"].memory_bound
+
+    def test_quantization_speeds_up_memory_bound_layers(self):
+        stats = shallowcaps_stats()
+        model = CapsAccModel(stats)
+        layers = [layer.name for layer in stats.layers]
+        config = QuantizationConfig.uniform(layers, qw=7, qa=7)
+        fp32 = model.estimate(None)
+        quant = model.estimate(config)
+        assert (
+            quant.layers["L3"].total_cycles < fp32.layers["L3"].total_cycles
+        )
+        assert model.speedup(config) > 1.0
+
+    def test_compute_cycles_independent_of_bits(self):
+        stats = shallowcaps_stats()
+        model = CapsAccModel(stats)
+        layers = [layer.name for layer in stats.layers]
+        config = QuantizationConfig.uniform(layers, qw=3, qa=3)
+        assert (
+            model.estimate(None).layers["L1"].compute_cycles
+            == model.estimate(config).layers["L1"].compute_cycles
+        )
+
+    def test_totals_and_describe(self):
+        timing = CapsAccModel(deepcaps_stats()).estimate(None)
+        assert timing.total_cycles == sum(
+            layer.total_cycles for layer in timing.layers.values()
+        )
+        assert timing.latency_ms > 0
+        assert timing.throughput_fps == pytest.approx(1000 / timing.latency_ms)
+        text = timing.describe()
+        assert "cycles" in text and "fps" in text
+
+    def test_bigger_array_is_faster(self):
+        stats = shallowcaps_stats()
+        small = CapsAccModel(stats, CapsAccConfig(pe_rows=8, pe_cols=8))
+        large = CapsAccModel(stats, CapsAccConfig(pe_rows=32, pe_cols=32))
+        assert (
+            large.estimate(None).total_cycles < small.estimate(None).total_cycles
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CapsAccConfig(pe_rows=0)
+        with pytest.raises(ValueError):
+            CapsAccConfig(clock_mhz=0)
+        with pytest.raises(ValueError):
+            CapsAccConfig(memory_bits_per_cycle=0)

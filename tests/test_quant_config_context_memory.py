@@ -1,0 +1,206 @@
+"""Tests for quantization configs, contexts, calibration and memory math."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.capsnet import ShallowCaps, presets
+from repro.quant import (
+    CalibrationContext,
+    FixedPointQuant,
+    LayerQuantSpec,
+    MemoryReport,
+    QuantizationConfig,
+    RecordingContext,
+    activation_memory_bits,
+    calibrate_scales,
+    get_rounding_scheme,
+    memory_reduction,
+    power_of_two_scale,
+    weight_memory_bits,
+)
+from repro.nn.module import Parameter
+
+LAYERS = ["L1", "L2", "L3"]
+
+
+class TestLayerQuantSpec:
+    def test_effective_qdr_falls_back_to_qa(self):
+        spec = LayerQuantSpec(qw=8, qa=6)
+        assert spec.effective_qdr() == 6
+        spec.qdr = 3
+        assert spec.effective_qdr() == 3
+
+    def test_clone_is_independent(self):
+        spec = LayerQuantSpec(qw=8)
+        clone = spec.clone()
+        clone.qw = 2
+        assert spec.qw == 8
+
+
+class TestQuantizationConfig:
+    def test_uniform(self):
+        config = QuantizationConfig.uniform(LAYERS, qw=8, qa=6)
+        assert config.qw_vector() == [8, 8, 8]
+        assert config.qa_vector() == [6, 6, 6]
+        assert config.qdr_vector() == [6, 6, 6]
+
+    def test_clone_independent(self):
+        config = QuantizationConfig.uniform(LAYERS, qw=8, qa=6)
+        clone = config.clone()
+        clone.set_qw("L1", 2)
+        assert config["L1"].qw == 8
+
+    def test_unknown_layer_raises(self):
+        config = QuantizationConfig.uniform(LAYERS)
+        with pytest.raises(KeyError):
+            config["LX"]
+
+    def test_duplicate_layers_rejected(self):
+        with pytest.raises(ValueError):
+            QuantizationConfig(["L1", "L1"])
+
+    def test_max_activation_bits(self):
+        config = QuantizationConfig.uniform(LAYERS, qa=6)
+        config.set_qa("L2", 9)
+        assert config.max_activation_bits() == 9
+
+    def test_max_activation_bits_unquantized(self):
+        assert QuantizationConfig(LAYERS.copy()).max_activation_bits() == 32
+
+    def test_describe_contains_layers(self):
+        text = QuantizationConfig.uniform(LAYERS, qw=4).describe()
+        for name in LAYERS:
+            assert name in text
+
+
+class TestPowerOfTwoScale:
+    def test_within_unit_range_no_scale(self):
+        assert power_of_two_scale(0.7) == 1.0
+        assert power_of_two_scale(0.0) == 1.0
+
+    def test_powers(self):
+        assert power_of_two_scale(1.5) == 2.0
+        assert power_of_two_scale(2.0) == 2.0
+        assert power_of_two_scale(5.0) == 8.0
+
+
+class TestFixedPointQuantContext:
+    def _context(self, qw=4, qa=4, qdr=None, scheme="RTN", scales=None):
+        config = QuantizationConfig.uniform(LAYERS, qw=qw, qa=qa, qdr=qdr)
+        return FixedPointQuant(
+            config, get_rounding_scheme(scheme), scales=scales
+        )
+
+    def test_unquantized_layer_passthrough(self):
+        config = QuantizationConfig(LAYERS.copy())  # all None
+        context = FixedPointQuant(config, get_rounding_scheme("RTN"))
+        t = Tensor(np.array([0.123456], dtype=np.float32))
+        assert context.weight("L1", "w", t) is t
+        assert context.act("L1", t) is t
+        assert context.routing("L1", "logits", t) is t
+
+    def test_weight_quantization_and_cache(self):
+        context = self._context(qw=2)
+        param = Parameter(np.array([0.3, -0.3], dtype=np.float32))
+        first = context.weight("L1", "w", param)
+        assert np.allclose(first.data, [0.25, -0.25])
+        second = context.weight("L1", "w", param)
+        assert second is first  # cached
+        context.reset()
+        third = context.weight("L1", "w", param)
+        assert third is not first
+
+    def test_act_quantization_uses_scale(self):
+        context = self._context(qa=2, scales={"a:L1": 4.0})
+        t = Tensor(np.array([3.0], dtype=np.float32))
+        out = context.act("L1", t)
+        # 3/4 = 0.75 on a step-0.25 grid -> 0.75 * 4 = 3.0 (exact).
+        assert out.data[0] == pytest.approx(3.0)
+        unscaled = self._context(qa=2).act("L1", t)
+        assert unscaled.data[0] == pytest.approx(0.75)  # saturated
+
+    def test_weight_scale_handles_large_weights(self):
+        context = self._context(qw=4)
+        param = Parameter(np.array([2.5, -1.0], dtype=np.float32))
+        out = context.weight("L1", "w", param)
+        assert out.data[0] == pytest.approx(2.5, abs=0.25)
+
+    def test_routing_uses_qdr_over_qa(self):
+        context = self._context(qa=8, qdr=1)
+        t = Tensor(np.array([0.3], dtype=np.float32))
+        out = context.routing("L1", "coupling", t)
+        assert out.data[0] == pytest.approx(0.5)  # 1 fractional bit
+
+    def test_sr_reset_reproducible(self):
+        context = self._context(qa=3, scheme="SR")
+        t = Tensor(np.random.default_rng(0).uniform(-1, 1, 64).astype(np.float32))
+        context.reset()
+        first = context.act("L1", t).data.copy()
+        context.reset()
+        second = context.act("L1", t).data.copy()
+        assert np.allclose(first, second)
+
+
+class TestCalibration:
+    def test_calibration_context_records_max(self):
+        context = CalibrationContext()
+        context.act("L1", Tensor(np.array([0.5, -3.0])))
+        context.act("L1", Tensor(np.array([1.5])))
+        assert context.max_abs["a:L1"] == 3.0
+        assert context.scales()["a:L1"] == 4.0
+
+    def test_calibrate_scales_on_model(self, rng):
+        model = ShallowCaps(presets.shallowcaps_tiny())
+        images = rng.random((16, 1, 14, 14)).astype(np.float32)
+        scales = calibrate_scales(model, images, batch_size=8)
+        assert "a:L1" in scales
+        assert all(scale >= 1.0 for scale in scales.values())
+        # Squashed capsule outputs never need scaling.
+        assert scales["a:L2"] == 1.0
+
+
+class TestRecordingContext:
+    def test_divides_by_batch(self):
+        recorder = RecordingContext(batch_size=4)
+        recorder.act("L1", Tensor(np.zeros((4, 10))))
+        assert recorder.act_elements["L1"] == 10
+
+    def test_routing_stores_instance_size(self):
+        recorder = RecordingContext(batch_size=2)
+        for _ in range(3):  # three iterations, same array
+            recorder.routing("L3", "coupling", Tensor(np.zeros((2, 5))))
+        assert recorder.routing_elements[("L3", "coupling")] == 5
+
+
+class TestMemoryAccounting:
+    PARAMS = {"L1": 100, "L2": 200, "L3": 700}
+    ACTS = {"L1": 50, "L2": 30, "L3": 20}
+
+    def test_fp32_baseline(self):
+        assert weight_memory_bits(self.PARAMS, None) == 1000 * 32
+        assert activation_memory_bits(self.ACTS, None) == 100 * 32
+
+    def test_quantized_bits(self):
+        config = QuantizationConfig.uniform(LAYERS, qw=7, qa=3)
+        # 7 fractional + 1 integer = 8 bits per weight.
+        assert weight_memory_bits(self.PARAMS, config) == 1000 * 8
+        assert activation_memory_bits(self.ACTS, config) == 100 * 4
+
+    def test_mixed_none_layers(self):
+        config = QuantizationConfig.uniform(LAYERS, qw=7)
+        config.set_qw("L3", None)
+        expected = (100 + 200) * 8 + 700 * 32
+        assert weight_memory_bits(self.PARAMS, config) == expected
+
+    def test_memory_reduction(self):
+        assert memory_reduction(3200, 800) == 4.0
+        with pytest.raises(ValueError):
+            memory_reduction(100, 0)
+
+    def test_memory_report(self):
+        config = QuantizationConfig.uniform(LAYERS, qw=7, qa=7)
+        report = MemoryReport(self.PARAMS, self.ACTS, config)
+        assert report.weight_reduction == pytest.approx(4.0)
+        assert report.act_reduction == pytest.approx(4.0)
+        assert "x" in report.describe()

@@ -1,0 +1,196 @@
+"""Tests for fixed-point formats, rounding schemes and quantize kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    FixedPointFormat,
+    RoundToNearest,
+    RoundToNearestEven,
+    StochasticRounding,
+    Truncation,
+    dequantize_from_int,
+    get_rounding_scheme,
+    quantize,
+    quantize_to_int,
+)
+from repro.quant.quantize import quantization_error, sqnr_db
+
+
+class TestFixedPointFormat:
+    def test_paper_conventions(self):
+        fmt = FixedPointFormat(1, 7)  # <1.7>
+        assert fmt.wordlength == 8
+        assert fmt.eps == pytest.approx(2**-7)
+        assert fmt.min_value == -1.0
+        assert fmt.max_value == pytest.approx(1.0 - 2**-7)
+        assert fmt.num_levels == 256
+
+    def test_integer_range(self):
+        fmt = FixedPointFormat(1, 3)
+        assert fmt.int_min == -8 and fmt.int_max == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(0, 4)
+        with pytest.raises(ValueError):
+            FixedPointFormat(1, -1)
+
+    def test_clip(self):
+        fmt = FixedPointFormat(1, 2)
+        out = fmt.clip(np.array([-5.0, 0.1, 5.0]))
+        assert np.allclose(out, [-1.0, 0.1, 0.75])
+
+    def test_grid_and_representable(self):
+        fmt = FixedPointFormat(1, 2)
+        grid = fmt.grid()
+        assert len(grid) == 8
+        assert fmt.representable(grid).all()
+        assert not fmt.representable(np.array([0.3])).any()
+
+    def test_grid_refuses_large_formats(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(1, 20).grid()
+
+    def test_from_wordlength(self):
+        fmt = FixedPointFormat.from_wordlength(8)
+        assert fmt.integer_bits == 1 and fmt.fractional_bits == 7
+
+    def test_str(self):
+        assert str(FixedPointFormat(1, 7)) == "<1.7>"
+
+
+class TestRoundingValues:
+    FMT = FixedPointFormat(1, 2)  # step 0.25
+
+    def test_truncation_floors(self):
+        out = Truncation().apply(np.array([0.30, -0.30]), self.FMT)
+        assert np.allclose(out, [0.25, -0.50])
+
+    def test_rtn_half_up(self):
+        # 0.125 is exactly half-way between 0.0 and 0.25 -> rounds up.
+        out = RoundToNearest().apply(np.array([0.125, -0.125]), self.FMT)
+        assert np.allclose(out, [0.25, 0.0])
+
+    def test_rtne_ties_to_even(self):
+        # 0.125 -> code 0.5 -> ties to code 0; 0.375 -> code 1.5 -> code 2.
+        out = RoundToNearestEven().apply(np.array([0.125, 0.375]), self.FMT)
+        assert np.allclose(out, [0.0, 0.5])
+
+    def test_saturation(self):
+        for scheme in (Truncation(), RoundToNearest(), RoundToNearestEven()):
+            out = scheme.apply(np.array([3.0, -3.0]), self.FMT)
+            assert np.allclose(out, [self.FMT.max_value, self.FMT.min_value])
+
+    def test_sr_bounds(self):
+        scheme = StochasticRounding(seed=0)
+        out = scheme.apply(np.full(1000, 0.30), self.FMT)
+        assert set(np.round(out, 2)) <= {0.25, 0.50}
+
+    def test_sr_unbiased(self):
+        scheme = StochasticRounding(seed=0)
+        out = scheme.apply(np.full(20000, 0.30), self.FMT)
+        assert out.mean() == pytest.approx(0.30, abs=0.01)
+
+    def test_sr_reseed_reproducible(self):
+        scheme = StochasticRounding(seed=7)
+        first = scheme.apply(np.full(100, 0.3), self.FMT)
+        scheme.reseed()
+        second = scheme.apply(np.full(100, 0.3), self.FMT)
+        assert np.allclose(first, second)
+
+    def test_trn_bias_is_negative_and_larger_than_rtn(self, rng):
+        values = rng.uniform(-0.99, 0.99, 50000)
+        trn_bias = quantization_error(values, self.FMT, Truncation()).mean()
+        rtn_bias = quantization_error(values, self.FMT, RoundToNearest()).mean()
+        assert trn_bias < 0
+        assert abs(rtn_bias) < abs(trn_bias)
+
+    def test_registry(self):
+        assert isinstance(get_rounding_scheme("trn"), Truncation)
+        assert isinstance(get_rounding_scheme("SR", seed=3), StochasticRounding)
+        with pytest.raises(KeyError):
+            get_rounding_scheme("nope")
+
+    def test_complexity_ordering(self):
+        # Paper Sec. III-B: TRN simplest, SR most complex.
+        assert (
+            Truncation().complexity
+            < RoundToNearest().complexity
+            <= RoundToNearestEven().complexity
+            < StochasticRounding().complexity
+        )
+
+
+@st.composite
+def format_and_values(draw):
+    qi = draw(st.integers(min_value=1, max_value=3))
+    qf = draw(st.integers(min_value=0, max_value=10))
+    values = draw(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    return FixedPointFormat(qi, qf), np.array(values)
+
+
+class TestRoundingProperties:
+    @given(format_and_values())
+    @settings(max_examples=100, deadline=None)
+    def test_all_outputs_representable(self, fmt_values):
+        fmt, values = fmt_values
+        for name in ("TRN", "RTN", "RTNE"):
+            out = quantize(values, fmt, get_rounding_scheme(name))
+            assert fmt.representable(out).all()
+
+    @given(format_and_values())
+    @settings(max_examples=100, deadline=None)
+    def test_error_bounded_by_eps_in_range(self, fmt_values):
+        fmt, values = fmt_values
+        in_range = values[(values >= fmt.min_value) & (values <= fmt.max_value)]
+        if len(in_range) == 0:
+            return
+        for name in ("TRN", "RTN", "RTNE"):
+            err = np.abs(quantize(in_range, fmt, get_rounding_scheme(name)) - in_range)
+            assert (err <= fmt.eps + 1e-12).all()
+
+    @given(format_and_values())
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, fmt_values):
+        fmt, values = fmt_values
+        for name in ("TRN", "RTN", "RTNE"):
+            scheme = get_rounding_scheme(name)
+            once = quantize(values, fmt, scheme)
+            twice = quantize(once, fmt, scheme)
+            assert np.allclose(once, twice)
+
+    @given(format_and_values())
+    @settings(max_examples=50, deadline=None)
+    def test_int_roundtrip(self, fmt_values):
+        fmt, values = fmt_values
+        codes = quantize_to_int(values, fmt)
+        assert (codes >= fmt.int_min).all() and (codes <= fmt.int_max).all()
+        floats = dequantize_from_int(codes, fmt)
+        assert np.allclose(floats, quantize(values, fmt), atol=1e-12)
+
+
+class TestQuantizeKernels:
+    def test_dequantize_range_check(self):
+        fmt = FixedPointFormat(1, 2)
+        with pytest.raises(ValueError):
+            dequantize_from_int(np.array([100]), fmt)
+
+    def test_sqnr_increases_with_bits(self, rng):
+        values = rng.standard_normal(5000) * 0.3
+        sqnrs = [sqnr_db(values, FixedPointFormat(1, q)) for q in (2, 4, 6, 8)]
+        assert sqnrs == sorted(sqnrs)
+        # ~6 dB per bit is the textbook slope.
+        assert 8 < sqnrs[1] - sqnrs[0] < 16
+
+    def test_sqnr_infinite_for_exact(self):
+        fmt = FixedPointFormat(1, 4)
+        assert sqnr_db(fmt.grid(), fmt) == float("inf")
