@@ -1,0 +1,103 @@
+"""Engine speedup — early-exit inference vs the naive search path.
+
+Algorithm 1's wall-clock is dominated by full-test-set accuracy
+evaluations, but most call sites (binary-search probes, Algorithm-2
+trailing-layer decrements, Algorithm-3 routing decrements) only compare
+the result against a fixed floor.  The batched inference engine
+(:mod:`repro.engine`) answers those comparisons with an exact early
+exit and resumes partial progress when an exact accuracy is later
+needed.
+
+This bench runs the *same* Algorithm-1 search twice — engine-backed and
+naive — on a ShallowCaps with identical seed/scheme/batch size, for a
+Path-A and a Path-B budget, and reports batches evaluated plus
+wall-clock.  Hard assertions: the final ``QCapsNetsResult`` configs and
+accuracies are **identical**, and the engine evaluates **strictly
+fewer** batches.
+"""
+
+import time
+
+from conftest import emit
+from harness import fp32_weight_mbit
+
+from repro.engine import config_signature
+from repro.framework import QCapsNets
+
+TOLERANCE = 0.015
+BATCH_SIZE = 32  # 8 batches over the 256-image eval set
+
+
+def _run(model, test, budget_mbit, fp32_acc, scheme, use_engine):
+    framework = QCapsNets(
+        model, test.images, test.labels,
+        accuracy_tolerance=TOLERANCE,
+        memory_budget_mbit=budget_mbit,
+        scheme=scheme,
+        batch_size=BATCH_SIZE,
+        accuracy_fp32=fp32_acc,
+        use_engine=use_engine,
+    )
+    started = time.perf_counter()
+    result = framework.run()
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def _assert_identical(fast, naive):
+    assert fast.path == naive.path
+    assert set(fast.models()) == set(naive.models())
+    pairs = list(naive.models().items())
+    if naive.model_uniform is not None:
+        pairs.append(("model_uniform", naive.model_uniform))
+    for name, model in pairs:
+        other = (
+            fast.model_uniform if name == "model_uniform" else fast.models()[name]
+        )
+        assert config_signature(other.config) == config_signature(model.config), name
+        assert other.accuracy == model.accuracy, name
+
+
+def test_engine_speedup(shallow_digits, digits_data, benchmark):
+    model, fp32_acc = shallow_digits
+    _, test = digits_data
+    fp32_mbit = fp32_weight_mbit(model)
+
+    lines = [
+        f"{'case':>22} {'naive batches':>14} {'engine batches':>15} "
+        f"{'reduction':>10} {'naive s':>8} {'engine s':>9}"
+    ]
+    cases = [
+        ("path A (FP32/5)", fp32_mbit / 5, "RTN"),
+        ("path B (FP32/25)", fp32_mbit / 25, "RTN"),
+    ]
+    totals = [0, 0]
+    for label, budget, scheme in cases:
+        fast, fast_s = _run(model, test, budget, fp32_acc, scheme, use_engine=True)
+        naive, naive_s = _run(model, test, budget, fp32_acc, scheme, use_engine=False)
+        _assert_identical(fast, naive)
+        # The headline claim: strictly fewer batches, identical outcome.
+        assert 0 < fast.batches_evaluated < naive.batches_evaluated
+        totals[0] += naive.batches_evaluated
+        totals[1] += fast.batches_evaluated
+        lines.append(
+            f"{label:>22} {naive.batches_evaluated:>14} "
+            f"{fast.batches_evaluated:>15} "
+            f"{naive.batches_evaluated / fast.batches_evaluated:>9.2f}x "
+            f"{naive_s:>8.2f} {fast_s:>9.2f}"
+        )
+    lines.append(
+        f"{'total':>22} {totals[0]:>14} {totals[1]:>15} "
+        f"{totals[0] / totals[1]:>9.2f}x"
+    )
+    emit("engine_speedup", "\n".join(lines))
+
+    # Hot kernel for the timing harness: one engine-backed Path-A search
+    # with a fresh evaluator (no cross-round caching).
+    benchmark.pedantic(
+        lambda: _run(
+            model, test, fp32_mbit / 5, fp32_acc, "RTN", use_engine=True
+        ),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,10 +1,32 @@
-"""Setup shim for environments whose pip lacks the ``wheel`` package.
+"""Packaging entry point.
 
-All project metadata lives in ``pyproject.toml``; this file only enables
-the legacy ``pip install -e . --no-build-isolation --no-use-pep517``
-editable-install path used in offline environments.
+Kept as a plain ``setup.py`` (rather than ``pyproject.toml``) so the
+legacy ``pip install -e . --no-build-isolation --no-use-pep517``
+editable-install path works in offline environments whose pip lacks the
+``wheel`` package.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+
+def read_version() -> str:
+    """Single source of truth: ``__version__`` in src/repro/__init__.py."""
+    text = Path("src/repro/__init__.py").read_text()
+    return re.search(r'^__version__ = "([^"]+)"', text, re.MULTILINE).group(1)
+
+
+setup(
+    name="repro-qcapsnets",
+    version=read_version(),
+    description=(
+        "Reproduction of Q-CapsNets: A Specialized Framework for "
+        "Quantizing Capsule Networks (DAC 2020)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

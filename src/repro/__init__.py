@@ -30,6 +30,6 @@ paper-vs-measured results of every table and figure.
 
 __version__ = "1.0.0"
 
-from repro import autograd, capsnet, nn, quant
+from repro import autograd, capsnet, engine, nn, quant
 
-__all__ = ["autograd", "capsnet", "nn", "quant", "__version__"]
+__all__ = ["autograd", "capsnet", "engine", "nn", "quant", "__version__"]

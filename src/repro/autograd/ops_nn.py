@@ -11,6 +11,7 @@ counts derived from this code path match the analytical model in
 
 from __future__ import annotations
 
+import numbers
 from typing import Optional, Tuple, Union
 
 import numpy as np
@@ -20,19 +21,42 @@ from repro.autograd.tensor import Tensor, as_tensor, grad_enabled
 IntPair = Union[int, Tuple[int, int]]
 
 
-def _as_pair(value: IntPair) -> Tuple[int, int]:
-    if isinstance(value, tuple):
-        return value
-    return (value, value)
+def as_pair(value: IntPair, name: str = "value") -> Tuple[int, int]:
+    """Normalize an int-or-pair spatial hyperparameter to ``(h, w)``.
+
+    Accepts any integral scalar (including numpy integers) or a
+    2-sequence of them; anything else raises ``ValueError`` naming the
+    offending parameter.  Shared by the op-level and module-level
+    (:class:`repro.nn.conv.Conv2d`) normalization so the two cannot
+    drift.
+    """
+    def integral(v) -> bool:
+        # bool is Integral but a True/False kernel size or stride is a
+        # misplaced flag, not a dimension.
+        return isinstance(v, numbers.Integral) and not isinstance(v, bool)
+
+    if integral(value):
+        return (int(value), int(value))
+    if isinstance(value, (str, bytes)):
+        raise ValueError(f"{name} must be an int or a pair, got {value!r}")
+    try:
+        pair = tuple(value)
+    except TypeError:
+        raise ValueError(
+            f"{name} must be an int or a pair, got {value!r}"
+        ) from None
+    if len(pair) != 2 or not all(integral(v) for v in pair):
+        raise ValueError(f"{name} must be an int or a pair, got {value!r}")
+    return (int(pair[0]), int(pair[1]))
 
 
 def conv_output_shape(
     height: int, width: int, kernel: IntPair, stride: IntPair = 1, padding: IntPair = 0
 ) -> Tuple[int, int]:
     """Spatial output shape of a 2-D convolution (floor semantics)."""
-    kh, kw = _as_pair(kernel)
-    sh, sw = _as_pair(stride)
-    ph, pw = _as_pair(padding)
+    kh, kw = as_pair(kernel)
+    sh, sw = as_pair(stride)
+    ph, pw = as_pair(padding)
     out_h = (height + 2 * ph - kh) // sh + 1
     out_w = (width + 2 * pw - kw) // sw + 1
     if out_h <= 0 or out_w <= 0:
@@ -57,9 +81,9 @@ def im2col(
     -------
     Array of shape ``(B, C * kh * kw, out_h * out_w)``.
     """
-    kh, kw = _as_pair(kernel)
-    sh, sw = _as_pair(stride)
-    ph, pw = _as_pair(padding)
+    kh, kw = as_pair(kernel)
+    sh, sw = as_pair(stride)
+    ph, pw = as_pair(padding)
     batch, channels, height, width = x.shape
     out_h, out_w = conv_output_shape(height, width, (kh, kw), (sh, sw), (ph, pw))
 
@@ -83,9 +107,9 @@ def col2im(
     padding: IntPair = 0,
 ) -> np.ndarray:
     """Adjoint of :func:`im2col`: scatter columns back into an image."""
-    kh, kw = _as_pair(kernel)
-    sh, sw = _as_pair(stride)
-    ph, pw = _as_pair(padding)
+    kh, kw = as_pair(kernel)
+    sh, sw = as_pair(stride)
+    ph, pw = as_pair(padding)
     batch, channels, height, width = input_shape
     out_h, out_w = conv_output_shape(height, width, (kh, kw), (sh, sw), (ph, pw))
 
@@ -153,8 +177,8 @@ def conv2d(
 def max_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None) -> Tensor:
     """Max pooling over ``(B, C, H, W)`` input (used by CNN baselines)."""
     x = as_tensor(x)
-    kh, kw = _as_pair(kernel)
-    sh, sw = _as_pair(stride if stride is not None else kernel)
+    kh, kw = as_pair(kernel)
+    sh, sw = as_pair(stride if stride is not None else kernel)
     batch, channels, height, width = x.shape
     out_h = (height - kh) // sh + 1
     out_w = (width - kw) // sw + 1
@@ -187,8 +211,8 @@ def max_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None) -> 
 def avg_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None) -> Tensor:
     """Average pooling over ``(B, C, H, W)`` input."""
     x = as_tensor(x)
-    kh, kw = _as_pair(kernel)
-    sh, sw = _as_pair(stride if stride is not None else kernel)
+    kh, kw = as_pair(kernel)
+    sh, sw = as_pair(stride if stride is not None else kernel)
     batch, channels, height, width = x.shape
     out_h = (height - kh) // sh + 1
     out_w = (width - kw) // sw + 1

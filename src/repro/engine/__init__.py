@@ -1,0 +1,38 @@
+"""Batched inference engine for the quantization search.
+
+The search loops of Algorithms 1-3 mostly ask whether a candidate
+configuration's accuracy clears a fixed floor — they rarely need the
+accuracy itself.  This subsystem answers those floor questions with an
+**exact early exit** over the evaluation batches:
+
+* :class:`~repro.engine.plan.InferencePlan` — snapshotted, resumable
+  per-configuration evaluation state (cloned config, pre-quantized
+  weights, private stochastic-rounding stream, per-batch counters);
+* :class:`~repro.engine.streaming.StreamingEvaluator` — the engine:
+  ``meets_floor(config, floor)`` stops as soon as the verdict is
+  decided, ``accuracy(config)`` resumes partial progress to an exact
+  full-split number;
+* :func:`~repro.engine.streaming.floor_oracle` — adapter the framework
+  algorithms use so any evaluator (including the synthetic oracles in
+  the test suite) can serve floor verdicts.
+
+The framework's :class:`~repro.framework.evaluate.Evaluator` routes all
+of Algorithm 1 through this engine by default; see
+``benchmarks/bench_engine_speedup.py`` for the measured reduction in
+evaluated batches.
+"""
+
+from repro.engine.plan import InferencePlan, config_signature
+from repro.engine.streaming import (
+    StreamingEvaluator,
+    floor_oracle,
+    floor_threshold,
+)
+
+__all__ = [
+    "InferencePlan",
+    "StreamingEvaluator",
+    "config_signature",
+    "floor_oracle",
+    "floor_threshold",
+]

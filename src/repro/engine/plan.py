@@ -1,0 +1,103 @@
+"""Inference plans — snapshotted, resumable evaluation state per config.
+
+An :class:`InferencePlan` is the unit of work of the batched inference
+engine: everything needed to evaluate one quantization configuration
+over the test split, advanced one batch at a time.  Two properties make
+partial evaluations composable with exact (bit-identical) results:
+
+* **Snapshot isolation.**  The plan quantizes with a
+  :class:`~repro.quant.qcontext.FixedPointQuant` context, which clones
+  the configuration at construction.  The search algorithms mutate
+  configs in place between probes; a plan created for a config can never
+  be desynchronized by those later mutations, and the pre-quantized
+  weight tensors held in the context's cache always correspond to the
+  wordlengths the plan reports.
+* **Stream privacy.**  Stochastic rounding draws from an RNG; the plan
+  owns a private scheme instance seeded exactly as a monolithic
+  evaluation would be.  Batches are consumed strictly in dataset order,
+  so a plan advanced ``k`` batches now and finished later has consumed
+  the same random stream — and produced the same predictions — as one
+  uninterrupted full pass, even when evaluations of other configurations
+  ran in between.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.quant.config import QuantizationConfig
+from repro.quant.qcontext import FixedPointQuant
+from repro.quant.rounding import RoundingScheme, StochasticRounding
+
+
+def config_signature(config: QuantizationConfig) -> Tuple:
+    """Hashable identity of a configuration (for memoization)."""
+    return (
+        config.integer_bits,
+        tuple(config.qw_vector()),
+        tuple(config.qa_vector()),
+        tuple(config.qdr_vector()),
+    )
+
+
+class InferencePlan:
+    """Resumable evaluation state for one quantization configuration.
+
+    Parameters
+    ----------
+    config:
+        Configuration to evaluate (snapshotted; later caller mutations
+        are invisible to the plan).
+    scheme:
+        Rounding scheme.  Stochastic rounding is replaced by a private
+        instance so interleaved evaluations of other plans cannot
+        perturb this plan's random stream.
+    seed:
+        Seed for the (private) stochastic-rounding stream.
+    scales:
+        Calibrated power-of-two pre-scaling factors (see
+        :mod:`repro.quant.calibrate`).
+    """
+
+    def __init__(
+        self,
+        config: QuantizationConfig,
+        scheme: RoundingScheme,
+        seed: int = 0,
+        scales: Optional[Dict[str, float]] = None,
+    ):
+        if isinstance(scheme, StochasticRounding):
+            scheme = StochasticRounding(seed=seed)
+        self.context = FixedPointQuant(config, scheme, seed=seed, scales=scales)
+        self.context.reset()
+        #: The snapshotted configuration the plan evaluates.
+        self.config = self.context.config
+        #: Correct predictions over the batches consumed so far.
+        self.correct = 0
+        #: Samples consumed so far (in dataset order).
+        self.samples_seen = 0
+        #: Index of the next batch to consume.
+        self.next_batch = 0
+        #: Exact full-split accuracy, set once every batch is consumed.
+        self.final_accuracy: Optional[float] = None
+
+    @property
+    def complete(self) -> bool:
+        """True once the whole split has been consumed."""
+        return self.final_accuracy is not None
+
+    def record_batch(self, correct: int, samples: int) -> None:
+        """Account one consumed batch (engine-internal)."""
+        self.correct += correct
+        self.samples_seen += samples
+        self.next_batch += 1
+
+    def release_weights(self) -> None:
+        """Drop the pre-quantized weight tensors.
+
+        Called once the plan is complete: no further batches will run,
+        so only the counters and the final accuracy stay live — without
+        this, a retained plan pins a full quantized copy of the model's
+        weights for the engine's lifetime.
+        """
+        self.context.clear_weight_cache()

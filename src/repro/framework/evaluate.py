@@ -1,12 +1,24 @@
 """Quantized-accuracy evaluation — the ``test(quant(model, ...))``
 primitive of the paper's Algorithms 1-3.
 
-The :class:`Evaluator` owns the trained model and the test split, builds
-a :class:`~repro.quant.qcontext.FixedPointQuant` context per candidate
-configuration, and memoizes accuracies: the greedy searches revisit
-configurations (e.g. the +1 restore step of Algorithm 2), and stochastic
-rounding is seeded per evaluation so accuracy is a pure function of
-(config, scheme) — making the cache exact, not approximate.
+The :class:`Evaluator` owns the trained model and the test split and
+serves two queries:
+
+* :meth:`Evaluator.accuracy` — exact full-split accuracy, memoized: the
+  greedy searches revisit configurations (e.g. the +1 restore step of
+  Algorithm 2), and stochastic rounding is seeded per evaluation so
+  accuracy is a pure function of (config, scheme) — making the cache
+  exact, not approximate.
+* :meth:`Evaluator.meets_floor` — the floor verdict the search loops
+  actually need, served by the batched inference engine
+  (:class:`~repro.engine.StreamingEvaluator`) with exact early exit:
+  batches stop as soon as the comparison is decided, and the partial
+  progress is kept so a later exact ``accuracy`` call resumes instead
+  of restarting.
+
+``use_engine=False`` selects the naive path (every query runs the full
+split); it exists for A/B measurement — see
+``benchmarks/bench_engine_speedup.py`` — and produces identical results.
 """
 
 from __future__ import annotations
@@ -15,6 +27,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.engine import StreamingEvaluator, config_signature
 from repro.nn.module import Module
 from repro.nn.trainer import default_predictions, evaluate_accuracy
 from repro.quant.calibrate import calibrate_scales
@@ -22,15 +35,7 @@ from repro.quant.config import QuantizationConfig
 from repro.quant.qcontext import FixedPointQuant
 from repro.quant.rounding import RoundingScheme
 
-
-def config_signature(config: QuantizationConfig) -> Tuple:
-    """Hashable identity of a configuration (for memoization)."""
-    return (
-        config.integer_bits,
-        tuple(config.qw_vector()),
-        tuple(config.qa_vector()),
-        tuple(config.qdr_vector()),
-    )
+__all__ = ["Evaluator", "config_signature"]
 
 
 class Evaluator:
@@ -45,13 +50,18 @@ class Evaluator:
     scheme:
         Rounding scheme applied to every array.
     batch_size:
-        Evaluation batch size (purely a throughput knob).
+        Evaluation batch size (throughput knob and, with the engine,
+        the early-exit granularity).
     seed:
         Seed restored before each evaluation (stochastic rounding).
     calibration_images:
         Inputs used to calibrate per-array power-of-two pre-scaling
         (defaults to a prefix of the test images); see
         :mod:`repro.quant.calibrate`.
+    use_engine:
+        Route queries through the batched inference engine (default).
+        ``False`` evaluates every query over the full split — same
+        results, more batches.
     """
 
     def __init__(
@@ -63,6 +73,7 @@ class Evaluator:
         batch_size: int = 128,
         seed: int = 0,
         calibration_images: Optional[np.ndarray] = None,
+        use_engine: bool = True,
     ):
         self.model = model
         self.images = images
@@ -70,42 +81,108 @@ class Evaluator:
         self.scheme = scheme
         self.batch_size = batch_size
         self.seed = seed
+        #: Full-split quantized evaluations performed (cache misses).
         self.eval_count = 0
+        #: Floor verdicts served (cache hits included).
+        self.probe_count = 0
         self._cache: Dict[Tuple, float] = {}
+        self._fp32_accuracy: Optional[float] = None
+        self._naive_batches = 0
         source = calibration_images if calibration_images is not None else images
         self.scales = calibrate_scales(model, source, batch_size=batch_size)
-
-    def accuracy_fp32(self) -> float:
-        """Full-precision accuracy (the paper's ``accFP32``)."""
-        return evaluate_accuracy(
-            self.model,
-            self.images,
-            self.labels,
-            batch_size=self.batch_size,
-            predict_fn=default_predictions,
+        self.engine: Optional[StreamingEvaluator] = (
+            StreamingEvaluator(
+                model,
+                images,
+                labels,
+                scheme,
+                batch_size=batch_size,
+                seed=seed,
+                scales=self.scales,
+                predict_fn=default_predictions,
+            )
+            if use_engine
+            else None
         )
 
+    @property
+    def num_batches(self) -> int:
+        """Batches in one full pass over the split."""
+        if self.engine is not None:
+            return self.engine.num_batches
+        return -(-int(self.labels.shape[0]) // self.batch_size)
+
+    @property
+    def batches_evaluated(self) -> int:
+        """Quantized-evaluation batches run so far (engine or naive)."""
+        if self.engine is not None:
+            return self.engine.batches_evaluated
+        return self._naive_batches
+
+    def accuracy_fp32(self) -> float:
+        """Full-precision accuracy (the paper's ``accFP32``), memoized.
+
+        Shared-evaluator sweeps run several framework instances against
+        one Evaluator; the FP32 pass is identical every time, so it is
+        computed once per instance.
+        """
+        if self._fp32_accuracy is None:
+            self._fp32_accuracy = evaluate_accuracy(
+                self.model,
+                self.images,
+                self.labels,
+                batch_size=self.batch_size,
+                predict_fn=default_predictions,
+            )
+        return self._fp32_accuracy
+
     def accuracy(self, config: QuantizationConfig) -> float:
-        """Accuracy (%) of the model quantized with ``config``."""
+        """Exact accuracy (%) of the model quantized with ``config``."""
         key = config_signature(config)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        context = FixedPointQuant(
-            config, self.scheme, seed=self.seed, scales=self.scales
-        )
-        context.reset()
-        value = evaluate_accuracy(
-            self.model,
-            self.images,
-            self.labels,
-            batch_size=self.batch_size,
-            q=context,
-            predict_fn=default_predictions,
-        )
+        if self.engine is not None:
+            value = self.engine.accuracy(config)
+        else:
+            context = self.quant_context(config)
+            value = evaluate_accuracy(
+                self.model,
+                self.images,
+                self.labels,
+                batch_size=self.batch_size,
+                q=context,
+                predict_fn=default_predictions,
+            )
+            self._naive_batches += self.num_batches
         self.eval_count += 1
         self._cache[key] = value
         return value
+
+    def meets_floor(self, config: QuantizationConfig, floor: float) -> bool:
+        """Exactly ``accuracy(config) >= floor``, early-exiting batches.
+
+        The engine stops as soon as accumulated correct predictions
+        guarantee the floor or accumulated errors make it unreachable;
+        partial batch results stay cached per config, so a later
+        :meth:`accuracy` call resumes instead of restarting.
+        """
+        self.probe_count += 1
+        key = config_signature(config)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached >= floor
+        if self.engine is not None:
+            verdict = self.engine.meets_floor(config, floor)
+            # A verdict near the floor can consume the whole split;
+            # keep the exact accuracy that fell out rather than
+            # recomputing it after the plan is evicted.
+            value = self.engine.cached_accuracy(config)
+            if value is not None:
+                self.eval_count += 1
+                self._cache[key] = value
+            return verdict
+        return self.accuracy(config) >= floor
 
     def quant_context(
         self, config: QuantizationConfig, seed: Optional[int] = None

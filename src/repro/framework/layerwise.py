@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.engine import floor_oracle
 from repro.framework.evaluate import Evaluator
 from repro.quant.config import QuantizationConfig
 
@@ -52,10 +53,16 @@ def layerwise_quantization(
     drop below ``min_bits`` (a guard the pseudo-code leaves implicit —
     without it, a model whose accuracy never crosses the floor would
     decrement forever).
+
+    Every decrement only needs the floor *verdict*, so candidates are
+    checked through :func:`~repro.engine.floor_oracle` — early-exiting
+    when the evaluator is engine-backed, a plain accuracy comparison
+    otherwise.
     """
     if kind not in _KINDS:
         raise ValueError(f"kind must be one of {_KINDS}, got '{kind}'")
 
+    meets = floor_oracle(evaluator)
     config = config.clone()
     layers: List[str] = config.layer_names
     num_layers = len(layers)
@@ -70,8 +77,7 @@ def layerwise_quantization(
             for name in trailing:
                 bits = _get_bits(candidate, name, kind)
                 _set_bits(candidate, name, kind, max(bits - 1, min_bits))
-            accuracy = evaluator.accuracy(candidate)
-            if accuracy < acc_min:
+            if not meets(candidate, acc_min):
                 break  # keep `config` — the last configuration that passed
             config = candidate
     return config

@@ -24,6 +24,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from repro.engine import floor_oracle
 from repro.framework.dr_quant import routing_quantization
 from repro.framework.evaluate import Evaluator
 from repro.framework.layerwise import layerwise_quantization
@@ -71,6 +72,10 @@ class QCapsNets:
         share its memoized accuracy cache across several framework runs
         (e.g. a sweep over memory budgets with a fixed scheme); when
         given, ``scheme``/``batch_size``/``seed`` are taken from it.
+    use_engine:
+        Route floor comparisons through the batched inference engine
+        (early-exit evaluation; default).  Ignored when ``evaluator``
+        is given — the prebuilt evaluator's setting wins.
     """
 
     def __init__(
@@ -88,6 +93,7 @@ class QCapsNets:
         step1_tolerance_fraction: float = STEP1_TOLERANCE_FRACTION,
         accuracy_fp32: Optional[float] = None,
         evaluator: Optional[Evaluator] = None,
+        use_engine: bool = True,
     ):
         if accuracy_tolerance < 0:
             raise ValueError(
@@ -116,7 +122,7 @@ class QCapsNets:
             self.scheme = scheme
             self.evaluator = Evaluator(
                 model, test_images, test_labels, scheme,
-                batch_size=batch_size, seed=seed,
+                batch_size=batch_size, seed=seed, use_engine=use_engine,
             )
         self.param_counts = model.layer_param_counts()
         self.act_counts = model.layer_activation_counts()
@@ -141,6 +147,12 @@ class QCapsNets:
     # ------------------------------------------------------------------
     def run(self) -> QCapsNetsResult:
         log: List[str] = []
+        meets = floor_oracle(self.evaluator)
+        # Deltas, not lifetime totals: a shared evaluator accumulates
+        # counts across framework runs (e.g. budget sweeps), and the
+        # result should report this run's search cost.
+        batches_before = getattr(self.evaluator, "batches_evaluated", 0)
+        evals_before = self.evaluator.eval_count
 
         acc_fp32 = (
             self._accuracy_fp32
@@ -151,6 +163,8 @@ class QCapsNets:
         log.append(f"accFP32={acc_fp32:.2f}% acc_target={acc_target:.2f}%")
 
         # Step 1 — layer-uniform quantization of weights + activations.
+        # Probes only need the floor verdict (early-exit eligible); the
+        # exact accuracy is measured once, for the chosen wordlength.
         acc_step1 = acc_fp32 * (
             1.0 - self.accuracy_tolerance * self.step1_tolerance_fraction
         )
@@ -159,6 +173,7 @@ class QCapsNets:
             acc_min=acc_step1,
             q_init=self.q_init,
             q_min=max(self.min_bits, 1),
+            meets=lambda bits: meets(self._uniform_config(bits, bits), acc_step1),
         )
         config_s1 = self._uniform_config(q_s1, q_s1)
         log.append(f"step1: uniform Qw=Qa={q_s1} (acc {acc_s1:.2f}%)")
@@ -192,9 +207,14 @@ class QCapsNets:
         if acc_mm > acc_target:
             self._run_path_a(result, config_mm, acc_mm, acc_target)
         else:
-            self._run_path_b(result, config_s1, config_mm, acc_mm, acc_target, q_s1)
+            self._run_path_b(
+                result, config_s1, config_mm, acc_mm, acc_target, q_s1, meets
+            )
 
-        result.eval_count = self.evaluator.eval_count
+        result.eval_count = self.evaluator.eval_count - evals_before
+        result.batches_evaluated = (
+            getattr(self.evaluator, "batches_evaluated", 0) - batches_before
+        )
         return result
 
     def _run_path_a(
@@ -239,20 +259,27 @@ class QCapsNets:
         acc_mm: float,
         acc_target: float,
         q_s1: int,
+        meets,
     ) -> None:
         """Step 3B → ``model_memory`` + ``model_accuracy``."""
         result.model_memory = self._package("model_memory", config_mm, acc_mm)
 
         # Layer-uniform weight reduction from the step-1 wordlength...
-        def measure(bits: int) -> float:
+        def uniform_qw(bits: int) -> QuantizationConfig:
             candidate = config_s1.clone()
             for layer in self.layers:
                 candidate.set_qw(layer, bits)
-            return self.evaluator.accuracy(candidate)
+            return candidate
 
+        # The accuracy at the chosen wordlength is not reported anywhere
+        # (layerwise refinement re-measures the final config), so skip
+        # completing the early-exited success verdict into a full pass.
         qw_uniform, _ = binary_search_wordlength(
-            measure, acc_min=acc_target, q_init=q_s1,
+            measure=None,
+            acc_min=acc_target, q_init=q_s1,
             q_min=max(self.min_bits, 1),
+            meets=lambda bits: meets(uniform_qw(bits), acc_target),
+            need_accuracy=False,
         )
         config = config_s1.clone()
         for layer in self.layers:

@@ -65,6 +65,9 @@ class QCapsNetsResult:
     #: intermediate row of Fig. 11 and useful for ablations).
     model_uniform: Optional[QuantizedModelResult] = None
     eval_count: int = 0
+    #: Evaluation batches run by this search (0 when the evaluator does
+    #: not track batches, e.g. synthetic test oracles).
+    batches_evaluated: int = 0
     log: List[str] = field(default_factory=list)
 
     @property
@@ -84,9 +87,12 @@ class QCapsNetsResult:
         return out
 
     def summary(self) -> str:
+        batches = (
+            f", {self.batches_evaluated} batches" if self.batches_evaluated else ""
+        )
         lines = [
             f"Q-CapsNets result (scheme={self.scheme_name}, path {self.path}, "
-            f"{self.eval_count} quantized evaluations)",
+            f"{self.eval_count} quantized evaluations{batches})",
             f"  accFP32={self.accuracy_fp32:.2f}%  "
             f"acc_target={self.accuracy_target:.2f}%  "
             f"budget={self.memory_budget_bits / 1e6:.3f} Mbit",

@@ -5,26 +5,37 @@ minimum uniform fractional-bit count whose accuracy still meets a floor.
 Accuracy is assumed monotonically non-decreasing in the wordlength —
 true in practice for uniform quantization of a trained network, and the
 standard assumption the paper inherits from the cited search literature.
+
+Every probe of the search only needs the *verdict* of the floor
+comparison, not the accuracy value.  Passing ``meets`` routes the probes
+through a verdict oracle — typically the batched inference engine's
+early-exiting :meth:`~repro.framework.evaluate.Evaluator.meets_floor` —
+and ``measure`` is then consulted only for the accuracy reported
+alongside the chosen wordlength.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 
 def binary_search_wordlength(
-    measure: Callable[[int], float],
+    measure: Optional[Callable[[int], float]],
     acc_min: float,
     q_init: int = 32,
     q_min: int = 1,
-) -> Tuple[int, float]:
+    meets: Optional[Callable[[int], bool]] = None,
+    need_accuracy: bool = True,
+) -> Tuple[int, Optional[float]]:
     """Smallest ``bits`` in ``[q_min, q_init]`` with ``measure(bits) >= acc_min``.
 
     Parameters
     ----------
     measure:
         Maps a fractional-bit count to an accuracy (%).  Called O(log N)
-        times.
+        times — or, when ``meets`` is given, only for the wordlength
+        actually returned.  May be ``None`` (only) when the caller sets
+        ``need_accuracy=False``.
     acc_min:
         Accuracy floor.
     q_init:
@@ -34,26 +45,54 @@ def binary_search_wordlength(
         paper's behaviour of never exceeding the initial wordlength.
     q_min:
         Lower bound of the search space.
+    meets:
+        Optional verdict oracle ``bits -> (accuracy(bits) >= acc_min)``.
+        Must agree exactly with ``measure(bits) >= acc_min``; the
+        engine's early-exit verdicts guarantee this by construction.
+    need_accuracy:
+        ``False`` returns ``(bits, None)`` instead of measuring the
+        chosen wordlength — for callers that discard the accuracy, so
+        (with ``meets``) an early-exited success verdict is not
+        completed into a full evaluation nobody reads.
 
     Returns
     -------
-    (bits, accuracy) at the chosen wordlength.
+    (bits, accuracy) at the chosen wordlength.  The accuracy always
+    corresponds to the returned bit count (``None`` when
+    ``need_accuracy=False``).
     """
     if q_min > q_init:
         raise ValueError(f"q_min ({q_min}) must be <= q_init ({q_init})")
+    if measure is None and (meets is None or need_accuracy):
+        raise ValueError(
+            "measure may only be omitted with meets given and "
+            "need_accuracy=False"
+        )
 
-    top_accuracy = measure(q_init)
-    if top_accuracy < acc_min:
-        return q_init, top_accuracy
+    if meets is None:
+        # Derive verdicts from memoized measurements: each probed bit
+        # count is measured exactly once, and the final measure() of the
+        # returned wordlength is a memo hit — the same call pattern as a
+        # dedicated measurement-driven search.
+        memo = {}
+        measure_raw = measure
+
+        def measure_memo(bits: int) -> float:
+            if bits not in memo:
+                memo[bits] = measure_raw(bits)
+            return memo[bits]
+
+        measure = measure_memo
+        meets = lambda bits: measure_memo(bits) >= acc_min  # noqa: E731
+
+    if not meets(q_init):
+        return q_init, measure(q_init) if need_accuracy else None
 
     low, high = q_min, q_init  # invariant: high satisfies the floor
-    best_accuracy = top_accuracy
     while low < high:
         mid = (low + high) // 2
-        accuracy = measure(mid)
-        if accuracy >= acc_min:
+        if meets(mid):
             high = mid
-            best_accuracy = accuracy
         else:
             low = mid + 1
-    return high, best_accuracy
+    return high, measure(high) if need_accuracy else None

@@ -6,7 +6,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro.autograd.ops_nn import conv2d, conv_output_shape
+from repro.autograd.ops_nn import as_pair, conv2d, conv_output_shape
 from repro.autograd.tensor import Tensor
 from repro.nn import init
 from repro.nn.module import Module, Parameter
@@ -22,7 +22,8 @@ class Conv2d(Module):
     in_channels, out_channels:
         Channel counts.
     kernel_size, stride, padding:
-        Spatial hyperparameters (int or pair).
+        Spatial hyperparameters (int or pair; stored normalized to
+        ``(h, w)`` tuples so downstream consumers see one type).
     bias:
         Whether to add a per-filter bias.
     rng:
@@ -41,12 +42,12 @@ class Conv2d(Module):
     ):
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng(0)
-        kh, kw = (kernel_size, kernel_size) if isinstance(kernel_size, int) else kernel_size
+        kh, kw = as_pair(kernel_size, "kernel_size")
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = (kh, kw)
-        self.stride = stride
-        self.padding = padding
+        self.stride = as_pair(stride, "stride")
+        self.padding = as_pair(padding, "padding")
         self.weight = Parameter(
             init.kaiming_uniform((out_channels, in_channels, kh, kw), rng)
         )

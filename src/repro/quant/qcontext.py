@@ -99,6 +99,14 @@ class FixedPointQuant(QuantContext):
     change between batches), exactly as a deployed model would store
     pre-quantized weights.
 
+    The configuration is **snapshotted** (cloned) at construction: the
+    search algorithms mutate configs in place between probes, and a live
+    reference would let ``set_qw`` change the wordlength the context
+    *reports* while the weight cache kept serving tensors quantized at
+    the old one.  The cache is additionally keyed by the wordlength, so
+    even direct mutation of :attr:`config` can never serve stale
+    weights.
+
     ``scales`` maps array keys (see :func:`act_scale_key` /
     :func:`routing_scale_key`) to power-of-two pre-scaling factors,
     typically produced by :func:`repro.quant.calibrate.calibrate_scales`
@@ -113,11 +121,11 @@ class FixedPointQuant(QuantContext):
         seed: int = 0,
         scales: Optional[Dict[str, float]] = None,
     ):
-        self.config = config
+        self.config = config.clone()
         self.scheme = scheme
         self.seed = seed
         self.scales = scales if scales is not None else {}
-        self._weight_cache: Dict[Tuple[str, str], Tensor] = {}
+        self._weight_cache: Dict[Tuple[str, str, int], Tensor] = {}
 
     def _format(self, fractional_bits: int) -> FixedPointFormat:
         return FixedPointFormat(self.config.integer_bits, fractional_bits)
@@ -132,7 +140,7 @@ class FixedPointQuant(QuantContext):
         bits = self.config[layer].qw
         if bits is None:
             return tensor
-        key = (layer, name)
+        key = (layer, name, bits)
         cached = self._weight_cache.get(key)
         if cached is not None:
             return cached
@@ -154,6 +162,15 @@ class FixedPointQuant(QuantContext):
             return tensor
         scale = self.scales.get(routing_scale_key(layer, array), 1.0)
         return Tensor(self._apply(tensor.data, bits, scale))
+
+    def clear_weight_cache(self) -> None:
+        """Drop the pre-quantized weight tensors (keeps the RNG stream).
+
+        For callers that are done running batches and only want to
+        release memory; :meth:`reset` additionally reseeds stochastic
+        rounding, which would perturb a stream being resumed.
+        """
+        self._weight_cache.clear()
 
     def reset(self) -> None:
         self._weight_cache.clear()

@@ -63,6 +63,91 @@ class TestBinarySearch:
         with pytest.raises(ValueError):
             binary_search_wordlength(lambda b: 0.0, 50.0, q_init=4, q_min=8)
 
+    def test_qmin_equals_qinit(self):
+        calls = []
+
+        def measure(bits):
+            calls.append(bits)
+            return 90.0
+
+        bits, acc = binary_search_wordlength(
+            measure, acc_min=80.0, q_init=6, q_min=6
+        )
+        assert (bits, acc) == (6, 90.0)
+        assert calls == [6]  # the degenerate interval needs one probe
+
+    def test_unmet_floor_returns_qinit_accuracy(self):
+        accuracies = {bits: 10.0 + bits for bits in range(1, 17)}
+        bits, acc = binary_search_wordlength(
+            accuracies.__getitem__, acc_min=80.0, q_init=16
+        )
+        assert bits == 16
+        assert acc == accuracies[16]
+
+    @pytest.mark.parametrize("crossover", [1, 5, 13, 32])
+    def test_returned_accuracy_matches_returned_bits(self, crossover):
+        # Distinct accuracy per bit count: any mismatch between the
+        # returned pair is detectable.
+        def measure(bits):
+            return (90.0 if bits >= crossover else 40.0) + bits / 100.0
+
+        bits, acc = binary_search_wordlength(measure, acc_min=80.0, q_init=32)
+        assert bits == crossover
+        assert acc == measure(bits)
+
+    def test_verdict_probes_defer_measurement(self):
+        """With ``meets``, probes are verdicts; measure() runs once for
+        the chosen wordlength only."""
+        measured = []
+
+        def measure(bits):
+            measured.append(bits)
+            return 90.0 if bits >= 7 else 50.0
+
+        bits, acc = binary_search_wordlength(
+            measure, acc_min=80.0, q_init=32,
+            meets=lambda b: b >= 7,
+        )
+        assert (bits, acc) == (7, 90.0)
+        assert measured == [7]
+
+    def test_verdict_mode_matches_measure_mode(self):
+        for crossover in (1, 4, 9, 32):
+            def measure(bits):
+                return 99.0 if bits >= crossover else 0.0
+
+            plain = binary_search_wordlength(measure, 50.0, q_init=32)
+            verdict = binary_search_wordlength(
+                measure, 50.0, q_init=32, meets=lambda b: measure(b) >= 50.0
+            )
+            assert plain == verdict
+
+    def test_verdict_mode_unmet_floor(self):
+        bits, acc = binary_search_wordlength(
+            lambda b: 10.0, acc_min=80.0, q_init=16, meets=lambda b: False
+        )
+        assert (bits, acc) == (16, 10.0)
+
+    def test_need_accuracy_false_skips_measurement(self):
+        bits, acc = binary_search_wordlength(
+            measure=None, acc_min=80.0, q_init=32,
+            meets=lambda b: b >= 7, need_accuracy=False,
+        )
+        assert (bits, acc) == (7, None)
+        bits, acc = binary_search_wordlength(
+            measure=None, acc_min=80.0, q_init=16,
+            meets=lambda b: False, need_accuracy=False,
+        )
+        assert (bits, acc) == (16, None)
+
+    def test_measure_required_unless_verdict_only(self):
+        with pytest.raises(ValueError):
+            binary_search_wordlength(None, acc_min=80.0, q_init=16)
+        with pytest.raises(ValueError):
+            binary_search_wordlength(
+                None, acc_min=80.0, q_init=16, meets=lambda b: True
+            )
+
 
 class TestEq6:
     def test_exact_descending_assignment(self):

@@ -115,6 +115,24 @@ class TestLayers:
         assert conv.output_shape(8, 8) == (8, 4, 4)
         assert conv.macs(8, 8) == 4 * 4 * 8 * 3 * 9
 
+    def test_conv2d_normalizes_hyperparameters(self):
+        conv = Conv2d(3, 8, 3, stride=2, padding=1, rng=np.random.default_rng(0))
+        assert conv.kernel_size == (3, 3)
+        assert conv.stride == (2, 2)  # always pairs, never mixed types
+        assert conv.padding == (1, 1)
+        pairs = Conv2d(3, 8, (3, 5), stride=(2, 1), rng=np.random.default_rng(0))
+        assert pairs.kernel_size == (3, 5)
+        assert pairs.stride == (2, 1)
+        assert pairs.padding == (0, 0)
+        # numpy integer scalars (e.g. derived from shape arithmetic).
+        np_conv = Conv2d(3, 8, np.int64(3), stride=np.int64(2),
+                         rng=np.random.default_rng(0))
+        assert np_conv.kernel_size == (3, 3)
+        assert np_conv.stride == (2, 2)
+        for bad in [(3, 3, 3), 3.0, "33", True, (3, True)]:
+            with pytest.raises(ValueError):
+                Conv2d(3, 8, bad, rng=np.random.default_rng(0))
+
     def test_sequential(self):
         net = Sequential(
             Linear(4, 8, rng=np.random.default_rng(0)),

@@ -132,6 +132,35 @@ class TestFixedPointQuantContext:
         out = context.routing("L1", "coupling", t)
         assert out.data[0] == pytest.approx(0.5)  # 1 fractional bit
 
+    def test_stale_weight_cache_regression(self):
+        """Mutating a config after building a context must not serve
+        weights quantized at the old wordlength (ISSUE 1 bugfix)."""
+        config = QuantizationConfig.uniform(LAYERS, qw=8)
+        context = FixedPointQuant(config, get_rounding_scheme("RTN"))
+        param = Parameter(np.array([0.1234567], dtype=np.float32))
+        first = context.weight("L1", "w", param)
+        assert first.data[0] == pytest.approx(0.125)  # 8 fractional bits
+        config.set_qw("L1", 2)
+        # The context snapshotted the config: it still *reports* 8 bits,
+        # so the cached 8-bit weights it serves are never stale.
+        assert context.config["L1"].qw == 8
+        again = context.weight("L1", "w", param)
+        assert again.data[0] == first.data[0]
+        # A context built after the mutation uses the new wordlength.
+        fresh = FixedPointQuant(config, get_rounding_scheme("RTN"))
+        assert fresh.weight("L1", "w", param).data[0] == pytest.approx(0.0)
+
+    def test_weight_cache_keyed_by_bits(self):
+        """Even direct mutation of the snapshot cannot hit stale entries:
+        the cache key includes the wordlength."""
+        context = self._context(qw=8)
+        param = Parameter(np.array([0.1234567], dtype=np.float32))
+        assert context.weight("L1", "w", param).data[0] == pytest.approx(0.125)
+        context.config.set_qw("L1", 2)
+        assert context.weight("L1", "w", param).data[0] == pytest.approx(0.0)
+        context.config.set_qw("L1", 8)
+        assert context.weight("L1", "w", param).data[0] == pytest.approx(0.125)
+
     def test_sr_reset_reproducible(self):
         context = self._context(qa=3, scheme="SR")
         t = Tensor(np.random.default_rng(0).uniform(-1, 1, 64).astype(np.float32))
