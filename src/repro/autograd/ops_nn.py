@@ -174,19 +174,58 @@ def conv2d(
     return Tensor(out, True, parents, backward_fn)
 
 
-def max_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None) -> Tensor:
-    """Max pooling over ``(B, C, H, W)`` input (used by CNN baselines)."""
+def _pool_geometry(
+    x: Tensor, kernel: IntPair, stride: Optional[IntPair], padding: IntPair
+) -> Tuple[int, int, int, int, int, int, int, int]:
+    """Shared pooling shape math, validated like :func:`conv2d`.
+
+    Routes the output-shape computation through
+    :func:`conv_output_shape`, so a configuration yielding an empty
+    output raises the same ``ValueError`` a convolution would instead of
+    being accepted silently.
+    """
+    kh, kw = as_pair(kernel, "kernel")
+    sh, sw = as_pair(stride if stride is not None else kernel, "stride")
+    ph, pw = as_pair(padding, "padding")
+    if ph >= kh or pw >= kw:
+        # With padding < kernel every window overlaps at least one real
+        # cell; beyond that, windows fall entirely inside the padding
+        # and a max pool would emit -inf.
+        raise ValueError(
+            f"pooling padding ({ph}, {pw}) must be smaller than the "
+            f"kernel ({kh}, {kw})"
+        )
+    _, _, height, width = x.shape
+    out_h, out_w = conv_output_shape(height, width, (kh, kw), (sh, sw), (ph, pw))
+    return kh, kw, sh, sw, ph, pw, out_h, out_w
+
+
+def max_pool2d(
+    x: Tensor,
+    kernel: IntPair,
+    stride: Optional[IntPair] = None,
+    padding: IntPair = 0,
+) -> Tensor:
+    """Max pooling over ``(B, C, H, W)`` input (used by CNN baselines).
+
+    ``stride`` defaults to ``kernel``; padded positions hold ``-inf`` so
+    they never win a window.  Shape validation matches :func:`conv2d`.
+    """
     x = as_tensor(x)
-    kh, kw = as_pair(kernel)
-    sh, sw = as_pair(stride if stride is not None else kernel)
+    kh, kw, sh, sw, ph, pw, out_h, out_w = _pool_geometry(
+        x, kernel, stride, padding
+    )
     batch, channels, height, width = x.shape
-    out_h = (height - kh) // sh + 1
-    out_w = (width - kw) // sw + 1
+    data = x.data
+    if ph or pw:
+        data = np.pad(
+            data, ((0, 0), (0, 0), (ph, ph), (pw, pw)), constant_values=-np.inf
+        )
 
     windows = np.empty((batch, channels, out_h, out_w, kh * kw), dtype=x.dtype)
     for i in range(kh):
         for j in range(kw):
-            windows[..., i * kw + j] = x.data[
+            windows[..., i * kw + j] = data[
                 :, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw
             ]
     arg = windows.argmax(axis=-1)
@@ -196,43 +235,65 @@ def max_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None) -> 
         return Tensor(out)
 
     def backward_fn(grad: np.ndarray) -> None:
-        grad_x = np.zeros_like(x.data)
+        grad_pad = np.zeros(
+            (batch, channels, height + 2 * ph, width + 2 * pw), dtype=x.dtype
+        )
         offsets_i = arg // kw
         offsets_j = arg % kw
         b_idx, c_idx, oh_idx, ow_idx = np.indices(arg.shape)
         rows = oh_idx * sh + offsets_i
         cols_ = ow_idx * sw + offsets_j
-        np.add.at(grad_x, (b_idx, c_idx, rows, cols_), grad)
-        x._accumulate(grad_x)
+        np.add.at(grad_pad, (b_idx, c_idx, rows, cols_), grad)
+        if ph or pw:
+            grad_pad = grad_pad[:, :, ph : ph + height, pw : pw + width]
+        x._accumulate(grad_pad)
 
     return Tensor(out, True, (x,), backward_fn)
 
 
-def avg_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None) -> Tensor:
-    """Average pooling over ``(B, C, H, W)`` input."""
+def avg_pool2d(
+    x: Tensor,
+    kernel: IntPair,
+    stride: Optional[IntPair] = None,
+    padding: IntPair = 0,
+) -> Tensor:
+    """Average pooling over ``(B, C, H, W)`` input.
+
+    ``stride`` defaults to ``kernel``; padded positions count as zeros
+    in the average (the window divisor is always ``kh * kw``).  Shape
+    validation matches :func:`conv2d`.
+    """
     x = as_tensor(x)
-    kh, kw = as_pair(kernel)
-    sh, sw = as_pair(stride if stride is not None else kernel)
+    kh, kw, sh, sw, ph, pw, out_h, out_w = _pool_geometry(
+        x, kernel, stride, padding
+    )
     batch, channels, height, width = x.shape
-    out_h = (height - kh) // sh + 1
-    out_w = (width - kw) // sw + 1
+    data = x.data
+    if ph or pw:
+        data = np.pad(data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
 
     out = np.zeros((batch, channels, out_h, out_w), dtype=x.dtype)
     for i in range(kh):
         for j in range(kw):
-            out += x.data[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw]
+            out += data[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw]
     out /= kh * kw
 
     if not (grad_enabled() and x.requires_grad):
         return Tensor(out)
 
     def backward_fn(grad: np.ndarray) -> None:
-        grad_x = np.zeros_like(x.data)
+        grad_pad = np.zeros(
+            (batch, channels, height + 2 * ph, width + 2 * pw), dtype=x.dtype
+        )
         share = grad / (kh * kw)
         for i in range(kh):
             for j in range(kw):
-                grad_x[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw] += share
-        x._accumulate(grad_x)
+                grad_pad[
+                    :, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw
+                ] += share
+        if ph or pw:
+            grad_pad = grad_pad[:, :, ph : ph + height, pw : pw + width]
+        x._accumulate(grad_pad)
 
     return Tensor(out, True, (x,), backward_fn)
 

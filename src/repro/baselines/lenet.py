@@ -18,7 +18,7 @@ from repro.autograd.ops_nn import avg_pool2d, conv2d, relu
 from repro.autograd.tensor import Tensor, no_grad
 from repro.nn.conv import Conv2d
 from repro.nn.layers import Linear
-from repro.nn.module import Module
+from repro.nn.module import ForwardStage, Module
 from repro.quant.qcontext import NULL_CONTEXT, QuantContext, RecordingContext
 
 
@@ -69,25 +69,72 @@ class LeNet5(Module):
         self.fc3 = Linear(84, num_classes, rng=rng)
 
     def forward(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
+        for stage in self.stages():
+            x = stage.fn(x, q)
+        return x
+
+    # ------------------------------------------------------------------
+    # Staged decomposition (consumed by repro.engine.staged)
+    # ------------------------------------------------------------------
+    def stages(self) -> List[ForwardStage]:
+        """Ordered stage decomposition of ``forward`` (see
+        :class:`~repro.nn.module.ForwardStage`): a compute and an
+        activation-quantization step per quantization layer, so the
+        prefix-reuse engine serves the CNN baseline with the same
+        machinery as the CapsNets.  Folding the input through the stages
+        **is** the forward pass.
+        """
+        steps: List[ForwardStage] = []
+        for name, compute in (
+            ("L1", self._stage_l1_compute),
+            ("L2", self._stage_l2_compute),
+            ("L3", self._stage_l3_compute),
+            ("L4", self._stage_l4_compute),
+            ("L5", self._stage_l5_compute),
+        ):
+            steps.append(ForwardStage(name, ("qw",), compute))
+            steps.append(
+                ForwardStage(name, ("qa",), self._act_stage(name), tag="act")
+            )
+        return steps
+
+    @staticmethod
+    def _act_stage(name: str):
+        def act(x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
+            return q.act(name, x)
+
+        return act
+
+    def _stage_l1_compute(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
         w1 = q.weight("L1", "weight", self.conv1.weight)
         b1 = q.weight("L1", "bias", self.conv1.bias)
         x = relu(conv2d(x, w1, b1, 1, self.conv1.padding))
-        x = q.act("L1", avg_pool2d(x, 2))
+        return avg_pool2d(x, 2)
 
+    def _stage_l2_compute(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
         w2 = q.weight("L2", "weight", self.conv2.weight)
         b2 = q.weight("L2", "bias", self.conv2.bias)
         x = relu(conv2d(x, w2, b2, 1, 0))
-        x = q.act("L2", avg_pool2d(x, 2))
+        return avg_pool2d(x, 2)
 
-        x = x.flatten(1)
-        for name, layer in (("L3", self.fc1), ("L4", self.fc2), ("L5", self.fc3)):
-            weight = q.weight(name, "weight", layer.weight)
-            bias = q.weight(name, "bias", layer.bias)
-            x = x @ weight.swapaxes(-1, -2) + bias
-            if name != "L5":
-                x = relu(x)
-            x = q.act(name, x)
+    def _fc_compute(
+        self, name: str, layer: Linear, x: Tensor, q: QuantContext
+    ) -> Tensor:
+        weight = q.weight(name, "weight", layer.weight)
+        bias = q.weight(name, "bias", layer.bias)
+        x = x @ weight.swapaxes(-1, -2) + bias
+        if name != "L5":
+            x = relu(x)
         return x
+
+    def _stage_l3_compute(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
+        return self._fc_compute("L3", self.fc1, x.flatten(1), q)
+
+    def _stage_l4_compute(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
+        return self._fc_compute("L4", self.fc2, x, q)
+
+    def _stage_l5_compute(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
+        return self._fc_compute("L5", self.fc3, x, q)
 
     def layer_param_counts(self) -> Dict[str, int]:
         return {

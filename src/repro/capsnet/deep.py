@@ -29,7 +29,7 @@ from repro.capsnet.conv_caps import ConvCaps2d, ConvCaps3d
 from repro.capsnet.squash import squash
 from repro.nn.conv import Conv2d
 from repro.nn.layers import BatchNorm2d
-from repro.nn.module import Module
+from repro.nn.module import ForwardStage, Module
 from repro.quant.qcontext import NULL_CONTEXT, QuantContext, RecordingContext
 
 
@@ -102,11 +102,20 @@ class CapsCell(Module):
             )
 
     def forward(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
+        return q.act(self.name, self.compute(x, q))
+
+    def compute(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
+        """Everything up to (not including) the cell-output quantization.
+
+        Depends on the cell's weights (and, with a routed skip, on its
+        ``qa``/``qdr`` through the routing loop) but not on the final
+        activation hook — the staged engine caches this boundary
+        separately so activation-only probes skip the convolutions.
+        """
         trunk = self.conv1(x, q=q)
         main = self.conv3(self.conv2(trunk, q=q), q=q)
         lateral = self.skip(trunk, q=q)
-        merged = squash(main + lateral, axis=2)
-        return q.act(self.name, merged)
+        return squash(main + lateral, axis=2)
 
     def param_count(self) -> int:
         count = 0
@@ -174,20 +183,61 @@ class DeepCaps(Module):
         )
 
     def forward(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
+        for stage in self.stages():
+            x = stage.fn(x, q)
+        return x
+
+    # ------------------------------------------------------------------
+    # Staged decomposition (consumed by repro.engine.staged)
+    # ------------------------------------------------------------------
+    def stages(self) -> List[ForwardStage]:
+        """Ordered stage decomposition of ``forward`` (see
+        :class:`~repro.nn.module.ForwardStage`).
+
+        Two steps per Fig. 12 layer — compute and activation
+        quantization — so activation-only probes reuse the cached
+        convolution outputs.  The last cell's compute step additionally
+        consumes ``qa``/``qdr`` (its skip branch routes), as does the
+        class-capsule step.  Folding the input through the stages **is**
+        the forward pass.
+        """
+        steps: List[ForwardStage] = [
+            ForwardStage("L1", ("qw",), self._stage_l1_compute),
+            ForwardStage("L1", ("qa",), self._stage_l1_act, tag="act"),
+        ]
+        for cell in self._cells:
+            fields = ("qw", "qa", "qdr") if cell.routed_skip else ("qw",)
+            steps.append(ForwardStage(cell.name, fields, cell.compute))
+            steps.append(
+                ForwardStage(
+                    cell.name, ("qa",), self._cell_act(cell), tag="act"
+                )
+            )
+        steps.append(ForwardStage("L6", ("qw", "qa", "qdr"), self._stage_l6))
+        return steps
+
+    @staticmethod
+    def _cell_act(cell: CapsCell):
+        def act(x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
+            return q.act(cell.name, x)
+
+        return act
+
+    def _stage_l1_compute(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
         weight = q.weight("L1", "weight", self.conv1.weight)
         bias = q.weight("L1", "bias", self.conv1.bias)
         features = conv2d(x, weight, bias, self.conv1.stride, self.conv1.padding)
-        features = relu(self.bn1(features))
-        features = q.act("L1", features)
+        return relu(self.bn1(features))
 
+    def _stage_l1_act(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
+        features = q.act("L1", x)
         batch, channels, height, width = features.shape
         dim0 = self.config.cell_dims[0]
-        capsules = features.reshape(batch, channels // dim0, dim0, height, width)
-        for cell in self._cells:
-            capsules = cell(capsules, q=q)
+        return features.reshape(batch, channels // dim0, dim0, height, width)
 
-        batch, types, dim, height, width = capsules.shape
-        flat = capsules.transpose(0, 1, 3, 4, 2).reshape(
+    def _stage_l6(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
+        batch, types, dim, height, width = x.shape
+        flat = x.transpose(0, 1, 3, 4, 2).reshape(
             batch, types * height * width, dim
         )
         return self.class_caps(flat, q=q)

@@ -64,6 +64,14 @@ class PrimaryCaps(Module):
 
     def forward(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
         """``(B, C, H, W)`` feature map → ``(B, num_caps, caps_dim)``."""
+        return q.act(self.name, self.compute(x, q))
+
+    def compute(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
+        """Everything up to (not including) the activation quantization.
+
+        Depends on the layer's weights (``qw``) but not its ``qa``,
+        which is why the staged engine caches this boundary separately.
+        """
         weight = q.weight(self.name, "weight", self.conv.weight)
         bias = q.weight(self.name, "bias", self.conv.bias)
         out = conv2d(x, weight, bias, self.conv.stride, self.conv.padding)
@@ -72,8 +80,7 @@ class PrimaryCaps(Module):
         capsules = out.reshape(batch, self.caps_types, self.caps_dim, height, width)
         capsules = capsules.transpose(0, 1, 3, 4, 2)
         capsules = capsules.reshape(batch, self.caps_types * height * width, self.caps_dim)
-        activated = squash(capsules, axis=-1)
-        return q.act(self.name, activated)
+        return squash(capsules, axis=-1)
 
     def output_caps(self, height: int, width: int) -> Tuple[int, int]:
         """(num_capsules, caps_dim) for a given input spatial size."""

@@ -65,20 +65,34 @@ def dynamic_routing(
     votes = q.act(layer, votes)
     batch, in_caps, out_caps, _ = votes.shape
     logits = Tensor(np.zeros((batch, in_caps, out_caps), dtype=np.float32))
+    # Both contractions below run as matmuls over a (B, J, I, D) view of
+    # the votes, so no (B, I, J, D) elementwise temporary is materialized
+    # per iteration (the former broadcast-multiply-then-sum built one for
+    # the preactivation and one for the agreement).  matmul accumulates
+    # the I / D sums in a different order than sum(), so outputs match
+    # the reference contraction to float32 roundoff (~1e-6 relative, see
+    # tests/test_capsnet_squash_routing.py) rather than bit-for-bit.
+    votes_t = votes.transpose(0, 2, 1, 3)
 
     activation = None
     for iteration in range(iterations):
         logits = q.routing(layer, "logits", logits)
         coupling = softmax(logits, axis=2)
         coupling = q.routing(layer, "coupling", coupling)
-        # s_j = Σ_i c_ij · û_{j|i}
-        preactivation = (coupling.expand_dims(-1) * votes).sum(axis=1)
+        # s_j = Σ_i c_ij · û_{j|i} — (B, J, 1, I) @ (B, J, I, D)
+        preactivation = (
+            coupling.transpose(0, 2, 1).expand_dims(2) @ votes_t
+        ).squeeze(2)
         preactivation = q.routing(layer, "preactivation", preactivation)
         activation = squash(preactivation, axis=-1)
         activation = q.routing(layer, "activation", activation)
         if iteration < iterations - 1:
-            # a_ij = v_j · û_{j|i}  (scalar product per (i, j) pair)
-            agreement = (activation.expand_dims(1) * votes).sum(axis=-1)
+            # a_ij = v_j · û_{j|i} — (B, J, I, D) @ (B, J, D, 1)
+            agreement = (
+                (votes_t @ activation.expand_dims(-1))
+                .squeeze(-1)
+                .transpose(0, 2, 1)
+            )
             agreement = q.routing(layer, "agreement", agreement)
             logits = logits + agreement
     return activation

@@ -14,15 +14,29 @@ accuracy itself.  This subsystem answers those floor questions with an
   full-split number;
 * :func:`~repro.engine.streaming.floor_oracle` — adapter the framework
   algorithms use so any evaluator (including the synthetic oracles in
-  the test suite) can serve floor verdicts.
+  the test suite) can serve floor verdicts;
+* :class:`~repro.engine.staged.StagedExecutor` — staged forward engine
+  with cross-config activation prefix reuse: models expose a
+  ``stages()`` decomposition, and a probe that differs from an already
+  evaluated configuration only from layer ``k`` down resumes every
+  batch from the cached boundary activation at ``k-1`` (bit-identical
+  results, including under stochastic rounding — see
+  :mod:`repro.engine.staged`).
 
 The framework's :class:`~repro.framework.evaluate.Evaluator` routes all
 of Algorithm 1 through this engine by default; see
 ``benchmarks/bench_engine_speedup.py`` for the measured reduction in
-evaluated batches.
+evaluated batches and ``benchmarks/bench_prefix_cache.py`` for the
+stage-level work avoided by prefix reuse.
 """
 
 from repro.engine.plan import InferencePlan, config_signature
+from repro.engine.staged import (
+    DEFAULT_PREFIX_CACHE_BYTES,
+    PrefixCache,
+    StagedExecutor,
+    stage_fingerprints,
+)
 from repro.engine.streaming import (
     StreamingEvaluator,
     floor_oracle,
@@ -30,9 +44,13 @@ from repro.engine.streaming import (
 )
 
 __all__ = [
+    "DEFAULT_PREFIX_CACHE_BYTES",
     "InferencePlan",
+    "PrefixCache",
+    "StagedExecutor",
     "StreamingEvaluator",
     "config_signature",
     "floor_oracle",
     "floor_threshold",
+    "stage_fingerprints",
 ]

@@ -1,0 +1,408 @@
+"""Staged forward execution with cross-config activation prefix reuse.
+
+Algorithm 1 probes dozens of configurations that differ from their
+predecessor in only one layer, yet a naive probe re-runs the forward
+pass from the pixels up.  Both reference CapsNets (and the CNN
+baselines) are feed-forward chains, so every activation *before* the
+first layer whose quantization changed is bit-identical across such
+probes.  This module recomputes only from the change down:
+
+* models expose ``stages()`` — an ordered decomposition of their
+  forward pass into :class:`~repro.nn.module.ForwardStage` steps; the
+  fold over stages **is** the forward, so the decomposition cannot
+  drift from the model.  Layers are split at their compute/quantize
+  boundary, each step declaring which config fields (``qw``/``qa``/
+  ``qdr``) it consumes — an activation-bits-only probe therefore reuses
+  the expensive compute outputs and re-runs only the quantization hook;
+* :func:`stage_fingerprints` captures everything a stage boundary
+  activation depends on besides the input batch: the consumed config
+  fields of every prefix step, the rounding scheme and seed, the
+  calibrated scales and (for stochastic rounding) the draw-consumption
+  pattern of the whole configuration;
+* :class:`PrefixCache` is a bytes-capped LRU of per-(batch, stage)
+  boundary activations keyed by prefix fingerprint;
+* :class:`StagedExecutor` resumes each batch's forward pass from the
+  deepest cached boundary whose fingerprint matches.
+
+Exactness
+---------
+
+For the deterministic schemes (TRN/RTN/RTNE) every boundary activation
+is a pure function of (batch, prefix wordlengths, scheme, scales) — all
+fingerprinted — so a cache hit substitutes a bit-identical tensor.
+
+Stochastic rounding threads one RNG stream through the evaluation, and
+three properties keep prefix reuse exact (asserted by
+``tests/test_staged_prefix.py``):
+
+1. the stream *position* at any point depends only on how many draws
+   each quantization site consumed — array shapes are fixed per batch,
+   so the position depends on which sites are active, never on the
+   wordlength values.  The fingerprint therefore includes the
+   None-or-not pattern of **all** layers, and two matching plans
+   traverse identical stream positions everywhere;
+2. each cache entry stores the producer's RNG state at the boundary;
+   restoring it on resume places the consumer at exactly the position
+   an uninterrupted evaluation would have reached, so every downstream
+   draw — and therefore every prediction — is unchanged;
+3. each entry also carries the quantized prefix *weights*: weights are
+   drawn lazily at first use, so a consumer that later computes a batch
+   the cache no longer covers must reuse the producer's tensors instead
+   of re-drawing them at the wrong stream position (the fingerprint
+   match guarantees they are bit-identical to what the consumer's own
+   uncached run would have produced).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import ForwardStage
+from repro.quant.qcontext import (
+    FixedPointQuant,
+    act_scale_key,
+    routing_scale_key,
+)
+from repro.quant.rounding import StochasticRounding
+
+#: Default byte budget for boundary activations (enough for every batch
+#: boundary of the laptop-scale models times a handful of live prefixes).
+DEFAULT_PREFIX_CACHE_BYTES = 256 * 1024 * 1024
+
+
+def _stage_token(
+    stage: ForwardStage, context: FixedPointQuant
+) -> Tuple:
+    """What one stage's output depends on: the consumed config fields
+    plus the calibration scales its hooks read."""
+    spec = context.config[stage.layer]
+    token: List[object] = [stage.name]
+    for field in stage.fields:
+        if field == "qw":
+            token.append(("qw", spec.qw))
+        elif field == "qa":
+            token.append(
+                ("qa", spec.qa, context.scales.get(act_scale_key(stage.layer)))
+            )
+        elif field == "qdr":
+            prefix = routing_scale_key(stage.layer, "")
+            routing_scales = tuple(
+                (key, context.scales[key])
+                for key in sorted(context.scales)
+                if key.startswith(prefix)
+            )
+            token.append(("qdr", spec.effective_qdr(), routing_scales))
+        else:  # pragma: no cover - guards stage definitions
+            raise ValueError(f"unknown stage field '{field}'")
+    return tuple(token)
+
+
+def stage_fingerprints(
+    stages: Sequence[ForwardStage], context: FixedPointQuant
+) -> Tuple[Tuple, ...]:
+    """Per-stage prefix fingerprints for a quantization context.
+
+    Entry ``k`` identifies everything the activation *after* stage ``k``
+    depends on besides the input batch: two contexts with equal
+    fingerprints at ``k`` produce bit-identical boundary activations
+    there (see the module docstring for the stochastic-rounding
+    argument).  Changing any consumed prefix field, the scheme, the
+    seed or a calibration scale changes the fingerprint and invalidates
+    the prefix.
+    """
+    config = context.config
+    scheme = context.scheme
+    base: List[object] = [
+        config.integer_bits,
+        (type(scheme).__name__, scheme.name, context.seed),
+    ]
+    if isinstance(scheme, StochasticRounding):
+        # SR stream positions depend on the draw counts of *every*
+        # quantization site up-stream in evaluation order — including
+        # suffix sites of earlier batches.  Sites are active iff their
+        # wordlength is set, so the active-site pattern of the whole
+        # config must match for two plans to share any prefix.
+        base.append(
+            tuple(
+                (spec.qw is None, spec.qa is None, spec.effective_qdr() is None)
+                for spec in (config[name] for name in config.layer_names)
+            )
+        )
+    base_token = tuple(base)
+
+    fingerprints = []
+    prefix: List[Tuple] = []
+    for stage in stages:
+        prefix.append(_stage_token(stage, context))
+        fingerprints.append((base_token, tuple(prefix)))
+    return tuple(fingerprints)
+
+
+class CacheEntry:
+    """One cached stage boundary: activation + resume state.
+
+    ``nbytes`` covers the activation array only; the carried weight
+    tensors are shared across entries and accounted (deduplicated by
+    identity) at the :class:`PrefixCache` level.
+    """
+
+    __slots__ = ("activation", "rng_state", "weights", "nbytes")
+
+    def __init__(
+        self,
+        activation: np.ndarray,
+        rng_state: Optional[dict],
+        weights: Dict[Tuple[str, str, int], Tensor],
+    ):
+        self.activation = activation
+        self.rng_state = rng_state
+        self.weights = weights
+        self.nbytes = int(activation.nbytes)
+
+
+class PrefixCache:
+    """Bytes-capped LRU of stage-boundary activations.
+
+    Keys are ``(batch_index, stage_index, prefix_fingerprint)``.  The
+    byte accounting covers the activation arrays plus the carried
+    quantized-weight tensors, the latter deduplicated by identity —
+    every boundary of one configuration references the same weight
+    tensors, and once the owning plan completes (or is evicted) the
+    cache entries become their sole owners, so they must count against
+    the cap exactly once.  Counters: ``hits`` / ``misses`` per lookup
+    (:meth:`peek` is counter-neutral), ``stores``, ``evictions``, and
+    the live ``current_bytes``.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_PREFIX_CACHE_BYTES):
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[Tuple, CacheEntry]" = OrderedDict()
+        #: id(tensor) -> [reference count, nbytes] for carried weights.
+        self._weight_refs: Dict[int, List[int]] = {}
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        #: Entries refused because a single activation exceeds the cap.
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _retain_weights(self, entry: CacheEntry) -> None:
+        for tensor in entry.weights.values():
+            ref = self._weight_refs.get(id(tensor))
+            if ref is None:
+                nbytes = int(tensor.data.nbytes)
+                self._weight_refs[id(tensor)] = [1, nbytes]
+                self.current_bytes += nbytes
+            else:
+                ref[0] += 1
+
+    def _release_weights(self, entry: CacheEntry) -> None:
+        for tensor in entry.weights.values():
+            ref = self._weight_refs[id(tensor)]
+            ref[0] -= 1
+            if ref[0] == 0:
+                del self._weight_refs[id(tensor)]
+                self.current_bytes -= ref[1]
+
+    def peek(self, key: Tuple) -> Optional[CacheEntry]:
+        """Lookup without touching the counters or the LRU order.
+
+        The executor probes several depths per batch run and records one
+        hit or one miss for the run as a whole; per-probe counting would
+        overstate misses by up to ``num_stages - 1``.
+        """
+        return self._entries.get(key)
+
+    def get(self, key: Tuple) -> Optional[CacheEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def count_miss(self) -> None:
+        """Record one miss for a probe sequence that found nothing."""
+        self.misses += 1
+
+    def put(self, key: Tuple, entry: CacheEntry) -> None:
+        if entry.nbytes > self.max_bytes:
+            self.rejected += 1
+            return
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self.current_bytes -= previous.nbytes
+            self._release_weights(previous)
+        self._entries[key] = entry
+        self.current_bytes += entry.nbytes
+        self._retain_weights(entry)
+        self.stores += 1
+        while self.current_bytes > self.max_bytes and self._entries:
+            _, victim = self._entries.popitem(last=False)
+            self.current_bytes -= victim.nbytes
+            self._release_weights(victim)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._weight_refs.clear()
+        self.current_bytes = 0
+
+
+class StagedExecutor:
+    """Runs a staged model, resuming from cached prefix activations.
+
+    Parameters
+    ----------
+    model:
+        Model exposing a ``stages()`` decomposition (ShallowCaps,
+        DeepCaps, LeNet5).
+    max_bytes:
+        Byte cap of the boundary-activation LRU.
+
+    The executor serves *all* plans of one
+    :class:`~repro.engine.streaming.StreamingEvaluator`: the cache is
+    shared across configurations, which is where the savings come from —
+    a probe differing from an already-evaluated config only in layer
+    ``k`` resumes every batch from the cached boundary ``k-1`` and only
+    recomputes stages ``k..L``.
+
+    The model is assumed **frozen** for the executor's lifetime — the
+    same contract the engine's plans rely on for their quantized-weight
+    caches.  Fingerprints cover the quantization state, not the
+    parameter values, so mutating weights in place (e.g. a fine-tuning
+    pass) without calling ``cache.clear()`` would serve stale boundary
+    activations.
+    """
+
+    def __init__(self, model, max_bytes: int = DEFAULT_PREFIX_CACHE_BYTES):
+        stages = getattr(model, "stages", None)
+        if not callable(stages):
+            raise TypeError(
+                f"{type(model).__name__} has no stages() decomposition"
+            )
+        self.model = model
+        self.stage_list: List[ForwardStage] = list(stages())
+        if not self.stage_list:
+            raise ValueError("stages() returned an empty decomposition")
+        self.stage_names = [stage.name for stage in self.stage_list]
+        #: Quantization layers touched by stages 0..k (weight-snapshot
+        #: scope of the boundary after stage k).
+        self._prefix_layers: List[frozenset] = []
+        seen: set = set()
+        for stage in self.stage_list:
+            seen.add(stage.layer)
+            self._prefix_layers.append(frozenset(seen))
+        self.cache = PrefixCache(max_bytes)
+        #: Stage callables actually run (the bench's headline metric).
+        self.stage_executions = 0
+        #: Stage callables skipped by resuming from a cached boundary.
+        self.stages_skipped = 0
+        #: Batch runs served at least partially from the cache.
+        self.resumes = 0
+        #: Total batch runs.
+        self.runs = 0
+        self.executed_by_stage: Dict[str, int] = {
+            name: 0 for name in self.stage_names
+        }
+        self.skipped_by_stage: Dict[str, int] = {
+            name: 0 for name in self.stage_names
+        }
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stage_list)
+
+    def fingerprints(self, context: FixedPointQuant) -> Tuple[Tuple, ...]:
+        """Per-stage fingerprints for ``context`` (memoized on it —
+        plan contexts snapshot their config, so the result is stable)."""
+        cached = getattr(context, "_stage_fingerprints", None)
+        if cached is None:
+            cached = stage_fingerprints(self.stage_list, context)
+            context._stage_fingerprints = cached
+        return cached
+
+    def run(
+        self, batch_index: int, x: Tensor, context: FixedPointQuant
+    ) -> Tensor:
+        """Forward ``x`` (batch ``batch_index`` of the evaluator's fixed
+        split) through the stages, resuming from the deepest cached
+        boundary whose prefix fingerprint matches ``context``."""
+        fps = self.fingerprints(context)
+        self.runs += 1
+        start = 0
+        current = x
+        for k in range(self.num_stages - 1, -1, -1):
+            # peek() keeps the probe loop counter-neutral; the get()
+            # below records the single hit (and refreshes LRU order).
+            if self.cache.peek((batch_index, k, fps[k])) is None:
+                continue
+            entry = self.cache.get((batch_index, k, fps[k]))
+            if entry is not None:
+                current = Tensor(entry.activation)
+                context.merge_weight_cache(entry.weights)
+                if entry.rng_state is not None and isinstance(
+                    context.scheme, StochasticRounding
+                ):
+                    context.scheme.set_state(entry.rng_state)
+                start = k + 1
+                self.resumes += 1
+                self.stages_skipped += start
+                for name in self.stage_names[:start]:
+                    self.skipped_by_stage[name] += 1
+                break
+        else:
+            self.cache.count_miss()
+        for k in range(start, self.num_stages):
+            stage = self.stage_list[k]
+            current = stage.fn(current, context)
+            self.stage_executions += 1
+            self.executed_by_stage[stage.name] += 1
+            self._store(batch_index, k, fps[k], current, context)
+        return current
+
+    def _store(
+        self,
+        batch_index: int,
+        stage_index: int,
+        fingerprint: Tuple,
+        activation: Tensor,
+        context: FixedPointQuant,
+    ) -> None:
+        rng_state = (
+            context.scheme.get_state()
+            if isinstance(context.scheme, StochasticRounding)
+            else None
+        )
+        weights = context.weight_cache_snapshot(self._prefix_layers[stage_index])
+        self.cache.put(
+            (batch_index, stage_index, fingerprint),
+            CacheEntry(activation.data, rng_state, weights),
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """Counter snapshot for logs, benchmarks and result objects."""
+        return {
+            "runs": self.runs,
+            "resumes": self.resumes,
+            "stage_executions": self.stage_executions,
+            "stages_skipped": self.stages_skipped,
+            "executed_by_stage": dict(self.executed_by_stage),
+            "skipped_by_stage": dict(self.skipped_by_stage),
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_entries": len(self.cache),
+            "cache_bytes": self.cache.current_bytes,
+            "cache_evictions": self.cache.evictions,
+        }

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
 from repro.engine.plan import InferencePlan, config_signature
+from repro.engine.staged import DEFAULT_PREFIX_CACHE_BYTES, StagedExecutor
 from repro.nn.module import Module
 from repro.nn.trainer import default_predictions
 from repro.quant.config import QuantizationConfig
@@ -107,6 +108,15 @@ class StreamingEvaluator:
         suffices.  Eviction is least-recently-used and only costs
         re-evaluation time: a re-created plan replays from batch 0
         with an identical stream, so results are unaffected.
+    use_prefix_cache:
+        Resume forward passes from cached cross-config prefix
+        activations (default; requires the model to expose a
+        ``stages()`` decomposition — models without one silently fall
+        back to whole-model forwards).  ``False`` always runs the full
+        forward, for A/B measurement — results are bit-identical either
+        way (see :mod:`repro.engine.staged`).
+    prefix_cache_bytes:
+        Byte cap of the boundary-activation LRU.
     """
 
     def __init__(
@@ -120,6 +130,8 @@ class StreamingEvaluator:
         scales: Optional[Dict[str, float]] = None,
         predict_fn: Callable[[Tensor], np.ndarray] = default_predictions,
         max_plans: int = 16,
+        use_prefix_cache: bool = True,
+        prefix_cache_bytes: int = DEFAULT_PREFIX_CACHE_BYTES,
     ):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -139,6 +151,13 @@ class StreamingEvaluator:
             raise ValueError("cannot evaluate on an empty split")
         self.num_batches = -(-self.total // batch_size)
         self._plans: "OrderedDict[tuple, InferencePlan]" = OrderedDict()
+        #: Staged prefix-reuse executor (None when disabled or when the
+        #: model has no stages() decomposition).
+        self.executor: Optional[StagedExecutor] = (
+            StagedExecutor(model, max_bytes=prefix_cache_bytes)
+            if use_prefix_cache and callable(getattr(model, "stages", None))
+            else None
+        )
         #: Batches actually run through the model (the bench metric).
         self.batches_evaluated = 0
         #: Configurations evaluated over the full split.
@@ -195,7 +214,11 @@ class StreamingEvaluator:
         start = plan.next_batch * self.batch_size
         stop = min(start + self.batch_size, self.total)
         with no_grad():
-            outputs = self.model(Tensor(self.images[start:stop]), q=plan.context)
+            batch = Tensor(self.images[start:stop])
+            if self.executor is not None:
+                outputs = self.executor.run(plan.next_batch, batch, plan.context)
+            else:
+                outputs = self.model(batch, q=plan.context)
             predictions = self.predict_fn(outputs)
         correct = int((predictions == self.labels[start:stop]).sum())
         plan.record_batch(correct, stop - start)
@@ -204,6 +227,23 @@ class StreamingEvaluator:
             plan.final_accuracy = 100.0 * plan.correct / self.total
             plan.release_weights()
             self.full_runs += 1
+
+    @property
+    def stage_executions(self) -> int:
+        """Stage callables actually run (``batches * num_stages`` when
+        the prefix cache is disabled — every batch runs every stage)."""
+        if self.executor is not None:
+            return self.executor.stage_executions
+        return self.batches_evaluated * self._num_stages()
+
+    @property
+    def stages_skipped(self) -> int:
+        """Stage callables skipped by prefix reuse (0 when disabled)."""
+        return self.executor.stages_skipped if self.executor is not None else 0
+
+    def _num_stages(self) -> int:
+        stages = getattr(self.model, "stages", None)
+        return len(stages()) if callable(stages) else 1
 
     # ------------------------------------------------------------------
     # Queries

@@ -27,7 +27,11 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.engine import StreamingEvaluator, config_signature
+from repro.engine import (
+    DEFAULT_PREFIX_CACHE_BYTES,
+    StreamingEvaluator,
+    config_signature,
+)
 from repro.nn.module import Module
 from repro.nn.trainer import default_predictions, evaluate_accuracy
 from repro.quant.calibrate import calibrate_scales
@@ -62,6 +66,14 @@ class Evaluator:
         Route queries through the batched inference engine (default).
         ``False`` evaluates every query over the full split — same
         results, more batches.
+    use_prefix_cache:
+        Let the engine resume forward passes from cached cross-config
+        prefix activations (default; only effective with the engine and
+        a model exposing ``stages()``).  ``False`` runs every batch
+        through the whole model — same results, more stage executions;
+        see ``benchmarks/bench_prefix_cache.py``.
+    prefix_cache_bytes:
+        Byte cap of the engine's boundary-activation LRU.
     """
 
     def __init__(
@@ -74,6 +86,8 @@ class Evaluator:
         seed: int = 0,
         calibration_images: Optional[np.ndarray] = None,
         use_engine: bool = True,
+        use_prefix_cache: bool = True,
+        prefix_cache_bytes: int = DEFAULT_PREFIX_CACHE_BYTES,
     ):
         self.model = model
         self.images = images
@@ -100,6 +114,8 @@ class Evaluator:
                 seed=seed,
                 scales=self.scales,
                 predict_fn=default_predictions,
+                use_prefix_cache=use_prefix_cache,
+                prefix_cache_bytes=prefix_cache_bytes,
             )
             if use_engine
             else None

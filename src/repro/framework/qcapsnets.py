@@ -41,6 +41,39 @@ from repro.quant.rounding import RoundingScheme, get_rounding_scheme
 STEP1_TOLERANCE_FRACTION = 0.05
 
 
+class _PhaseRecorder:
+    """Tracks per-step search cost (batches / stage executions).
+
+    Snapshots the evaluator's counters and records the delta at each
+    step boundary into ``QCapsNetsResult.phase_stats`` — the raw data
+    behind ``benchmarks/bench_prefix_cache.py``'s per-phase comparison
+    of the prefix-reuse engine against the whole-forward baseline.
+    """
+
+    def __init__(self, evaluator, num_stages: int):
+        self.evaluator = evaluator
+        self.num_stages = num_stages
+        self.stats: dict = {}
+        self._mark = self._snapshot()
+
+    def _snapshot(self):
+        batches = getattr(self.evaluator, "batches_evaluated", 0)
+        engine = getattr(self.evaluator, "engine", None)
+        if engine is not None and getattr(engine, "executor", None) is not None:
+            return (batches, engine.stage_executions, engine.stages_skipped)
+        # No staged executor: every evaluated batch runs every stage.
+        return (batches, batches * self.num_stages, 0)
+
+    def record(self, step: str) -> None:
+        current = self._snapshot()
+        self.stats[step] = {
+            "batches": current[0] - self._mark[0],
+            "stage_executions": current[1] - self._mark[1],
+            "stages_skipped": current[2] - self._mark[2],
+        }
+        self._mark = current
+
+
 class QCapsNets:
     """Quantization-framework driver for one rounding scheme.
 
@@ -76,6 +109,10 @@ class QCapsNets:
         Route floor comparisons through the batched inference engine
         (early-exit evaluation; default).  Ignored when ``evaluator``
         is given — the prebuilt evaluator's setting wins.
+    use_prefix_cache:
+        Let the engine resume forward passes from cached cross-config
+        prefix activations (default; see :mod:`repro.engine.staged`).
+        Ignored when ``evaluator`` is given.
     """
 
     def __init__(
@@ -94,6 +131,7 @@ class QCapsNets:
         accuracy_fp32: Optional[float] = None,
         evaluator: Optional[Evaluator] = None,
         use_engine: bool = True,
+        use_prefix_cache: bool = True,
     ):
         if accuracy_tolerance < 0:
             raise ValueError(
@@ -123,6 +161,7 @@ class QCapsNets:
             self.evaluator = Evaluator(
                 model, test_images, test_labels, scheme,
                 batch_size=batch_size, seed=seed, use_engine=use_engine,
+                use_prefix_cache=use_prefix_cache,
             )
         self.param_counts = model.layer_param_counts()
         self.act_counts = model.layer_activation_counts()
@@ -153,6 +192,10 @@ class QCapsNets:
         # result should report this run's search cost.
         batches_before = getattr(self.evaluator, "batches_evaluated", 0)
         evals_before = self.evaluator.eval_count
+        stages_fn = getattr(self.model, "stages", None)
+        phases = _PhaseRecorder(
+            self.evaluator, len(stages_fn()) if callable(stages_fn) else 1
+        )
 
         acc_fp32 = (
             self._accuracy_fp32
@@ -177,6 +220,7 @@ class QCapsNets:
         )
         config_s1 = self._uniform_config(q_s1, q_s1)
         log.append(f"step1: uniform Qw=Qa={q_s1} (acc {acc_s1:.2f}%)")
+        phases.record("step1_uniform")
 
         # Step 2 — memory-requirements fulfillment (Eq. 6, weights only).
         qw_by_layer = memory_fulfillment_bits(
@@ -193,6 +237,7 @@ class QCapsNets:
             f"step2: Eq.6 Qw={[qw_by_layer[n] for n in self.layers]} "
             f"(acc {acc_mm:.2f}%)"
         )
+        phases.record("step2_memory")
 
         result = QCapsNetsResult(
             scheme_name=self.scheme.name,
@@ -205,16 +250,18 @@ class QCapsNets:
         result.model_uniform = self._package("model_uniform", config_s1, acc_s1)
 
         if acc_mm > acc_target:
-            self._run_path_a(result, config_mm, acc_mm, acc_target)
+            self._run_path_a(result, config_mm, acc_mm, acc_target, phases)
         else:
             self._run_path_b(
-                result, config_s1, config_mm, acc_mm, acc_target, q_s1, meets
+                result, config_s1, config_mm, acc_mm, acc_target, q_s1, meets,
+                phases,
             )
 
         result.eval_count = self.evaluator.eval_count - evals_before
         result.batches_evaluated = (
             getattr(self.evaluator, "batches_evaluated", 0) - batches_before
         )
+        result.phase_stats = phases.stats
         return result
 
     def _run_path_a(
@@ -223,6 +270,7 @@ class QCapsNets:
         config_mm: QuantizationConfig,
         acc_mm: float,
         acc_target: float,
+        phases: _PhaseRecorder,
     ) -> None:
         """Steps 3A and 4A → ``model_satisfied``."""
         # Step 3A — layer-wise activations, keeping half the remaining
@@ -236,6 +284,7 @@ class QCapsNets:
             f"step3A: Qa={config.qa_vector()} "
             f"(floor {acc_min_3a:.2f}%)"
         )
+        phases.record("step3A_layerwise")
 
         # Step 4A — dynamic-routing quantization, one routing layer at a
         # time (Algorithm 1, lines 16-18).
@@ -247,9 +296,11 @@ class QCapsNets:
             result.log.append(
                 f"step4A[{layer}]: QDR={config[layer].effective_qdr()}"
             )
+        phases.record("step4A_routing")
 
         accuracy = self.evaluator.accuracy(config)
         result.model_satisfied = self._package("model_satisfied", config, accuracy)
+        phases.record("final_accuracy")
 
     def _run_path_b(
         self,
@@ -260,6 +311,7 @@ class QCapsNets:
         acc_target: float,
         q_s1: int,
         meets,
+        phases: _PhaseRecorder,
     ) -> None:
         """Step 3B → ``model_memory`` + ``model_accuracy``."""
         result.model_memory = self._package("model_memory", config_mm, acc_mm)
@@ -285,6 +337,7 @@ class QCapsNets:
         for layer in self.layers:
             config.set_qw(layer, qw_uniform)
         result.log.append(f"step3B: uniform Qw={qw_uniform}")
+        phases.record("step3B_uniform")
 
         # ...then layer-wise weight refinement (Algorithm 2 on weights).
         config = layerwise_quantization(
@@ -292,5 +345,7 @@ class QCapsNets:
             min_bits=self.min_bits,
         )
         result.log.append(f"step3B: layer-wise Qw={config.qw_vector()}")
+        phases.record("step3B_layerwise")
         accuracy = self.evaluator.accuracy(config)
         result.model_accuracy = self._package("model_accuracy", config, accuracy)
+        phases.record("final_accuracy")

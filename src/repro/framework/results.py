@@ -68,6 +68,12 @@ class QCapsNetsResult:
     #: Evaluation batches run by this search (0 when the evaluator does
     #: not track batches, e.g. synthetic test oracles).
     batches_evaluated: int = 0
+    #: Per-step search cost: ``{step: {"batches", "stage_executions",
+    #: "stages_skipped"}}`` deltas recorded by the orchestrator (empty
+    #: when the evaluator does not track batches).  ``stage_executions``
+    #: counts model stages actually run; with the prefix cache disabled
+    #: it equals ``batches * num_stages``.
+    phase_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
     log: List[str] = field(default_factory=list)
 
     @property

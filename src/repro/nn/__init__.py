@@ -5,7 +5,7 @@ loop used to produce the FP32 CapsNet models that the Q-CapsNets
 framework quantizes.
 """
 
-from repro.nn.module import Module, Parameter
+from repro.nn.module import ForwardStage, Module, Parameter
 from repro.nn.layers import (
     BatchNorm2d,
     Flatten,
@@ -21,6 +21,7 @@ from repro.nn.schedule import ConstantLR, ExponentialDecay, LRSchedule
 from repro.nn.trainer import Trainer, TrainingHistory, evaluate_accuracy
 
 __all__ = [
+    "ForwardStage",
     "Module",
     "Parameter",
     "Linear",

@@ -9,11 +9,47 @@ benchmark harness).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Tuple
 
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class ForwardStage:
+    """One step of a model's ``stages()`` decomposition.
+
+    A staged model's forward pass is the fold of its input through an
+    ordered list of these records; each holds the quantization ``layer``
+    it belongs to, the callable mapping the previous boundary activation
+    (plus a quantization context) to the next one, and the config
+    ``fields`` of that layer the step consumes — the dependency
+    declaration the prefix-reuse engine fingerprints:
+
+    * ``("qw",)`` — the compute step of a layer (weight hooks only);
+    * ``("qa",)`` — a trailing activation-quantization step;
+    * ``("qw", "qa", "qdr")`` — a dynamic-routing step (votes are
+      quantized with ``qa`` and the routing arrays with ``qdr`` inside
+      the loop, so the whole step depends on all three).
+
+    Splitting layers at the compute/quantize boundary is what makes
+    activation-only probes cheap: a config that changes just ``qa`` of a
+    layer reuses the layer's cached compute output and re-runs only the
+    quantization hook.
+    """
+
+    layer: str
+    fields: Tuple[str, ...]
+    fn: Callable
+    #: Distinguishes steps within one layer ("" = compute/main step).
+    tag: str = ""
+
+    @property
+    def name(self) -> str:
+        """Unique stage identifier (``layer`` or ``layer:tag``)."""
+        return f"{self.layer}:{self.tag}" if self.tag else self.layer
 
 
 class Parameter(Tensor):

@@ -22,7 +22,7 @@ Three implementations:
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -171,6 +171,35 @@ class FixedPointQuant(QuantContext):
         rounding, which would perturb a stream being resumed.
         """
         self._weight_cache.clear()
+
+    def weight_cache_snapshot(
+        self, layers: Iterable[str]
+    ) -> Dict[Tuple[str, str, int], Tensor]:
+        """Pre-quantized weight tensors of the given layers (references).
+
+        Used by the prefix-reuse engine: a boundary cache entry carries
+        the quantized weights of its prefix layers so a context resuming
+        from that boundary never re-quantizes them — under stochastic
+        rounding a late re-quantization would draw from the wrong stream
+        position and diverge from an uncached evaluation.
+        """
+        wanted = set(layers)
+        return {
+            key: tensor
+            for key, tensor in self._weight_cache.items()
+            if key[0] in wanted
+        }
+
+    def merge_weight_cache(
+        self, entries: Dict[Tuple[str, str, int], Tensor]
+    ) -> None:
+        """Adopt pre-quantized weights from a matching-prefix context.
+
+        Existing entries win: they were produced from an identical
+        stream prefix, so both copies are bit-identical anyway.
+        """
+        for key, tensor in entries.items():
+            self._weight_cache.setdefault(key, tensor)
 
     def reset(self) -> None:
         self._weight_cache.clear()

@@ -117,6 +117,53 @@ class TestPooling:
         x = rng.standard_normal((2, 2, 4, 4))
         assert gradcheck(lambda a: avg_pool2d(a, 2), [x])
 
+    def test_max_pool_padding_values(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = max_pool2d(x, 2, stride=2, padding=1)
+        # Padded border holds -inf, so corners are the lone real values.
+        assert out.shape == (1, 1, 3, 3)
+        assert np.allclose(
+            out.data[0, 0], [[0, 2, 3], [8, 10, 11], [12, 14, 15]]
+        )
+
+    def test_avg_pool_padding_counts_zeros(self):
+        x = Tensor(np.full((1, 1, 2, 2), 4.0, dtype=np.float32))
+        out = avg_pool2d(x, 2, stride=2, padding=1)
+        # Every 2x2 window covers one real cell and three zero pads.
+        assert out.shape == (1, 1, 2, 2)
+        assert np.allclose(out.data[0, 0], 1.0)
+
+    @pytest.mark.parametrize("pool", [max_pool2d, avg_pool2d])
+    def test_pool_padding_gradcheck(self, pool, rng):
+        x = rng.standard_normal((2, 2, 4, 4))
+        assert gradcheck(lambda a: pool(a, 3, 2, 1), [x])
+
+    @pytest.mark.parametrize("pool", [max_pool2d, avg_pool2d])
+    def test_pool_empty_output_raises_like_conv(self, pool, rng):
+        x = Tensor(rng.standard_normal((1, 1, 4, 4)).astype(np.float32))
+        with pytest.raises(ValueError, match="output would be empty"):
+            pool(x, kernel=5)
+        with pytest.raises(ValueError, match="output would be empty"):
+            pool(x, kernel=(2, 5), stride=1)
+
+    @pytest.mark.parametrize("pool", [max_pool2d, avg_pool2d])
+    def test_pool_rejects_padding_ge_kernel(self, pool, rng):
+        """Padding >= kernel would create windows made entirely of
+        padding (a max pool would emit -inf); rejected up front."""
+        x = Tensor(rng.standard_normal((1, 1, 4, 4)).astype(np.float32))
+        with pytest.raises(ValueError, match="padding"):
+            pool(x, kernel=2, stride=2, padding=2)
+
+    @pytest.mark.parametrize("pool", [max_pool2d, avg_pool2d])
+    def test_pool_rejects_bad_hyperparameters(self, pool, rng):
+        x = Tensor(rng.standard_normal((1, 1, 4, 4)).astype(np.float32))
+        with pytest.raises(ValueError, match="kernel"):
+            pool(x, kernel="2")
+        with pytest.raises(ValueError, match="stride"):
+            pool(x, kernel=2, stride=(1, 2, 3))
+        with pytest.raises(ValueError, match="padding"):
+            pool(x, kernel=2, padding=1.5)
+
 
 class TestActivations:
     def test_relu_values_and_grad(self):

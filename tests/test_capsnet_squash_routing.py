@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.autograd import Tensor, gradcheck
+from repro.autograd import Tensor, gradcheck, softmax
 from repro.capsnet import dynamic_routing, squash
 from repro.capsnet.routing import routing_array_names
 from repro.quant import (
@@ -152,6 +152,38 @@ class TestDynamicRouting:
         dynamic_routing(votes, iterations=3, q=recorder, layer="LX")
         recorded_arrays = {array for (_, array) in recorder.routing_elements}
         assert recorded_arrays == set(routing_array_names())
+
+    def test_matmul_contraction_matches_reference(self, rng):
+        """The matmul contractions agree with the naive broadcast-
+        multiply-then-sum reference within float32 roundoff.
+
+        matmul accumulates the I / D reductions in a different order
+        than ``sum()``, so bit-for-bit equality is not guaranteed; the
+        documented tolerance is ~1e-6 relative (a few float32 ULPs per
+        accumulation step).
+        """
+
+        def reference_routing(votes: Tensor, iterations: int) -> Tensor:
+            logits = Tensor(
+                np.zeros(votes.shape[:3], dtype=np.float32)
+            )
+            activation = None
+            for iteration in range(iterations):
+                coupling = softmax(logits, axis=2)
+                preactivation = (coupling.expand_dims(-1) * votes).sum(axis=1)
+                activation = squash(preactivation, axis=-1)
+                if iteration < iterations - 1:
+                    agreement = (activation.expand_dims(1) * votes).sum(axis=-1)
+                    logits = logits + agreement
+            return activation
+
+        for shape in ((2, 6, 3, 4), (1, 24, 10, 8), (3, 5, 2, 16)):
+            votes_np = rng.standard_normal(shape).astype(np.float32)
+            out = dynamic_routing(Tensor(votes_np), iterations=3)
+            ref = reference_routing(Tensor(votes_np), iterations=3)
+            np.testing.assert_allclose(
+                out.data, ref.data, rtol=2e-6, atol=2e-6
+            )
 
     def test_quantized_routing_close_to_float(self, rng):
         """Moderate routing quantization perturbs the output only mildly.

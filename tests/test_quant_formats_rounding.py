@@ -177,6 +177,56 @@ class TestRoundingProperties:
         floats = dequantize_from_int(codes, fmt)
         assert np.allclose(floats, quantize(values, fmt), atol=1e-12)
 
+    @given(format_and_values())
+    @settings(max_examples=100, deadline=None)
+    def test_fused_apply_matches_unfused_reference(self, fmt_values):
+        """The fused (in-place scratch) apply pipeline is bit-identical
+        to the original temporary-per-step formulation, for both float
+        dtypes and every scheme (SR with matched seeds)."""
+        fmt, values = fmt_values
+
+        def reference_apply(scheme, rounder, vals):
+            vals = np.asarray(vals)
+            scale = 2.0**fmt.fractional_bits
+            codes = rounder(vals.astype(np.float64) * scale)
+            codes = np.clip(codes, fmt.int_min, fmt.int_max)
+            return (codes / scale).astype(vals.dtype)
+
+        rounders = {
+            "TRN": lambda s: np.floor(s),
+            "RTN": lambda s: np.floor(s + 0.5),
+            "RTNE": lambda s: np.rint(s),
+        }
+        for dtype in (np.float32, np.float64):
+            vals = values.astype(dtype)
+            for name, rounder in rounders.items():
+                scheme = get_rounding_scheme(name)
+                out = scheme.apply(vals, fmt)
+                expected = reference_apply(scheme, rounder, vals)
+                assert out.dtype == vals.dtype
+                np.testing.assert_array_equal(out, expected)
+            # SR: same seed => same draws => identical outputs.
+            sr = get_rounding_scheme("SR", seed=11)
+            rng = np.random.default_rng(11)
+
+            def sr_rounder(s):
+                floor = np.floor(s)
+                residue = s - floor
+                draws = rng.random(size=s.shape)
+                return floor + (draws < residue)
+
+            out = sr.apply(vals, fmt)
+            expected = reference_apply(sr, sr_rounder, vals)
+            np.testing.assert_array_equal(out, expected)
+
+    def test_apply_does_not_mutate_input(self):
+        fmt = FixedPointFormat(1, 3)
+        values = np.array([0.11, -0.52, 0.77], dtype=np.float64)
+        backup = values.copy()
+        for name in ("TRN", "RTN", "RTNE", "SR"):
+            get_rounding_scheme(name).apply(values, fmt)
+            np.testing.assert_array_equal(values, backup)
+
 
 class TestQuantizeKernels:
     def test_dequantize_range_check(self):
