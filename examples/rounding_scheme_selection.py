@@ -5,9 +5,13 @@ library {TRN, RTN, SR} and applies the paper's selection criteria:
 Path-A models win over Path-B; ties break on weight memory, then
 activation bits, then scheme hardware simplicity.
 
+The branches are independent Algorithm-1 runs, so ``--workers N`` fans
+them across forked worker processes (bit-identical outcome, merged by
+scheme name).
+
 Usage::
 
-    python examples/rounding_scheme_selection.py [--epochs N]
+    python examples/rounding_scheme_selection.py [--epochs N] [--workers N]
 """
 
 import argparse
@@ -23,6 +27,9 @@ def main() -> None:
     parser.add_argument("--epochs", type=int, default=6)
     parser.add_argument("--tolerance", type=float, default=0.015)
     parser.add_argument("--budget-divisor", type=float, default=6.0)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="forked workers running the scheme branches "
+                             "in parallel")
     args = parser.parse_args()
 
     train, test = synth_digits(train_size=2000, test_size=256, seed=0)
@@ -50,7 +57,7 @@ def main() -> None:
         )
 
     outcome = run_rounding_scheme_search(
-        make_framework, schemes=("TRN", "RTN", "SR")
+        make_framework, schemes=("TRN", "RTN", "SR"), workers=args.workers
     )
 
     print("\nper-scheme results:")

@@ -7,11 +7,15 @@ Installed as the ``qcapsnets`` console script::
     qcapsnets quantize --model shallow-small --dataset digits \
                        --weights model.npz --tolerance 0.015 \
                        --budget-divisor 5 --scheme RTN --out quantized.npz
+    qcapsnets select   --model shallow-small --dataset digits \
+                       --weights model.npz --schemes TRN RTN SR --workers 3
     qcapsnets evaluate --model shallow-small --dataset digits \
                        --artifact quantized.npz
     qcapsnets hw-report --model shallow-paper --qw 7 --qa 5 --qdr 3
 
-Every subcommand is deterministic given ``--seed``.
+Every subcommand is deterministic given ``--seed`` — including under
+``--workers``: parallel branches/batches merge in a fixed order, so the
+reported models are bit-identical to a sequential run.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ import numpy as np
 from repro.analysis import deepcaps_stats, shallowcaps_stats
 from repro.capsnet import DeepCaps, ShallowCaps, presets
 from repro.data import synth_cifar, synth_digits, synth_fashion
-from repro.framework import QCapsNets
+from repro.framework import QCapsNets, run_rounding_scheme_search
 from repro.hw import CapsAccModel, InferenceEnergyModel, MacUnit, UMC65
 from repro.nn import Adam, Trainer, evaluate_accuracy
 from repro.quant import (
@@ -99,6 +103,14 @@ def cmd_train(args) -> int:
     return 0
 
 
+def _weight_budget_mbit(args, model) -> float:
+    """Resolve the weight-memory budget from --budget-mbit/--budget-divisor."""
+    fp32_mbit = sum(model.layer_param_counts().values()) * 32 / 1e6
+    if args.budget_mbit is not None:
+        return args.budget_mbit
+    return fp32_mbit / args.budget_divisor
+
+
 def cmd_quantize(args) -> int:
     image_size = 14 if args.model == "shallow-tiny" else None
     _, test = build_dataset(
@@ -108,11 +120,7 @@ def cmd_quantize(args) -> int:
     model.load(args.weights)
     fp32_accuracy = evaluate_accuracy(model, test.images, test.labels)
     fp32_mbit = sum(model.layer_param_counts().values()) * 32 / 1e6
-    budget = (
-        args.budget_mbit
-        if args.budget_mbit is not None
-        else fp32_mbit / args.budget_divisor
-    )
+    budget = _weight_budget_mbit(args, model)
     print(f"FP32 accuracy {fp32_accuracy:.2f}%, weights {fp32_mbit:.3f} Mbit, "
           f"budget {budget:.3f} Mbit, accTOL {args.tolerance}")
 
@@ -123,6 +131,7 @@ def cmd_quantize(args) -> int:
         scheme=args.scheme,
         seed=args.seed,
         accuracy_fp32=fp32_accuracy,
+        workers=args.workers,
     )
     result = framework.run()
     print(result.summary())
@@ -139,6 +148,39 @@ def cmd_quantize(args) -> int:
         artifact.save(args.out)
         print(f"saved quantized artifact to {args.out} "
               f"({artifact.weight_storage_bits() / 1e6:.3f} Mbit of codes)")
+    return 0
+
+
+def cmd_select(args) -> int:
+    """Sec. III-B rounding-scheme library search (parallel branches)."""
+    if len(set(args.schemes)) != len(args.schemes):
+        raise SystemExit(f"--schemes must be unique, got {args.schemes}")
+    image_size = 14 if args.model == "shallow-tiny" else None
+    _, test = build_dataset(
+        args.dataset, 1, args.test_size, args.seed, image_size
+    )
+    model = build_model(args.model, args.dataset, seed=args.seed)
+    model.load(args.weights)
+    budget = _weight_budget_mbit(args, model)
+    print(f"scheme library {list(args.schemes)}, budget {budget:.3f} Mbit, "
+          f"accTOL {args.tolerance}, workers {args.workers}")
+
+    def make_framework(scheme_name: str) -> QCapsNets:
+        return QCapsNets(
+            model, test.images, test.labels,
+            accuracy_tolerance=args.tolerance,
+            memory_budget_mbit=budget,
+            scheme=scheme_name,
+            seed=args.seed,
+        )
+
+    outcome = run_rounding_scheme_search(
+        make_framework, schemes=tuple(args.schemes), workers=args.workers
+    )
+    print(outcome.summary())
+    for result in outcome.per_scheme.values():
+        print()
+        print(result.summary())
     return 0
 
 
@@ -226,7 +268,28 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["TRN", "RTN", "RTNE", "SR"])
     p_quant.add_argument("--out", default=None,
                          help="optional quantized-artifact .npz path")
+    p_quant.add_argument("--workers", type=int, default=1,
+                         help="forked workers for parallel batch probes "
+                              "(deterministic schemes; bit-identical results)")
     p_quant.set_defaults(fn=cmd_quantize)
+
+    p_select = sub.add_parser(
+        "select",
+        help="run the Sec. III-B rounding-scheme library search",
+    )
+    common(p_select)
+    p_select.add_argument("--weights", required=True)
+    p_select.add_argument("--tolerance", type=float, default=0.015)
+    p_select.add_argument("--budget-mbit", type=float, default=None)
+    p_select.add_argument("--budget-divisor", type=float, default=5.0)
+    p_select.add_argument("--schemes", nargs="+",
+                          default=["TRN", "RTN", "SR"],
+                          choices=["TRN", "RTN", "RTNE", "SR"],
+                          help="rounding-scheme library (paper: TRN RTN SR)")
+    p_select.add_argument("--workers", type=int, default=1,
+                          help="forked workers running Algorithm-1 branches "
+                               "in parallel (bit-identical results)")
+    p_select.set_defaults(fn=cmd_select)
 
     p_eval = sub.add_parser("evaluate", help="evaluate a quantized artifact")
     common(p_eval)

@@ -28,29 +28,53 @@ of Algorithm 1 through this engine by default; see
 ``benchmarks/bench_engine_speedup.py`` for the measured reduction in
 evaluated batches and ``benchmarks/bench_prefix_cache.py`` for the
 stage-level work avoided by prefix reuse.
+
+:mod:`repro.engine.parallel` adds the process-level dimension: a
+deterministic :class:`~repro.engine.parallel.ForkPool` fans independent
+Algorithm-1 branches (one per rounding scheme or memory budget) and —
+for the deterministic schemes — independent evaluation batches across
+forked workers with copy-on-write access to the parent's weights, test
+split and warm caches, merging results by task order so every outcome
+is bit-identical to the sequential run.
 """
 
+from repro.engine.parallel import (
+    ForkPool,
+    batch_parallel_safe,
+    default_workers,
+    fork_available,
+    run_branches,
+)
 from repro.engine.plan import InferencePlan, config_signature
 from repro.engine.staged import (
     DEFAULT_PREFIX_CACHE_BYTES,
     PrefixCache,
     StagedExecutor,
+    prefix_activity,
     stage_fingerprints,
 )
 from repro.engine.streaming import (
     StreamingEvaluator,
     floor_oracle,
     floor_threshold,
+    split_token,
 )
 
 __all__ = [
     "DEFAULT_PREFIX_CACHE_BYTES",
+    "ForkPool",
     "InferencePlan",
     "PrefixCache",
     "StagedExecutor",
     "StreamingEvaluator",
+    "batch_parallel_safe",
     "config_signature",
+    "default_workers",
     "floor_oracle",
     "floor_threshold",
+    "fork_available",
+    "prefix_activity",
+    "run_branches",
+    "split_token",
     "stage_fingerprints",
 ]

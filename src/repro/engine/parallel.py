@@ -1,0 +1,365 @@
+"""Parallel probe execution for the quantization search.
+
+The paper runs the Sec. III-B rounding-scheme library search as
+parallel branches of Algorithm 1 — "the framework runs Algorithm 1 once
+per rounding scheme" — and the branches are embarrassingly parallel:
+each owns its evaluator, its quantized-weight caches and (for
+stochastic rounding) a private RNG stream, so no branch can observe
+another.  The same holds one level down: the budget grid of
+:func:`~repro.framework.pareto.sweep_memory_budgets` is a set of
+independent Algorithm-1 runs, and within one branch the evaluation
+*batches* of an :class:`~repro.engine.plan.InferencePlan` are
+independent under the deterministic rounding schemes (TRN/RTN/RTNE
+quantize each batch as a pure function of the config — no cross-batch
+state).
+
+This module fans those independent units across **forked** worker
+processes:
+
+* :class:`ForkPool` — a minimal deterministic process pool.  Workers
+  are forked per :meth:`ForkPool.map` call, so they inherit the
+  parent's current state — trained weights, test split, calibration
+  scales and any warm prefix cache — as copy-on-write memory, with no
+  serialization of inputs.  Only results cross the process boundary.
+  The parent executes the first task shard itself while the children
+  run: its core never idles, and its cache writes (unlike a child's)
+  outlive the call, so cross-config prefix reuse keeps accruing for
+  the parent's share of the work.  Results are merged **by task
+  index**, so the output order (and therefore everything derived from
+  it) is independent of worker scheduling;
+* :func:`run_branches` — named branch fan-out (one branch per rounding
+  scheme or memory budget), merged back into a dict preserving the
+  caller's branch order;
+* :func:`shard_batch_counts` — per-batch correct-prediction counts of
+  one configuration over a contiguous shard range, computed with a
+  private snapshot context in each worker.  Summing integer counts is
+  order-independent, which makes the parallel accuracy *bit-identical*
+  to the sequential one;
+* :func:`speculative_chunks` — the chunking used by parallel
+  ``meets_floor``: evaluate the next ``workers`` batches concurrently,
+  merge counts in dataset order, re-check the early-exit thresholds.
+  Speculation wastes at most ``workers - 1`` batches per verdict.
+
+Stochastic rounding is excluded from *batch-level* parallelism: its
+draws are consumed in strict dataset order, so batch ``k`` depends on
+the stream position left by batch ``k-1``.  Branch-level parallelism is
+unaffected — each SR branch owns a whole private stream.
+
+Determinism
+-----------
+
+``ForkPool.map(fn, n)`` returns exactly ``[fn(0), ..., fn(n-1)]``.
+Workers communicate results through a queue tagged with the task index;
+the parent reorders on receipt.  A worker exception is re-raised in the
+parent (lowest task index first) with the child traceback attached.
+When ``workers <= 1``, the platform cannot fork, or there is only one
+task, the pool degrades to an inline loop — same results, no processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import traceback
+from typing import Callable, Dict, List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.engine.plan import InferencePlan
+from repro.quant.config import QuantizationConfig
+from repro.quant.rounding import StochasticRounding
+
+T = TypeVar("T")
+
+#: Seconds between liveness checks while draining worker results.
+_POLL_INTERVAL_S = 0.25
+
+
+def fork_available() -> bool:
+    """True when ``fork``-start workers can be used on this platform."""
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return False
+
+
+def default_workers() -> int:
+    """A sensible ``--workers`` default: the machine's CPU count."""
+    return os.cpu_count() or 1
+
+
+def _shards(num_items: int, workers: int) -> List[List[int]]:
+    """Contiguous near-equal index shards (no empty shards)."""
+    workers = min(workers, num_items)
+    bounds = np.linspace(0, num_items, workers + 1).astype(int)
+    return [
+        list(range(bounds[i], bounds[i + 1]))
+        for i in range(workers)
+        if bounds[i] < bounds[i + 1]
+    ]
+
+
+def _child_main(fn: Callable[[int], T], indices: Sequence[int], results) -> None:
+    """Worker body: run ``fn`` over ``indices``, ship (index, ok, payload)."""
+    for index in indices:
+        try:
+            results.put((index, True, fn(index)))
+        except BaseException:
+            results.put((index, False, traceback.format_exc()))
+            return
+
+
+class ForkPool:
+    """Deterministic fork-per-call process pool.
+
+    Parameters
+    ----------
+    workers:
+        Concurrent worker processes per :meth:`map` call.  ``1`` (or a
+        platform without ``fork``) runs tasks inline in the parent —
+        the results are identical by construction, which is what makes
+        ``workers`` a pure throughput knob.
+
+    Forking at call time (rather than keeping long-lived workers) is
+    deliberate: every ``map`` sees the parent's *current* memory —
+    models stay frozen during a search, but caches warm up between
+    calls, and a freshly forked worker inherits them for free.  The
+    pool keeps no state between calls and owns no processes afterwards.
+    """
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        #: Tasks executed through forked children (0 while inline).
+        self.forked_tasks = 0
+        #: Tasks the parent ran itself alongside the children (its core
+        #: would otherwise idle, and its cache writes persist).
+        self.parent_tasks = 0
+        #: map() calls served inline (workers/platform/task-count said no).
+        self.inline_calls = 0
+
+    def map(self, fn: Callable[[int], T], num_items: int) -> List[T]:
+        """``[fn(0), ..., fn(num_items - 1)]``, possibly in parallel.
+
+        ``fn`` may be a closure: with the ``fork`` start method the
+        child inherits it directly — nothing but the *results* is ever
+        pickled.  Results are returned in task order regardless of
+        which worker finished first.
+        """
+        if num_items < 0:
+            raise ValueError(f"num_items must be >= 0, got {num_items}")
+        if num_items == 0:
+            return []
+        if self.workers <= 1 or num_items <= 1 or not fork_available():
+            self.inline_calls += 1
+            return [fn(index) for index in range(num_items)]
+
+        # The parent runs the first shard itself (below, while the
+        # children work): its core would otherwise idle in the drain
+        # loop, one fewer process is forked, and — crucially for the
+        # staged engine — whatever the parent-shard tasks store in
+        # caches *persists* across map() calls, whereas child caches
+        # die with the child.  Cross-config prefix reuse therefore
+        # keeps working for the parent's share of the batches.
+        parent_shard, *child_shards = _shards(num_items, self.workers)
+
+        context = multiprocessing.get_context("fork")
+        results_queue = context.Queue()
+        processes = [
+            context.Process(
+                target=_child_main, args=(fn, shard, results_queue), daemon=True
+            )
+            for shard in child_shards
+        ]
+        for process in processes:
+            process.start()
+
+        received: Dict[int, Tuple[bool, object]] = {}
+        failures: Dict[int, str] = {}
+        try:
+            for index in parent_shard:
+                # Exception, not BaseException: a KeyboardInterrupt in
+                # the parent must abort immediately (the finally joins
+                # the children), not be reported as a task failure.
+                try:
+                    received[index] = (True, fn(index))
+                except Exception:
+                    failures[index] = traceback.format_exc()
+                    received[index] = (False, failures[index])
+                    break  # mirror a failed worker: abandon the shard
+            while len(received) < num_items:
+                try:
+                    index, ok, payload = results_queue.get(
+                        timeout=_POLL_INTERVAL_S
+                    )
+                except queue_module.Empty:
+                    dead = [p for p in processes if not p.is_alive()]
+                    if len(dead) == len(processes) and results_queue.empty():
+                        missing = sorted(
+                            set(range(num_items)) - set(received)
+                        )
+                        if failures:
+                            break  # a reported failure explains the gap
+                        raise RuntimeError(
+                            f"parallel workers died without reporting "
+                            f"results for tasks {missing}"
+                        )
+                    continue
+                received[index] = (ok, payload)
+                if not ok:
+                    failures[index] = str(payload)
+                    # A failed shard stops its worker; the others drain.
+                    if len(failures) >= len(processes):
+                        break
+        finally:
+            for process in processes:
+                process.join(timeout=5)
+                if process.is_alive():  # pragma: no cover - stuck child
+                    process.terminate()
+                    process.join()
+            results_queue.close()
+
+        if failures:
+            first = min(failures)
+            raise RuntimeError(
+                f"parallel task {first} failed:\n{failures[first]}"
+            )
+        self.forked_tasks += num_items - len(parent_shard)
+        self.parent_tasks += len(parent_shard)
+        return [received[index][1] for index in range(num_items)]
+
+
+def run_branches(
+    branches: Sequence[Tuple[str, Callable[[], T]]], workers: int = 1
+) -> Dict[str, T]:
+    """Run named independent branches, merging results by branch name.
+
+    The returned dict preserves the order of ``branches`` — with
+    per-branch results independent of each other (each branch owns its
+    state), the merged outcome is identical to running the branches
+    sequentially, whatever the worker scheduling did.
+    """
+    names = [name for name, _ in branches]
+    if len(set(names)) != len(names):
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(f"duplicate branch names: {duplicates}")
+    thunks = [thunk for _, thunk in branches]
+    results = ForkPool(workers).map(lambda index: thunks[index](), len(branches))
+    return dict(zip(names, results))
+
+
+# ----------------------------------------------------------------------
+# Batch-level parallelism (deterministic schemes)
+# ----------------------------------------------------------------------
+def batch_parallel_safe(scheme) -> bool:
+    """Whether per-batch fan-out preserves exactness for ``scheme``.
+
+    Deterministic schemes quantize every batch as a pure function of
+    the configuration; stochastic rounding threads one RNG stream
+    through the batches in dataset order, so its batches must stay
+    sequential (branch-level parallelism still applies).
+    """
+    return not isinstance(scheme, StochasticRounding)
+
+
+def _batch_counts(engine, config: QuantizationConfig,
+                  batch_indices: Sequence[int], context=None) -> List[int]:
+    """Correct-prediction counts of ``config`` on the given batches.
+
+    Without ``context``, a private snapshot :class:`InferencePlan`
+    context is built, so the caller's plan state is untouched; runs
+    inside the engine's staged executor when it has one.  In the
+    parent's shard of a :class:`ForkPool` call the cache writes persist
+    across configs (cross-config prefix reuse); a forked child
+    additionally inherits whatever the parent's cache held at fork time
+    copy-on-write.
+    """
+    if context is None:
+        context = InferencePlan(
+            config, engine.scheme, seed=engine.seed, scales=engine.scales
+        ).context
+    counts = []
+    with no_grad():
+        for index in batch_indices:
+            start = index * engine.batch_size
+            stop = min(start + engine.batch_size, engine.total)
+            batch = Tensor(engine.images[start:stop])
+            if engine.executor is not None:
+                outputs = engine.executor.run(
+                    index, batch, context, split=engine.split_token
+                )
+            else:
+                outputs = engine.model(batch, q=context)
+            predictions = engine.predict_fn(outputs)
+            counts.append(
+                int((predictions == engine.labels[start:stop]).sum())
+            )
+    return counts
+
+
+def shard_batch_counts(
+    engine, config: QuantizationConfig, batch_indices: Sequence[int],
+    workers: int, parent_context=None,
+) -> List[int]:
+    """Per-batch correct counts over ``batch_indices``, fanned out in
+    contiguous shards across ``workers`` forked processes.
+
+    Requires a deterministic scheme (:func:`batch_parallel_safe`): each
+    count is then a pure function of (batch, config), so the merged
+    list — and any accuracy derived from it — is bit-identical to a
+    sequential evaluation.
+
+    ``parent_context`` (optional) is used for the first shard — the one
+    :class:`ForkPool` runs in the parent process.  Passing the calling
+    plan's own context lets its quantized-weight cache persist across
+    the speculative chunks of one ``meets_floor`` probe, so the parent
+    quantizes weights once per probe instead of once per chunk (a
+    forked child's context dies with the child either way).
+    """
+    if not batch_parallel_safe(engine.scheme):
+        raise ValueError(
+            "batch-level parallelism requires a deterministic rounding "
+            "scheme; stochastic rounding consumes its stream in batch order"
+        )
+    indices = list(batch_indices)
+    shards = _shards(len(indices), max(1, workers))
+    shard_results = ForkPool(workers).map(
+        lambda shard_index: _batch_counts(
+            engine, config, [indices[i] for i in shards[shard_index]],
+            context=parent_context if shard_index == 0 else None,
+        ),
+        len(shards),
+    )
+    merged: List[int] = []
+    for result in shard_results:
+        merged.extend(result)
+    return merged
+
+
+def speculative_chunks(num_pending: int, workers: int) -> List[int]:
+    """Chunk lengths for speculative early-exit evaluation.
+
+    ``meets_floor`` re-checks its thresholds after every chunk (it
+    tracks the position itself via its plan), so a chunk length of
+    ``workers`` bounds wasted speculation to ``workers - 1`` batches
+    beyond what a sequential early exit would have run.
+    """
+    chunk = max(1, workers)
+    return [
+        min(chunk, num_pending - offset)
+        for offset in range(0, num_pending, chunk)
+    ]
+
+
+__all__ = [
+    "ForkPool",
+    "batch_parallel_safe",
+    "default_workers",
+    "fork_available",
+    "run_branches",
+    "shard_batch_counts",
+    "speculative_chunks",
+]

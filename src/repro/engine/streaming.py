@@ -27,19 +27,72 @@ consumed instead of restarting.
 from __future__ import annotations
 
 import math
+import weakref
+import zlib
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
+from repro.engine.parallel import (
+    batch_parallel_safe,
+    fork_available,
+    shard_batch_counts,
+    speculative_chunks,
+)
 from repro.engine.plan import InferencePlan, config_signature
 from repro.engine.staged import DEFAULT_PREFIX_CACHE_BYTES, StagedExecutor
 from repro.nn.module import Module
 from repro.nn.trainer import default_predictions
 from repro.quant.config import QuantizationConfig
 from repro.quant.rounding import RoundingScheme
+
+
+#: (id(images), id(labels), batch_size) -> (weakrefs, token).  Sweeps
+#: build one evaluator per scheme/budget over the *same* arrays; the
+#: memo pays the O(dataset-bytes) CRC once per split instead of once
+#: per evaluator.  Hits are validated by object identity through the
+#: weakrefs, so a recycled id can never serve a stale token.
+_split_token_memo: Dict[Tuple, Tuple] = {}
+_SPLIT_TOKEN_MEMO_MAX = 64
+
+
+def split_token(
+    images: np.ndarray, labels: np.ndarray, batch_size: int
+) -> Tuple:
+    """Content identity of an evaluation split at a given batch size.
+
+    Used to namespace batch indices inside a shared prefix cache: two
+    evaluators share entries only when their data, batch shapes *and*
+    batch boundaries coincide.  A CRC over the raw bytes keeps the
+    token content-based, so re-generated but identical splits still
+    share; the hash is memoized per array object (see above).
+    """
+    key = (id(images), id(labels), batch_size)
+    memoized = _split_token_memo.get(key)
+    if memoized is not None:
+        images_ref, labels_ref, token = memoized
+        if images_ref() is images and labels_ref() is labels:
+            return token
+    token = (
+        images.shape,
+        images.dtype.str,
+        labels.dtype.str,
+        batch_size,
+        zlib.crc32(np.ascontiguousarray(images).tobytes()),
+        zlib.crc32(np.ascontiguousarray(labels).tobytes()),
+    )
+    try:
+        if len(_split_token_memo) >= _SPLIT_TOKEN_MEMO_MAX:
+            _split_token_memo.clear()
+        _split_token_memo[key] = (
+            weakref.ref(images), weakref.ref(labels), token
+        )
+    except TypeError:  # non-weakrefable array subclass: skip the memo
+        pass
+    return token
 
 
 def floor_threshold(floor: float, total: int) -> int:
@@ -116,7 +169,15 @@ class StreamingEvaluator:
         forward, for A/B measurement — results are bit-identical either
         way (see :mod:`repro.engine.staged`).
     prefix_cache_bytes:
-        Byte cap of the boundary-activation LRU.
+        Byte cap of the boundary-activation cache.
+    executor:
+        Pass a prebuilt :class:`StagedExecutor` to *share* its prefix
+        cache with other evaluators over the same model (the per-scheme
+        frameworks of the selection sweep, a budget grid).  Must wrap
+        the same model instance; when given, ``use_prefix_cache`` /
+        ``prefix_cache_bytes`` are ignored.  Results are bit-identical
+        with or without sharing — the scheme-aware fingerprints decide
+        what may be reused (see :mod:`repro.engine.staged`).
     """
 
     def __init__(
@@ -132,11 +193,17 @@ class StreamingEvaluator:
         max_plans: int = 16,
         use_prefix_cache: bool = True,
         prefix_cache_bytes: int = DEFAULT_PREFIX_CACHE_BYTES,
+        executor: Optional[StagedExecutor] = None,
     ):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         if max_plans <= 0:
             raise ValueError(f"max_plans must be positive, got {max_plans}")
+        if executor is not None and executor.model is not model:
+            raise ValueError(
+                "shared StagedExecutor wraps a different model instance; "
+                "prefix activations would be meaningless for this evaluator"
+            )
         self.model = model
         self.images = images
         self.labels = labels
@@ -152,10 +219,22 @@ class StreamingEvaluator:
         self.num_batches = -(-self.total // batch_size)
         self._plans: "OrderedDict[tuple, InferencePlan]" = OrderedDict()
         #: Staged prefix-reuse executor (None when disabled or when the
-        #: model has no stages() decomposition).
-        self.executor: Optional[StagedExecutor] = (
-            StagedExecutor(model, max_bytes=prefix_cache_bytes)
-            if use_prefix_cache and callable(getattr(model, "stages", None))
+        #: model has no stages() decomposition); possibly shared with
+        #: other evaluators over the same model.
+        if executor is not None:
+            self.executor: Optional[StagedExecutor] = executor
+        else:
+            self.executor = (
+                StagedExecutor(model, max_bytes=prefix_cache_bytes)
+                if use_prefix_cache and callable(getattr(model, "stages", None))
+                else None
+            )
+        #: Content identity of (split, batch size) — namespaces this
+        #: evaluator's batch indices inside a (possibly shared) prefix
+        #: cache so equal indices of different splits never collide.
+        self.split_token: Optional[Tuple] = (
+            split_token(images, labels, batch_size)
+            if self.executor is not None
             else None
         )
         #: Batches actually run through the model (the bench metric).
@@ -164,6 +243,22 @@ class StreamingEvaluator:
         self.full_runs = 0
         #: Floor verdicts decided before the split was exhausted.
         self.early_exits = 0
+
+    def share_executor(self, executor: StagedExecutor) -> bool:
+        """Adopt a shared prefix-reuse executor (e.g. one built by a
+        sibling evaluator of a scheme sweep).
+
+        Returns False — leaving the evaluator untouched — when this
+        evaluator runs without an executor (``use_prefix_cache=False``
+        or a stage-less model) or when ``executor`` wraps a different
+        model instance; sharing is an optimization, never a requirement.
+        """
+        if self.executor is None or executor.model is not self.model:
+            return False
+        if executor is not self.executor:
+            self.executor = executor  # split_token already set: an own
+            # executor existed, and the token only depends on the split.
+        return True
 
     # ------------------------------------------------------------------
     # Plan management
@@ -216,7 +311,10 @@ class StreamingEvaluator:
         with no_grad():
             batch = Tensor(self.images[start:stop])
             if self.executor is not None:
-                outputs = self.executor.run(plan.next_batch, batch, plan.context)
+                outputs = self.executor.run(
+                    plan.next_batch, batch, plan.context,
+                    split=self.split_token,
+                )
             else:
                 outputs = self.model(batch, q=plan.context)
             predictions = self.predict_fn(outputs)
@@ -254,31 +352,96 @@ class StreamingEvaluator:
         plan = self._plans.get(config_signature(config))
         return plan.final_accuracy if plan is not None else None
 
-    def accuracy(self, config: QuantizationConfig) -> float:
-        """Exact full-split accuracy (%), resuming any partial progress."""
+    def _can_fan_out(self, workers: int) -> bool:
+        """Whether per-batch fan-out is applicable for this evaluator.
+
+        Requires a forkable platform: without one the pool degrades to
+        an inline loop, and the speculative chunking of ``meets_floor``
+        would waste batches for zero parallelism.
+        """
+        return (
+            workers > 1
+            and batch_parallel_safe(self.scheme)
+            and fork_available()
+        )
+
+    def _absorb_counts(self, plan: InferencePlan, counts) -> None:
+        """Account worker-computed per-batch correct counts, in dataset
+        order, exactly as sequential :meth:`_advance` calls would."""
+        for correct in counts:
+            start = plan.next_batch * self.batch_size
+            stop = min(start + self.batch_size, self.total)
+            plan.record_batch(int(correct), stop - start)
+            self.batches_evaluated += 1
+        if plan.next_batch == self.num_batches:
+            plan.final_accuracy = 100.0 * plan.correct / self.total
+            plan.release_weights()
+            self.full_runs += 1
+
+    def accuracy(self, config: QuantizationConfig, workers: int = 1) -> float:
+        """Exact full-split accuracy (%), resuming any partial progress.
+
+        ``workers > 1`` fans the remaining batches across forked worker
+        processes for the deterministic schemes (stochastic rounding
+        always runs sequentially — its draws are consumed in dataset
+        order).  Each batch's correct count is a pure function of
+        (batch, config), so the summed accuracy is bit-identical to a
+        sequential evaluation.
+        """
         plan = self.plan_for(config)
         with self._inference_mode():
+            if self._can_fan_out(workers) and plan.next_batch < self.num_batches:
+                pending = range(plan.next_batch, self.num_batches)
+                counts = shard_batch_counts(
+                    self, config, pending, workers,
+                    parent_context=plan.context,
+                )
+                self._absorb_counts(plan, counts)
             while plan.next_batch < self.num_batches:
                 self._advance(plan)
         return plan.final_accuracy
 
-    def meets_floor(self, config: QuantizationConfig, floor: float) -> bool:
+    def meets_floor(
+        self, config: QuantizationConfig, floor: float, workers: int = 1
+    ) -> bool:
         """Exactly ``accuracy(config) >= floor``, with early exit.
 
         Runs batches only until the verdict is decided: ``True`` as soon
         as the accumulated correct count guarantees the floor, ``False``
         as soon as the remaining samples cannot reach it.
+
+        ``workers > 1`` evaluates the pending batches speculatively in
+        chunks of ``workers`` (deterministic schemes only), re-checking
+        the thresholds after each chunk — the verdict is identical to
+        the sequential one, and the plan absorbs exactly the chunks
+        consumed, so at most ``workers - 1`` batches are speculated past
+        the sequential exit point.
         """
         plan = self.plan_for(config)
         threshold = floor_threshold(floor, self.total)
+
+        def verdict() -> Optional[bool]:
+            if plan.correct >= threshold:
+                return True
+            if plan.correct + (self.total - plan.samples_seen) < threshold:
+                return False
+            return None
+
         with self._inference_mode():
-            while True:
-                if plan.correct >= threshold:
-                    if plan.next_batch < self.num_batches:
-                        self.early_exits += 1
-                    return True
-                if plan.correct + (self.total - plan.samples_seen) < threshold:
-                    if plan.next_batch < self.num_batches:
-                        self.early_exits += 1
-                    return False
+            if self._can_fan_out(workers):
+                pending = self.num_batches - plan.next_batch
+                for length in speculative_chunks(pending, workers):
+                    if verdict() is not None:
+                        break
+                    chunk = range(plan.next_batch, plan.next_batch + length)
+                    counts = shard_batch_counts(
+                        self, config, chunk, workers,
+                        parent_context=plan.context,
+                    )
+                    self._absorb_counts(plan, counts)
+            while verdict() is None:
                 self._advance(plan)
+        decided = verdict()
+        if plan.next_batch < self.num_batches:
+            self.early_exits += 1
+        return decided

@@ -73,7 +73,17 @@ class Evaluator:
         through the whole model — same results, more stage executions;
         see ``benchmarks/bench_prefix_cache.py``.
     prefix_cache_bytes:
-        Byte cap of the engine's boundary-activation LRU.
+        Byte cap of the engine's boundary-activation cache.
+    staged_executor:
+        Pass a prebuilt :class:`~repro.engine.StagedExecutor` to share
+        its prefix cache with sibling evaluators over the same model
+        (the per-scheme frameworks of the selection sweep, a budget
+        grid).  Results are bit-identical with or without sharing.
+    workers:
+        Fan independent evaluation batches across this many forked
+        worker processes for the deterministic rounding schemes
+        (stochastic rounding always evaluates sequentially; results are
+        bit-identical either way).  ``1`` (default) stays in-process.
     """
 
     def __init__(
@@ -88,13 +98,18 @@ class Evaluator:
         use_engine: bool = True,
         use_prefix_cache: bool = True,
         prefix_cache_bytes: int = DEFAULT_PREFIX_CACHE_BYTES,
+        staged_executor=None,
+        workers: int = 1,
     ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.model = model
         self.images = images
         self.labels = labels
         self.scheme = scheme
         self.batch_size = batch_size
         self.seed = seed
+        self.workers = workers
         #: Full-split quantized evaluations performed (cache misses).
         self.eval_count = 0
         #: Floor verdicts served (cache hits included).
@@ -116,10 +131,31 @@ class Evaluator:
                 predict_fn=default_predictions,
                 use_prefix_cache=use_prefix_cache,
                 prefix_cache_bytes=prefix_cache_bytes,
+                executor=staged_executor,
             )
             if use_engine
             else None
         )
+
+    @property
+    def staged_executor(self):
+        """The engine's prefix-reuse executor (None without the engine)."""
+        return self.engine.executor if self.engine is not None else None
+
+    def share_executor(self, executor) -> bool:
+        """Adopt a sibling evaluator's staged executor (best-effort;
+        see :meth:`repro.engine.StreamingEvaluator.share_executor`)."""
+        if self.engine is None:
+            return False
+        return self.engine.share_executor(executor)
+
+    def _null_config(self) -> Optional[QuantizationConfig]:
+        """An all-FP32 config for this model (None when the model does
+        not name its quantization layers)."""
+        layers = getattr(self.model, "quant_layers", None)
+        if layers is None:
+            return None
+        return QuantizationConfig.uniform(list(layers))
 
     @property
     def num_batches(self) -> int:
@@ -141,15 +177,32 @@ class Evaluator:
         Shared-evaluator sweeps run several framework instances against
         one Evaluator; the FP32 pass is identical every time, so it is
         computed once per instance.
+
+        With the engine, the pass runs as an all-FP32 configuration
+        (identity quantization hooks — bit-identical to the naive
+        evaluation).  Its prefix-cache entries are *scheme-free*, so
+        when several per-scheme evaluators share one staged executor,
+        every branch after the first resumes the whole baseline pass
+        from the cache — the cross-scheme sharing the Sec. III-B sweep
+        exploits.
         """
         if self._fp32_accuracy is None:
-            self._fp32_accuracy = evaluate_accuracy(
-                self.model,
-                self.images,
-                self.labels,
-                batch_size=self.batch_size,
-                predict_fn=default_predictions,
-            )
+            null_config = self._null_config()
+            if self.engine is not None and null_config is not None:
+                self._fp32_accuracy = self.engine.accuracy(
+                    null_config, workers=self.workers
+                )
+            else:
+                self._fp32_accuracy = evaluate_accuracy(
+                    self.model,
+                    self.images,
+                    self.labels,
+                    batch_size=self.batch_size,
+                    predict_fn=default_predictions,
+                )
+                # Keep batch accounting symmetric with the engine path,
+                # which runs (and counts) the pass as a null config.
+                self._naive_batches += self.num_batches
         return self._fp32_accuracy
 
     def accuracy(self, config: QuantizationConfig) -> float:
@@ -159,7 +212,7 @@ class Evaluator:
         if cached is not None:
             return cached
         if self.engine is not None:
-            value = self.engine.accuracy(config)
+            value = self.engine.accuracy(config, workers=self.workers)
         else:
             context = self.quant_context(config)
             value = evaluate_accuracy(
@@ -189,7 +242,7 @@ class Evaluator:
         if cached is not None:
             return cached >= floor
         if self.engine is not None:
-            verdict = self.engine.meets_floor(config, floor)
+            verdict = self.engine.meets_floor(config, floor, workers=self.workers)
             # A verdict near the floor can consume the whole split;
             # keep the exact accuracy that fell out rather than
             # recomputing it after the plan is evicted.

@@ -3,10 +3,11 @@
 The paper reports isolated (budget, tolerance) design points; a
 practitioner usually wants the *frontier*: for each feasible weight
 memory, the best reachable accuracy.  :func:`sweep_memory_budgets` runs
-the framework across a budget grid with a shared (memoized) evaluator,
-and :func:`pareto_frontier` extracts the non-dominated points — the
-curve behind the paper's Sec. IV-D Pareto-dominance discussion of Q1
-vs Q2.
+the framework across a budget grid — sequentially with a shared
+(memoized) evaluator, or fanned across forked worker processes with
+bit-identical results — and :func:`pareto_frontier` extracts the
+non-dominated points in a single sorted sweep: the curve behind the
+paper's Sec. IV-D Pareto-dominance discussion of Q1 vs Q2.
 """
 
 from __future__ import annotations
@@ -16,11 +17,16 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.engine.parallel import run_branches
 from repro.framework.evaluate import Evaluator
 from repro.framework.qcapsnets import QCapsNets
 from repro.framework.results import QCapsNetsResult
 from repro.nn.module import Module
-from repro.quant.rounding import RoundingScheme, get_rounding_scheme
+from repro.quant.rounding import (
+    RoundingScheme,
+    StochasticRounding,
+    get_rounding_scheme,
+)
 
 
 @dataclass(frozen=True)
@@ -47,6 +53,25 @@ class TradeOffPoint:
         return no_worse and better
 
 
+def _sweep_scheme(
+    scheme: Union[str, RoundingScheme], seed: int
+) -> RoundingScheme:
+    """Resolve the sweep's scheme, threading the sweep ``seed`` through.
+
+    The string path always built the scheme with ``seed``; an SR
+    *instance* used to slip through with whatever seed it was created
+    with, silently ignoring the ``seed`` argument (and mutating the
+    caller's stream as the sweep consumed draws).  Both paths now yield
+    a private scheme bound to the sweep seed, so instance and string
+    calls produce identical points.
+    """
+    if isinstance(scheme, str):
+        return get_rounding_scheme(scheme, seed=seed)
+    if isinstance(scheme, StochasticRounding):
+        return StochasticRounding(seed=seed)
+    return scheme
+
+
 def sweep_memory_budgets(
     model: Module,
     test_images: np.ndarray,
@@ -57,31 +82,69 @@ def sweep_memory_budgets(
     batch_size: int = 128,
     seed: int = 0,
     accuracy_fp32: Optional[float] = None,
+    workers: int = 1,
+    staged_executor=None,
 ) -> List[TradeOffPoint]:
     """Run Algorithm 1 for every budget; evaluator cache is shared.
 
     Each run contributes its best model (``model_satisfied`` on Path A,
     else ``model_accuracy``) plus, on Path B, the ``model_memory``
     point — both are legitimate deployment options.
+
+    ``workers > 1`` fans the (independent) budget runs across forked
+    worker processes.  Each worker inherits the parent's evaluator —
+    trained weights, calibration, any warm prefix cache — copy-on-write
+    and runs its budgets sequentially against it; points are merged in
+    budget order, so the result is bit-identical to the sequential
+    sweep (memoization only ever saves work, never changes values).
+
+    ``staged_executor`` injects a shared prefix-reuse executor into the
+    sweep's evaluator (see :class:`~repro.framework.evaluate.Evaluator`).
     """
     if not budgets_mbit:
         raise ValueError("budgets_mbit must not be empty")
-    if isinstance(scheme, str):
-        scheme = get_rounding_scheme(scheme, seed=seed)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    scheme = _sweep_scheme(scheme, seed)
     evaluator = Evaluator(
         model, test_images, test_labels, scheme,
-        batch_size=batch_size, seed=seed,
+        batch_size=batch_size, seed=seed, staged_executor=staged_executor,
     )
-    points: List[TradeOffPoint] = []
-    for budget in budgets_mbit:
-        result: QCapsNetsResult = QCapsNets(
+
+    def run_budget(budget: float, fp32: Optional[float]) -> QCapsNetsResult:
+        return QCapsNets(
             model, test_images, test_labels,
             accuracy_tolerance=accuracy_tolerance,
             memory_budget_mbit=budget,
             evaluator=evaluator,
-            accuracy_fp32=accuracy_fp32,
+            accuracy_fp32=fp32,
         ).run()
-        accuracy_fp32 = result.accuracy_fp32  # reuse for later budgets
+
+    results: List[QCapsNetsResult]
+    if workers > 1:
+        # The FP32 pass is shared state every branch needs: compute it
+        # once pre-fork so the workers inherit it (and the evaluator's
+        # warm caches) instead of each redoing it.
+        if accuracy_fp32 is None:
+            accuracy_fp32 = evaluator.accuracy_fp32()
+        fp32 = accuracy_fp32
+        branch_results = run_branches(
+            [
+                (f"budget[{index}]", lambda b=budget: run_budget(b, fp32))
+                for index, budget in enumerate(budgets_mbit)
+            ],
+            workers=workers,
+        )
+        results = list(branch_results.values())
+    else:
+        results = []
+        for budget in budgets_mbit:
+            result = run_budget(budget, accuracy_fp32)
+            accuracy_fp32 = result.accuracy_fp32  # reuse for later budgets
+            results.append(result)
+
+    points: List[TradeOffPoint] = []
+    for budget, result in zip(budgets_mbit, results):
         for quantized in result.models().values():
             points.append(
                 TradeOffPoint(
@@ -97,17 +160,45 @@ def sweep_memory_budgets(
 
 
 def pareto_frontier(points: Sequence[TradeOffPoint]) -> List[TradeOffPoint]:
-    """Non-dominated subset, sorted by ascending weight memory."""
-    frontier = [
-        p for p in points
-        if not any(other.dominates(p) for other in points if other is not p)
-    ]
-    # Deduplicate identical (memory, accuracy) pairs.
+    """Non-dominated subset, sorted by ascending weight memory.
+
+    Single sweep over the points sorted by (memory asc, accuracy desc):
+    a point survives iff its accuracy strictly exceeds the best
+    accuracy of every strictly-smaller-memory point *and* it is the
+    best accuracy at its own memory — O(n log n) against the O(n²)
+    all-pairs dominance scan, with identical output (property-tested in
+    ``tests/test_framework_pareto.py``).
+    """
+    ordered = sorted(points, key=lambda p: (p.weight_mbit, -p.accuracy))
     seen = set()
-    unique = []
-    for point in sorted(frontier, key=lambda p: (p.weight_mbit, -p.accuracy)):
-        key = (round(point.weight_mbit, 9), round(point.accuracy, 9))
-        if key not in seen:
-            seen.add(key)
-            unique.append(point)
-    return unique
+    frontier: List[TradeOffPoint] = []
+    best_accuracy = float("-inf")  # over strictly smaller memories
+    index = 0
+    while index < len(ordered):
+        # One group of equal-memory points; the group's first entry has
+        # its best accuracy (descending within the group).
+        group_memory = ordered[index].weight_mbit
+        group_best = ordered[index].accuracy
+        if group_best > best_accuracy:
+            # Non-dominated = the group's top-accuracy points (duplicate
+            # (memory, accuracy) pairs don't dominate each other; the
+            # dedup below keeps one representative).
+            while (
+                index < len(ordered)
+                and ordered[index].weight_mbit == group_memory
+                and ordered[index].accuracy == group_best
+            ):
+                point = ordered[index]
+                key = (round(point.weight_mbit, 9), round(point.accuracy, 9))
+                if key not in seen:
+                    seen.add(key)
+                    frontier.append(point)
+                index += 1
+            best_accuracy = group_best
+        # Skip the rest of the group (dominated by the group's best or
+        # by a smaller-memory point).
+        while (
+            index < len(ordered) and ordered[index].weight_mbit == group_memory
+        ):
+            index += 1
+    return frontier

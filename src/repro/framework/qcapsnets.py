@@ -113,6 +113,17 @@ class QCapsNets:
         Let the engine resume forward passes from cached cross-config
         prefix activations (default; see :mod:`repro.engine.staged`).
         Ignored when ``evaluator`` is given.
+    staged_executor:
+        Prebuilt :class:`~repro.engine.StagedExecutor` to share across
+        framework instances over the same model (e.g. the per-scheme
+        branches of :func:`~repro.framework.selection.run_rounding_scheme_search`
+        or a budget grid) — see :mod:`repro.engine.staged` for the
+        sharing semantics.  Ignored when ``evaluator`` is given.
+    workers:
+        Fan independent evaluation batches of this run across forked
+        worker processes (deterministic schemes only; bit-identical
+        results — see :mod:`repro.engine.parallel`).  Ignored when
+        ``evaluator`` is given.
     """
 
     def __init__(
@@ -132,6 +143,8 @@ class QCapsNets:
         evaluator: Optional[Evaluator] = None,
         use_engine: bool = True,
         use_prefix_cache: bool = True,
+        staged_executor=None,
+        workers: int = 1,
     ):
         if accuracy_tolerance < 0:
             raise ValueError(
@@ -162,6 +175,7 @@ class QCapsNets:
                 model, test_images, test_labels, scheme,
                 batch_size=batch_size, seed=seed, use_engine=use_engine,
                 use_prefix_cache=use_prefix_cache,
+                staged_executor=staged_executor, workers=workers,
             )
         self.param_counts = model.layer_param_counts()
         self.act_counts = model.layer_activation_counts()

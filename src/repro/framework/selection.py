@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.engine.parallel import run_branches
 from repro.framework.qcapsnets import QCapsNets
 from repro.framework.results import QCapsNetsResult, QuantizedModelResult
 from repro.quant.rounding import get_rounding_scheme
@@ -126,6 +127,8 @@ def select_best(results: Dict[str, QCapsNetsResult]) -> SelectionOutcome:
 def run_rounding_scheme_search(
     make_framework: Callable[[str], QCapsNets],
     schemes: Sequence[str] = ("TRN", "RTN", "SR"),
+    workers: int = 1,
+    share_executor: bool = True,
 ) -> SelectionOutcome:
     """Run Algorithm 1 per scheme and select per Sec. III-B.
 
@@ -133,12 +136,61 @@ def run_rounding_scheme_search(
     ----------
     make_framework:
         Factory mapping a scheme name to a configured :class:`QCapsNets`
-        instance (the paper runs the branches in parallel; here they run
-        sequentially for determinism).
+        instance.
     schemes:
         Library of rounding schemes, default the paper's {TRN, RTN, SR}.
+        Duplicate names are rejected: each duplicate would rerun the
+        full Algorithm-1 search only to overwrite the earlier entry in
+        the name-keyed results.
+    workers:
+        Fan the per-scheme branches across this many forked worker
+        processes (the paper runs the branches in parallel).  Every
+        branch owns its evaluator, weight caches and RNG stream, and
+        results are merged by scheme name, so the outcome — whatever
+        the worker scheduling — is bit-identical to the sequential run.
+        ``1`` (default) runs the branches sequentially in-process.
+    share_executor:
+        In the sequential path, let the per-scheme frameworks share one
+        staged prefix-reuse executor when their evaluators wrap the
+        same model instance: scheme-free (FP32) prefix activations —
+        notably the whole ``accFP32`` baseline pass — are then computed
+        once and resumed by every later branch, while quantized
+        prefixes stay isolated per scheme (and per SR stream) by their
+        fingerprints.  Bit-identical either way.  Forked branches
+        (``workers > 1``) inherit whatever is in the parent's cache at
+        fork time but cannot share entries made afterwards.
     """
-    results: Dict[str, QCapsNetsResult] = {}
-    for name in schemes:
-        results[name] = make_framework(name).run()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    names = list(schemes)
+    if len(set(names)) != len(names):
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(
+            f"duplicate rounding schemes in library: {duplicates}; each "
+            "duplicate would redo the full search and overwrite the "
+            "earlier result"
+        )
+
+    results: Dict[str, QCapsNetsResult]
+    if workers > 1:
+        results = run_branches(
+            [(name, lambda name=name: make_framework(name).run())
+             for name in names],
+            workers=workers,
+        )
+    else:
+        shared_executor = None
+        results = {}
+        for name in names:
+            framework = make_framework(name)
+            # Best-effort sharing: synthetic evaluators (test oracles)
+            # without an engine simply keep their own state.
+            evaluator = framework.evaluator
+            if share_executor and hasattr(evaluator, "share_executor"):
+                executor = getattr(evaluator, "staged_executor", None)
+                if shared_executor is None:
+                    shared_executor = executor
+                elif executor is not None:
+                    evaluator.share_executor(shared_executor)
+            results[name] = framework.run()
     return select_best(results)

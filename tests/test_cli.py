@@ -24,6 +24,34 @@ class TestParser:
                 ["quantize", "--weights", "w.npz", "--scheme", "FOO"]
             )
 
+    def test_quantize_workers_flag(self):
+        args = build_parser().parse_args(
+            ["quantize", "--weights", "w.npz", "--workers", "3"]
+        )
+        assert args.workers == 3
+        assert build_parser().parse_args(
+            ["quantize", "--weights", "w.npz"]
+        ).workers == 1
+
+    def test_select_defaults(self):
+        args = build_parser().parse_args(["select", "--weights", "w.npz"])
+        assert args.schemes == ["TRN", "RTN", "SR"]
+        assert args.workers == 1
+        assert args.tolerance == 0.015
+
+    def test_select_scheme_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["select", "--weights", "w.npz", "--schemes", "TRN", "FOO"]
+            )
+
+    def test_select_duplicate_schemes_clean_error(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="unique"):
+            main(["select", "--weights", "w.npz",
+                  "--schemes", "TRN", "TRN"])
+
 
 class TestBuildModel:
     def test_dataset_shapes_respected(self):
@@ -70,6 +98,14 @@ class TestEndToEndCli:
         assert main(["evaluate", *base, "--artifact", str(artifact)]) == 0
         out = capsys.readouterr().out
         assert "quantized accuracy" in out
+
+        assert main([
+            "select", *base, "--weights", str(weights),
+            "--tolerance", "0.1", "--budget-divisor", "4",
+            "--schemes", "TRN", "RTN", "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Rounding-scheme selection" in out
 
     def test_hw_report(self, capsys):
         assert main([

@@ -206,13 +206,35 @@ class TestEvaluatorEngineIntegration:
         assert evaluator.batches_evaluated == batches  # no new batches
         assert evaluator.probe_count == 2
 
-    def test_accuracy_fp32_memoized(self, trained_tiny, tiny_data, monkeypatch):
+    def test_accuracy_fp32_memoized(self, trained_tiny, tiny_data):
+        """Engine-backed FP32 pass: one full run of a null (all-FP32)
+        config, memoized afterwards, matching the naive evaluation."""
+        _, test = tiny_data
+        evaluator = Evaluator(
+            trained_tiny, test.images, test.labels,
+            get_rounding_scheme("RTN"), batch_size=32,
+        )
+        first = evaluator.accuracy_fp32()
+        batches = evaluator.batches_evaluated
+        assert batches == evaluator.num_batches  # exactly one full pass
+        second = evaluator.accuracy_fp32()
+        assert first == second
+        assert evaluator.batches_evaluated == batches  # memoized
+        naive = Evaluator(
+            trained_tiny, test.images, test.labels,
+            get_rounding_scheme("RTN"), batch_size=32, use_engine=False,
+        )
+        assert first == naive.accuracy_fp32()
+
+    def test_accuracy_fp32_naive_memoized(
+        self, trained_tiny, tiny_data, monkeypatch
+    ):
         import repro.framework.evaluate as evaluate_module
 
         _, test = tiny_data
         evaluator = Evaluator(
             trained_tiny, test.images, test.labels,
-            get_rounding_scheme("RTN"), batch_size=32,
+            get_rounding_scheme("RTN"), batch_size=32, use_engine=False,
         )
         calls = []
         original = evaluate_module.evaluate_accuracy

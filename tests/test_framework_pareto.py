@@ -1,6 +1,8 @@
 """Tests for the memory/accuracy trade-off sweep and Pareto extraction."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.framework import TradeOffPoint, pareto_frontier, sweep_memory_budgets
 
@@ -14,6 +16,22 @@ def _point(memory, accuracy, label="model_satisfied"):
         path="A",
         model_label=label,
     )
+
+
+def _all_pairs_frontier(points):
+    """The O(n²) dominance-scan reference the sweep must reproduce."""
+    frontier = [
+        p for p in points
+        if not any(other.dominates(p) for other in points if other is not p)
+    ]
+    seen = set()
+    unique = []
+    for point in sorted(frontier, key=lambda p: (p.weight_mbit, -p.accuracy)):
+        key = (round(point.weight_mbit, 9), round(point.accuracy, 9))
+        if key not in seen:
+            seen.add(key)
+            unique.append(point)
+    return unique
 
 
 class TestDominance:
@@ -56,6 +74,41 @@ class TestParetoFrontier:
         frontier = pareto_frontier(points)
         accuracies = [p.accuracy for p in frontier]
         assert accuracies == sorted(accuracies)
+
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                # Coarse grids force plenty of exact ties on both axes —
+                # the cases where sweep and all-pairs scan could diverge.
+                st.integers(min_value=0, max_value=8).map(lambda v: v / 2.0),
+                st.integers(min_value=0, max_value=40).map(lambda v: 2.5 * v),
+            ),
+            max_size=40,
+        )
+    )
+    def test_sweep_equals_all_pairs_reference(self, cloud):
+        """Property: the O(n log n) sorted sweep returns exactly the
+        all-pairs dominance scan's frontier on random point clouds."""
+        points = [_point(m, a) for m, a in cloud]
+        assert pareto_frontier(points) == _all_pairs_frontier(points)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.001, max_value=10.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            ),
+            max_size=30,
+        )
+    )
+    def test_sweep_equals_reference_continuous(self, cloud):
+        points = [_point(m, a) for m, a in cloud]
+        assert pareto_frontier(points) == _all_pairs_frontier(points)
 
 
 class TestSweep:

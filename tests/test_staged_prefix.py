@@ -252,6 +252,47 @@ class TestPrefixCacheLRU:
         assert cache.evictions > 0
         assert cache.current_bytes <= cache.max_bytes
 
+    def test_bytes_per_expected_hit_prefers_big_cold_entries(self):
+        """A large never-hit entry is evicted before a smaller entry
+        that configurations keep resuming from — even though the hot
+        entry is older (pure LRU would evict it first)."""
+        cache = PrefixCache(max_bytes=13 * 1024)
+        cache.put((0, 0, "hot"), self._entry(4))
+        for _ in range(3):
+            assert cache.get((0, 0, "hot")) is not None
+        cache.put((0, 0, "cold"), self._entry(8))   # larger, never hit,
+        # and more *recent* than hot's last touch — LRU would evict hot.
+        cache.put((0, 0, "new"), self._entry(4))    # forces one eviction
+        assert cache.get((0, 0, "cold")) is None    # big & cold: evicted
+        assert cache.get((0, 0, "hot")) is not None
+        assert cache.get((0, 0, "new")) is not None
+        assert cache.evictions == 1
+
+    def test_hit_counts_break_size_ties(self):
+        """Equal sizes: the entry with fewer recorded hits goes first;
+        with equal hits the policy degrades to LRU (see
+        test_lru_order_refreshed_by_hits)."""
+        cache = PrefixCache(max_bytes=10 * 1024)
+        cache.put((0, 0, "a"), self._entry(4))
+        cache.put((0, 0, "b"), self._entry(4))
+        assert cache.get((0, 0, "b")) is not None   # "b" newer AND hotter
+        assert cache.get((0, 0, "a")) is not None
+        assert cache.get((0, 0, "b")) is not None
+        cache.put((0, 0, "c"), self._entry(4))
+        assert cache.get((0, 0, "a")) is None       # fewest hits: evicted
+        assert cache.get((0, 0, "b")) is not None
+
+    def test_cross_scheme_hits_attributed(self):
+        entry = CacheEntry(np.zeros(16, dtype=np.float32), None, {},
+                           scheme="TRN")
+        cache = PrefixCache(max_bytes=1024)
+        cache.put((0, 0, "fp"), entry)
+        assert cache.get((0, 0, "fp"), scheme="TRN") is not None
+        assert cache.cross_scheme_hits == 0
+        assert cache.get((0, 0, "fp"), scheme="RTN") is not None
+        assert cache.cross_scheme_hits == 1
+        assert entry.hits == 2
+
     def test_single_miss_per_probe_sequence(self, trained_tiny, tiny_data):
         """The executor's deepest-first probing records one hit or one
         miss per batch run, not one per probed depth."""
@@ -325,17 +366,50 @@ class TestFingerprints:
         fb = stage_fingerprints(STAGES, self._context(mutated))
         assert fa[L2_ACT] == fb[L2_ACT] and fa[L3] != fb[L3]
 
-    def test_scheme_and_seed_invalidate_everything(self):
+    def test_scheme_invalidates_quantized_prefixes(self):
         base = stage_fingerprints(STAGES, self._context(_uniform(8)))
         other_scheme = stage_fingerprints(
             STAGES, self._context(_uniform(8), scheme="TRN")
         )
+        for k in range(len(STAGES)):
+            assert base[k] != other_scheme[k]
+
+    def test_deterministic_schemes_share_across_seeds(self):
+        """TRN/RTN/RTNE output cannot depend on the seed, so equal
+        configs share compute boundaries across seeds; SR streams with
+        different seeds must never share."""
+        base = stage_fingerprints(STAGES, self._context(_uniform(8)))
         other_seed = stage_fingerprints(
             STAGES, self._context(_uniform(8), seed=7)
         )
+        assert base == other_seed
+        sr_base = stage_fingerprints(
+            STAGES, self._context(_uniform(8), scheme="SR")
+        )
+        sr_other = stage_fingerprints(
+            STAGES, self._context(_uniform(8), scheme="SR", seed=7)
+        )
         for k in range(len(STAGES)):
-            assert base[k] != other_scheme[k]
-            assert base[k] != other_seed[k]
+            assert sr_base[k] != sr_other[k]
+
+    def test_fp32_prefixes_are_scheme_free(self):
+        """Stages before the first active quantization site produce
+        FP32 activations — shareable across schemes and seeds; from the
+        first active stage on, the scheme token attaches."""
+        config = QuantizationConfig.uniform(LAYERS)  # all-FP32
+        config.set_qa("L2", 4)  # first active site: L2's act step
+        rtn = stage_fingerprints(STAGES, self._context(config.clone()))
+        trn = stage_fingerprints(
+            STAGES, self._context(config.clone(), scheme="TRN")
+        )
+        sr = stage_fingerprints(
+            STAGES, self._context(config.clone(), scheme="SR", seed=3)
+        )
+        for k in (0, L2_COMPUTE):  # inactive prefix: shared by everyone
+            assert rtn[k] == trn[k] == sr[k]
+        for k in (L2_ACT, L3):     # active prefix: per-scheme
+            assert rtn[k] != trn[k]
+            assert rtn[k] != sr[k]
 
     def test_scales_invalidate_their_consumer_only(self):
         base = stage_fingerprints(
