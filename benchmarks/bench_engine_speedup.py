@@ -29,7 +29,7 @@ BATCH_SIZE = 32  # 8 batches over the 256-image eval set
 
 
 def _run(model, test, budget_mbit, fp32_acc, scheme, use_engine):
-    framework = QCapsNets(
+    framework = QCapsNets.build(
         model, test.images, test.labels,
         accuracy_tolerance=TOLERANCE,
         memory_budget_mbit=budget_mbit,

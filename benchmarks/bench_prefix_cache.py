@@ -64,7 +64,7 @@ def make_evaluator(model, test, scheme, use_prefix_cache,
 
 def run_search(model, test, budget_mbit, fp32_acc, evaluator,
                tolerance=TOLERANCE):
-    framework = QCapsNets(
+    framework = QCapsNets.build(
         model, test.images, test.labels,
         accuracy_tolerance=tolerance,
         memory_budget_mbit=budget_mbit,

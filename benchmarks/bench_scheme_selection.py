@@ -36,7 +36,7 @@ from conftest import emit
 from harness import fp32_weight_mbit
 
 from repro.engine import config_signature, fork_available
-from repro.framework import QCapsNets, run_rounding_scheme_search
+from repro.framework import QCapsNets, scheme_search
 
 TOLERANCE = 0.02
 BATCH_SIZE = 32
@@ -48,7 +48,7 @@ def make_factory(model, test, budget_mbit, tolerance=TOLERANCE,
     """Per-scheme framework factory; fresh evaluator per branch (the
     sweep itself decides what gets shared)."""
     def make_framework(scheme_name: str) -> QCapsNets:
-        return QCapsNets(
+        return QCapsNets.build(
             model, test.images, test.labels,
             accuracy_tolerance=tolerance,
             memory_budget_mbit=budget_mbit,
@@ -91,7 +91,7 @@ def run_sequential_shared(make_framework, schemes):
         return framework
 
     started = time.perf_counter()
-    outcome = run_rounding_scheme_search(spying, schemes=schemes)
+    outcome = scheme_search(spying, schemes=schemes)
     elapsed = time.perf_counter() - started
     shared = executors[0] if executors else None
     stats = shared.stats() if shared is not None else {}
@@ -100,7 +100,7 @@ def run_sequential_shared(make_framework, schemes):
 
 def run_parallel(make_framework, schemes, workers):
     started = time.perf_counter()
-    outcome = run_rounding_scheme_search(
+    outcome = scheme_search(
         make_framework, schemes=schemes, workers=workers
     )
     return outcome, time.perf_counter() - started

@@ -24,7 +24,7 @@ def run_framework(
     evaluator=None,
 ) -> QCapsNetsResult:
     """One Algorithm-1 run with bench-standard settings."""
-    framework = QCapsNets(
+    framework = QCapsNets.build(
         model,
         test_dataset.images,
         test_dataset.labels,

@@ -77,7 +77,7 @@ def main() -> None:
         ("ShallowCaps", caps, caps_fp32),
     ):
         budget = sum(model.layer_param_counts().values()) * 32 / 1e6 / 6
-        result = QCapsNets(
+        result = QCapsNets.build(
             model, test.images, test.labels,
             accuracy_tolerance=0.015, memory_budget_mbit=budget,
             scheme="RTN", accuracy_fp32=fp32,

@@ -41,7 +41,7 @@ def main() -> None:
     )
 
     fp32_mbit = sum(model.layer_param_counts().values()) * 32 / 1e6
-    framework = QCapsNets(
+    framework = QCapsNets.build(
         model,
         test.images,
         test.labels,

@@ -53,7 +53,7 @@ def main() -> None:
         f"budget={budget:.3f} Mbit (FP32 is {fp32_mbit:.3f} Mbit), "
         f"scheme={args.scheme}"
     )
-    framework = QCapsNets(
+    framework = QCapsNets.build(
         model,
         test.images,
         test.labels,

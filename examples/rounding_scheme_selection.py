@@ -18,7 +18,7 @@ import argparse
 
 from repro.capsnet import ShallowCaps, presets
 from repro.data import synth_digits
-from repro.framework import QCapsNets, run_rounding_scheme_search
+from repro.framework import QCapsNets, scheme_search
 from repro.nn import Adam, Trainer, evaluate_accuracy
 
 
@@ -46,7 +46,7 @@ def main() -> None:
 
     def make_framework(scheme_name: str) -> QCapsNets:
         print(f"running Algorithm 1 with {scheme_name} ...")
-        return QCapsNets(
+        return QCapsNets.build(
             model,
             test.images,
             test.labels,
@@ -56,7 +56,7 @@ def main() -> None:
             accuracy_fp32=fp32_accuracy,
         )
 
-    outcome = run_rounding_scheme_search(
+    outcome = scheme_search(
         make_framework, schemes=("TRN", "RTN", "SR"), workers=args.workers
     )
 

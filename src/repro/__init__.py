@@ -5,31 +5,30 @@ Capsule Networks"* (Marchisio et al., DAC 2020) — including the full
 substrate it needs (NumPy autograd engine, CapsNet models, fixed-point
 quantization, 65nm hardware cost models and synthetic datasets).
 
-Quickstart::
+Quickstart (the declarative session API is the public entrypoint)::
 
-    from repro import capsnet, data, framework, quant
-    from repro.nn import Adam, Trainer
+    from repro.api import QuantSpec, Session
 
-    train, test = data.synth_digits(train_size=2000, test_size=512)
-    model = capsnet.ShallowCaps(capsnet.presets.shallowcaps_small())
-    trainer = Trainer(model, Adam(model.parameters(), lr=0.001))
-    trainer.fit(train.images, train.labels, epochs=3)
+    spec = QuantSpec(model="shallow-small", dataset="digits",
+                     tolerance=0.015, budget_divisor=5.0)
+    session = Session(spec)
+    session.train(epochs=6, out="model.npz")
 
-    result = framework.QCapsNets(
-        model,
-        test_images=test.images,
-        test_labels=test.labels,
-        accuracy_tolerance=0.002,
-        memory_budget_mb=0.6,
-    ).run()
+    result = session.quantize()                       # Algorithm 1
     print(result.summary())
+    session.export(result, path="model.qcn.npz")      # versioned artifact
+
+    served = session.serve("model.qcn.npz")           # no search re-run
+    labels = served.predict(images)
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured results of every table and figure.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from repro import autograd, capsnet, engine, nn, quant
+from repro import api, autograd, capsnet, engine, nn, quant
 
-__all__ = ["autograd", "capsnet", "engine", "nn", "quant", "__version__"]
+__all__ = [
+    "api", "autograd", "capsnet", "engine", "nn", "quant", "__version__",
+]

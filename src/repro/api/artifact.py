@@ -1,0 +1,271 @@
+"""Versioned, self-describing quantized-model artifact.
+
+The search's durable output.  Where
+:class:`~repro.quant.qmodel.QuantizedCapsNet` is the *runtime* object (a
+model bound to frozen integer codes), a :class:`ModelArtifact` is the
+*wire format*: a single ``.npz`` file carrying
+
+* a format name + version (unknown versions fail loudly at load time);
+* the :class:`~repro.api.spec.QuantSpec` provenance that produced it;
+* the per-layer :class:`~repro.quant.config.QuantizationConfig`;
+* the frozen two's-complement weight codes with their fixed-point
+  formats and power-of-two scales;
+* the calibrated activation/routing scales;
+* an accuracy/memory report (including the full Algorithm-1 search
+  record with per-phase engine statistics).
+
+``save``/``load`` round-trip losslessly, and
+:meth:`ModelArtifact.bind` + :meth:`~repro.api.session.Session.serve`
+turn a loaded artifact back into batched quantized inference without
+re-running any part of the search.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.framework.results import QCapsNetsResult, QuantizedModelResult
+from repro.nn.module import Module
+from repro.quant.config import QuantizationConfig
+from repro.quant.fixed_point import FixedPointFormat
+from repro.quant.qmodel import QuantizedCapsNet
+from repro.quant.rounding import RoundingScheme, get_rounding_scheme
+
+#: Format identifier embedded in every artifact file.
+ARTIFACT_FORMAT = "qcapsnets/model-artifact"
+#: Highest format version this build can read and the one it writes.
+ARTIFACT_VERSION = 1
+
+
+class ArtifactError(ValueError):
+    """An artifact file is malformed, foreign, or from a newer format."""
+
+
+@dataclass
+class ModelArtifact:
+    """Deployable result of one quantization search.
+
+    ``weight_codes`` maps ``"layer:param"`` to ``(codes, format, scale)``
+    exactly as :class:`~repro.quant.qmodel.QuantizedCapsNet` freezes
+    them; ``report`` is a JSON-safe dict with at least ``label`` and
+    ``accuracy`` (artifacts exported from a session embed the full
+    search record under ``report["search"]``).
+    """
+
+    config: QuantizationConfig
+    scheme: str
+    seed: int
+    weight_codes: Dict[str, Tuple[np.ndarray, FixedPointFormat, float]]
+    act_scales: Dict[str, float]
+    report: Dict[str, object] = field(default_factory=dict)
+    #: ``QuantSpec.to_dict()`` provenance (None for hand-built artifacts).
+    spec: Optional[Dict[str, object]] = None
+    version: int = ARTIFACT_VERSION
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_quantized(
+        cls,
+        quantized: QuantizedCapsNet,
+        report: Optional[Dict[str, object]] = None,
+        spec: Optional[Dict[str, object]] = None,
+    ) -> "ModelArtifact":
+        """Wrap an in-memory quantized model as an artifact."""
+        return cls(
+            config=quantized.config.clone(),
+            scheme=quantized.scheme.name,
+            seed=quantized.seed,
+            weight_codes=dict(quantized.weight_codes),
+            act_scales=dict(quantized.act_scales),
+            report=dict(report) if report else {},
+            spec=dict(spec) if spec else None,
+        )
+
+    @classmethod
+    def from_result(
+        cls,
+        model: Module,
+        result: QCapsNetsResult,
+        scheme: RoundingScheme,
+        act_scales: Dict[str, float],
+        seed: int = 0,
+        spec: Optional[Dict[str, object]] = None,
+        chosen: Optional[QuantizedModelResult] = None,
+    ) -> "ModelArtifact":
+        """Freeze ``result``'s deployment pick from an Algorithm-1 run.
+
+        ``chosen`` overrides the default pick (``result.best_model()``)
+        with any of the result's models — e.g. ``model_memory`` when the
+        budget matters more than the accuracy target.
+        """
+        picked = chosen if chosen is not None else result.best_model()
+        quantized = QuantizedCapsNet(
+            model, picked.config, scheme, act_scales=act_scales, seed=seed
+        )
+        report: Dict[str, object] = {
+            "label": picked.label,
+            "accuracy": picked.accuracy,
+            "weight_bits": picked.memory.weight_bits,
+            "act_bits": picked.memory.act_bits,
+            "weight_reduction": picked.weight_reduction,
+            "act_reduction": picked.act_reduction,
+            "search": result.to_dict(),
+        }
+        return cls.from_quantized(quantized, report=report, spec=spec)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def accuracy(self) -> Optional[float]:
+        """Search-time accuracy of the packaged model (from the report)."""
+        value = self.report.get("accuracy")
+        return float(value) if value is not None else None
+
+    def weight_storage_bits(self) -> int:
+        """Bits needed to store the frozen integer weights."""
+        return sum(
+            codes.size * fmt.wordlength
+            for codes, fmt, _ in self.weight_codes.values()
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"ModelArtifact v{self.version} [{self.scheme}]"
+            + (f": {self.report['label']}" if "label" in self.report else ""),
+            f"  weights: {self.weight_storage_bits() / 1e6:.3f} Mbit of codes",
+        ]
+        if self.accuracy is not None:
+            lines.append(f"  search-time accuracy: {self.accuracy:.2f}%")
+        if self.spec is not None:
+            lines.append(
+                f"  provenance: model={self.spec.get('model')} "
+                f"dataset={self.spec.get('dataset')} "
+                f"seed={self.spec.get('seed')}"
+            )
+        lines.append(self.config.describe())
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def bind(self, model: Module) -> QuantizedCapsNet:
+        """Bind the frozen codes onto ``model`` for inference.
+
+        ``model`` must expose the same quantization layers the artifact
+        was produced from (its float weights are irrelevant for frozen
+        parameters).
+        """
+        layers = getattr(model, "quant_layers", None)
+        if layers is not None and list(layers) != list(self.config.layer_names):
+            raise ArtifactError(
+                f"artifact layers {self.config.layer_names} do not match "
+                f"model layers {list(layers)}; rebuild the model from the "
+                "artifact's spec provenance"
+            )
+        return QuantizedCapsNet.from_codes(
+            model,
+            self.config,
+            get_rounding_scheme(self.scheme, seed=self.seed),
+            self.weight_codes,
+            act_scales=self.act_scales,
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def meta_dict(self) -> Dict[str, object]:
+        """The JSON-safe metadata block (everything but the code arrays)."""
+        return {
+            "format": ARTIFACT_FORMAT,
+            "version": self.version,
+            "spec": self.spec,
+            "scheme": self.scheme,
+            "seed": self.seed,
+            "config": self.config.to_dict(),
+            "act_scales": dict(self.act_scales),
+            "report": self.report,
+            "weight_meta": {
+                key: {
+                    "integer_bits": fmt.integer_bits,
+                    "fractional_bits": fmt.fractional_bits,
+                    "scale": scale,
+                }
+                for key, (_, fmt, scale) in self.weight_codes.items()
+            },
+        }
+
+    def save(self, path) -> None:
+        """Persist as a single ``.npz`` (JSON meta + integer code arrays)."""
+        arrays = {
+            f"codes:{key}": codes
+            for key, (codes, _, _) in self.weight_codes.items()
+        }
+        np.savez(path, meta=json.dumps(self.meta_dict()), **arrays)
+
+    @classmethod
+    def load(cls, path) -> "ModelArtifact":
+        """Load and validate an artifact written by :meth:`save`.
+
+        Raises :class:`ArtifactError` when the file is missing or
+        unreadable, is not a model artifact (e.g. a bare weights
+        archive), or was written by a newer format version than this
+        build understands.
+        """
+        try:
+            archive = np.load(path, allow_pickle=False)
+        except (OSError, zipfile.BadZipFile) as error:
+            raise ArtifactError(
+                f"cannot read artifact {path!r}: {error}"
+            ) from error
+        with archive:
+            if "meta" not in archive.files:
+                raise ArtifactError(
+                    f"{path!r} is not a Q-CapsNets model artifact (no meta "
+                    "block; is it a bare weights/QuantizedCapsNet archive?)"
+                )
+            meta = json.loads(str(archive["meta"]))
+            if meta.get("format") != ARTIFACT_FORMAT:
+                raise ArtifactError(
+                    f"{path!r} is not a Q-CapsNets model artifact "
+                    f"(format={meta.get('format')!r}, expected "
+                    f"{ARTIFACT_FORMAT!r})"
+                )
+            version = meta.get("version")
+            if not isinstance(version, int) or version < 1:
+                raise ArtifactError(
+                    f"{path!r} carries an invalid format version "
+                    f"{version!r}"
+                )
+            if version > ARTIFACT_VERSION:
+                raise ArtifactError(
+                    f"{path!r} uses artifact format version {version}, but "
+                    f"this build reads up to version {ARTIFACT_VERSION}; "
+                    "upgrade the package to load it"
+                )
+            weight_codes = {}
+            for key, info in meta["weight_meta"].items():
+                fmt = FixedPointFormat(
+                    info["integer_bits"], info["fractional_bits"]
+                )
+                weight_codes[key] = (
+                    archive[f"codes:{key}"], fmt, info["scale"]
+                )
+            return cls(
+                config=QuantizationConfig.from_dict(meta["config"]),
+                scheme=meta["scheme"],
+                seed=int(meta["seed"]),
+                weight_codes=weight_codes,
+                act_scales=dict(meta["act_scales"]),
+                report=dict(meta.get("report", {})),
+                spec=meta.get("spec"),
+                version=version,
+            )

@@ -18,7 +18,12 @@ from repro.autograd.ops_nn import avg_pool2d, conv2d, relu
 from repro.autograd.tensor import Tensor, no_grad
 from repro.nn.conv import Conv2d
 from repro.nn.layers import Linear
-from repro.nn.module import ForwardStage, Module
+from repro.nn.module import (
+    ForwardStage,
+    Module,
+    activation_stage,
+    run_forward_stages,
+)
 from repro.quant.qcontext import NULL_CONTEXT, QuantContext, RecordingContext
 
 
@@ -67,23 +72,9 @@ class LeNet5(Module):
         self.fc1 = Linear(16 * 5 * 5, 120, rng=rng)
         self.fc2 = Linear(120, 84, rng=rng)
         self.fc3 = Linear(84, num_classes, rng=rng)
-
-    def forward(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
-        for stage in self.stages():
-            x = stage.fn(x, q)
-        return x
-
-    # ------------------------------------------------------------------
-    # Staged decomposition (consumed by repro.engine.staged)
-    # ------------------------------------------------------------------
-    def stages(self) -> List[ForwardStage]:
-        """Ordered stage decomposition of ``forward`` (see
-        :class:`~repro.nn.module.ForwardStage`): a compute and an
-        activation-quantization step per quantization layer, so the
-        prefix-reuse engine serves the CNN baseline with the same
-        machinery as the CapsNets.  Folding the input through the stages
-        **is** the forward pass.
-        """
+        # A compute and an activation-quantization step per layer, so
+        # the prefix-reuse engine serves the CNN baseline with the same
+        # machinery as the CapsNets.
         steps: List[ForwardStage] = []
         for name, compute in (
             ("L1", self._stage_l1_compute),
@@ -93,17 +84,22 @@ class LeNet5(Module):
             ("L5", self._stage_l5_compute),
         ):
             steps.append(ForwardStage(name, ("qw",), compute))
-            steps.append(
-                ForwardStage(name, ("qa",), self._act_stage(name), tag="act")
-            )
-        return steps
+            steps.append(activation_stage(name))
+        self._stage_list = steps
 
-    @staticmethod
-    def _act_stage(name: str):
-        def act(x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
-            return q.act(name, x)
+    def forward(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
+        return run_forward_stages(self._stage_list, x, q)
 
-        return act
+    # ------------------------------------------------------------------
+    # Staged decomposition (consumed by repro.engine.staged)
+    # ------------------------------------------------------------------
+    def stages(self) -> List[ForwardStage]:
+        """Ordered stage decomposition of ``forward`` (see
+        :class:`~repro.nn.module.ForwardStage`), built once in
+        ``__init__``.  Folding the input through the stages **is** the
+        forward pass, so the decomposition cannot drift from the model.
+        """
+        return list(self._stage_list)
 
     def _stage_l1_compute(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
         w1 = q.weight("L1", "weight", self.conv1.weight)

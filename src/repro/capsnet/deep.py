@@ -29,7 +29,12 @@ from repro.capsnet.conv_caps import ConvCaps2d, ConvCaps3d
 from repro.capsnet.squash import squash
 from repro.nn.conv import Conv2d
 from repro.nn.layers import BatchNorm2d
-from repro.nn.module import ForwardStage, Module
+from repro.nn.module import (
+    ForwardStage,
+    Module,
+    activation_stage,
+    run_forward_stages,
+)
 from repro.quant.qcontext import NULL_CONTEXT, QuantContext, RecordingContext
 
 
@@ -181,47 +186,37 @@ class DeepCaps(Module):
             name="L6",
             rng=rng,
         )
+        # Two steps per Fig. 12 layer — compute and activation
+        # quantization — so activation-only probes reuse the cached
+        # convolution outputs.  The last cell's compute step
+        # additionally consumes ``qa``/``qdr`` (its skip branch routes),
+        # as does the class-capsule step.
+        steps: List[ForwardStage] = [
+            ForwardStage("L1", ("qw",), self._stage_l1_compute),
+            # L1's act step also regroups channels into capsules, so it
+            # keeps a bespoke callable instead of activation_stage().
+            ForwardStage("L1", ("qa",), self._stage_l1_act, tag="act"),
+        ]
+        for cell in cells:
+            fields = ("qw", "qa", "qdr") if cell.routed_skip else ("qw",)
+            steps.append(ForwardStage(cell.name, fields, cell.compute))
+            steps.append(activation_stage(cell.name))
+        steps.append(ForwardStage("L6", ("qw", "qa", "qdr"), self._stage_l6))
+        self._stage_list = steps
 
     def forward(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
-        for stage in self.stages():
-            x = stage.fn(x, q)
-        return x
+        return run_forward_stages(self._stage_list, x, q)
 
     # ------------------------------------------------------------------
     # Staged decomposition (consumed by repro.engine.staged)
     # ------------------------------------------------------------------
     def stages(self) -> List[ForwardStage]:
         """Ordered stage decomposition of ``forward`` (see
-        :class:`~repro.nn.module.ForwardStage`).
-
-        Two steps per Fig. 12 layer — compute and activation
-        quantization — so activation-only probes reuse the cached
-        convolution outputs.  The last cell's compute step additionally
-        consumes ``qa``/``qdr`` (its skip branch routes), as does the
-        class-capsule step.  Folding the input through the stages **is**
-        the forward pass.
+        :class:`~repro.nn.module.ForwardStage`), built once in
+        ``__init__``.  Folding the input through the stages **is** the
+        forward pass, so the decomposition cannot drift from the model.
         """
-        steps: List[ForwardStage] = [
-            ForwardStage("L1", ("qw",), self._stage_l1_compute),
-            ForwardStage("L1", ("qa",), self._stage_l1_act, tag="act"),
-        ]
-        for cell in self._cells:
-            fields = ("qw", "qa", "qdr") if cell.routed_skip else ("qw",)
-            steps.append(ForwardStage(cell.name, fields, cell.compute))
-            steps.append(
-                ForwardStage(
-                    cell.name, ("qa",), self._cell_act(cell), tag="act"
-                )
-            )
-        steps.append(ForwardStage("L6", ("qw", "qa", "qdr"), self._stage_l6))
-        return steps
-
-    @staticmethod
-    def _cell_act(cell: CapsCell):
-        def act(x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
-            return q.act(cell.name, x)
-
-        return act
+        return list(self._stage_list)
 
     def _stage_l1_compute(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
         weight = q.weight("L1", "weight", self.conv1.weight)

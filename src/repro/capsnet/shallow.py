@@ -24,7 +24,12 @@ from repro.autograd.tensor import Tensor, no_grad
 from repro.capsnet.caps_fc import CapsFC
 from repro.capsnet.primary import PrimaryCaps
 from repro.nn.conv import Conv2d
-from repro.nn.module import ForwardStage, Module
+from repro.nn.module import (
+    ForwardStage,
+    Module,
+    activation_stage,
+    run_forward_stages,
+)
 from repro.quant.qcontext import NULL_CONTEXT, QuantContext, RecordingContext
 
 
@@ -91,48 +96,40 @@ class ShallowCaps(Module):
             name="L3",
             rng=rng,
         )
+        # Each layer is split at its compute/quantize boundary: the
+        # compute step depends only on the layer's weights, so an
+        # activation-bits-only probe reuses the cached compute output
+        # and re-runs just the hook.  The routed L3 consumes
+        # ``qa``/``qdr`` inside its loop and stays one step.
+        self._stage_list = [
+            ForwardStage("L1", ("qw",), self._stage_l1_compute),
+            activation_stage("L1"),
+            ForwardStage("L2", ("qw",), self._stage_l2_compute),
+            activation_stage("L2"),
+            ForwardStage("L3", ("qw", "qa", "qdr"), self._stage_l3),
+        ]
 
     def forward(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
-        for stage in self.stages():
-            x = stage.fn(x, q)
-        return x
+        return run_forward_stages(self._stage_list, x, q)
 
     # ------------------------------------------------------------------
     # Staged decomposition (consumed by repro.engine.staged)
     # ------------------------------------------------------------------
     def stages(self) -> List[ForwardStage]:
         """Ordered stage decomposition of ``forward`` (see
-        :class:`~repro.nn.module.ForwardStage`).
-
-        Folding the input through every stage **is** the forward pass,
-        so the decomposition cannot drift from the model.  Each layer is
-        split at its compute/quantize boundary: the compute step depends
-        only on the layer's weights, so an activation-bits-only probe
-        reuses the cached compute output and re-runs just the hook.
-        The routed L3 consumes ``qa``/``qdr`` inside its loop and stays
-        one step.
+        :class:`~repro.nn.module.ForwardStage`), built once in
+        ``__init__``.  Folding the input through every stage **is** the
+        forward pass, so the decomposition cannot drift from the model.
         """
-        return [
-            ForwardStage("L1", ("qw",), self._stage_l1_compute),
-            ForwardStage("L1", ("qa",), self._stage_l1_act, tag="act"),
-            ForwardStage("L2", ("qw",), self._stage_l2_compute),
-            ForwardStage("L2", ("qa",), self._stage_l2_act, tag="act"),
-            ForwardStage("L3", ("qw", "qa", "qdr"), self._stage_l3),
-        ]
+        return list(self._stage_list)
 
     def _stage_l1_compute(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
         weight = q.weight("L1", "weight", self.conv1.weight)
         bias = q.weight("L1", "bias", self.conv1.bias)
         return relu(conv2d(x, weight, bias, self.conv1.stride, self.conv1.padding))
 
-    def _stage_l1_act(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
-        return q.act("L1", x)
-
     def _stage_l2_compute(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
         return self.primary.compute(x, q=q)
-
-    def _stage_l2_act(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
-        return q.act("L2", x)
 
     def _stage_l3(self, x: Tensor, q: QuantContext = NULL_CONTEXT) -> Tensor:
         return self.digit(x, q=q)

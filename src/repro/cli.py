@@ -1,4 +1,4 @@
-"""Command-line interface: train, quantize, evaluate, hardware report.
+"""Command-line interface — a thin shell over :mod:`repro.api`.
 
 Installed as the ``qcapsnets`` console script::
 
@@ -6,12 +6,25 @@ Installed as the ``qcapsnets`` console script::
                        --out model.npz
     qcapsnets quantize --model shallow-small --dataset digits \
                        --weights model.npz --tolerance 0.015 \
-                       --budget-divisor 5 --scheme RTN --out quantized.npz
+                       --budget-divisor 5 --scheme RTN --out model.qcn.npz
     qcapsnets select   --model shallow-small --dataset digits \
                        --weights model.npz --schemes TRN RTN SR --workers 3
     qcapsnets evaluate --model shallow-small --dataset digits \
-                       --artifact quantized.npz
+                       --artifact model.qcn.npz
+    qcapsnets predict  --artifact model.qcn.npz --num 8
     qcapsnets hw-report --model shallow-paper --qw 7 --qa 5 --qdr 3
+
+Every search subcommand accepts ``--spec spec.json`` — a JSON
+:class:`~repro.api.QuantSpec` document; explicitly-passed flags override
+the spec's fields, which override the built-in defaults.  Each command
+builds one :class:`~repro.api.Session` from the resolved spec and calls
+the matching session verb; all policy (model/dataset resolution, budget
+derivation, cache sharing, worker fan-out) lives in the API layer.
+
+``predict`` runs batched quantized inference straight from a saved
+:class:`~repro.api.ModelArtifact` — by default it rebuilds the model
+and test split from the artifact's embedded spec provenance, so the
+artifact file (plus the trained-weights file it names) is all you need.
 
 Every subcommand is deterministic given ``--seed`` — including under
 ``--workers``: parallel branches/batches merge in a fixed order, so the
@@ -21,162 +34,155 @@ reported models are bit-identical to a sequential run.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
-import numpy as np
-
 from repro.analysis import deepcaps_stats, shallowcaps_stats
-from repro.capsnet import DeepCaps, ShallowCaps, presets
-from repro.data import synth_cifar, synth_digits, synth_fashion
-from repro.framework import QCapsNets, run_rounding_scheme_search
-from repro.hw import CapsAccModel, InferenceEnergyModel, MacUnit, UMC65
-from repro.nn import Adam, Trainer, evaluate_accuracy
-from repro.quant import (
-    QuantizationConfig,
-    QuantizedCapsNet,
-    calibrate_scales,
-    get_rounding_scheme,
+from repro.api import (
+    DATASET_CHOICES,
+    MODEL_CHOICES,
+    ArtifactError,
+    ModelArtifact,
+    QuantSpec,
+    Session,
+    SpecError,
 )
+from repro.api import build_dataset as _api_build_dataset
+from repro.api import build_model as _api_build_model
+from repro.hw import CapsAccModel, InferenceEnergyModel, MacUnit, UMC65
+from repro.quant import QuantizationConfig, QuantizedCapsNet
+from repro.quant.rounding import ROUNDING_SCHEMES
 
-MODEL_CHOICES = ("shallow-small", "shallow-tiny", "shallow-paper",
-                 "deep-small", "deep-paper")
-DATASET_CHOICES = ("digits", "fashion", "cifar")
-
-
-def _dataset_channels(dataset: str) -> tuple:
-    return (3, 32) if dataset == "cifar" else (1, 28)
+SCHEME_CHOICES = tuple(sorted(ROUNDING_SCHEMES))
 
 
 def build_model(name: str, dataset: str, seed: int = 0):
-    """Instantiate a model preset matched to a dataset's shape."""
-    channels, size = _dataset_channels(dataset)
-    if name == "shallow-small":
-        return ShallowCaps(presets.shallowcaps_small(
-            input_channels=channels, input_size=size, seed=seed))
-    if name == "shallow-tiny":
-        if dataset == "cifar":
-            raise SystemExit("shallow-tiny supports grayscale datasets only")
-        return ShallowCaps(presets.shallowcaps_tiny(seed=seed))
-    if name == "shallow-paper":
-        return ShallowCaps(presets.shallowcaps_paper(input_channels=channels))
-    if name == "deep-small":
-        return DeepCaps(presets.deepcaps_small(
-            input_channels=channels, input_size=size, seed=seed))
-    if name == "deep-paper":
-        return DeepCaps(presets.deepcaps_paper(input_channels=channels))
-    raise SystemExit(f"unknown model '{name}'")
+    """Instantiate a model preset (CLI wrapper: errors exit cleanly)."""
+    try:
+        return _api_build_model(name, dataset, seed=seed)
+    except SpecError as error:
+        raise SystemExit(str(error)) from error
 
 
 def build_dataset(name: str, train_size: int, test_size: int, seed: int,
                   image_size: Optional[int] = None):
-    factories = {
-        "digits": synth_digits,
-        "fashion": synth_fashion,
-        "cifar": synth_cifar,
-    }
-    if name not in factories:
-        raise SystemExit(f"unknown dataset '{name}'")
-    kwargs = dict(train_size=train_size, test_size=test_size, seed=seed)
-    if image_size is not None:
-        kwargs["image_size"] = image_size
-    return factories[name](**kwargs)
+    """Generate a synthetic split pair (CLI wrapper: errors exit cleanly)."""
+    try:
+        return _api_build_dataset(name, train_size, test_size, seed, image_size)
+    except SpecError as error:
+        raise SystemExit(str(error)) from error
 
 
+# ----------------------------------------------------------------------
+# Spec resolution: built-in defaults < --spec file < explicit flags
+# ----------------------------------------------------------------------
+
+#: args attribute -> QuantSpec field for every shared option.
+_SPEC_ARG_FIELDS = {
+    "model": "model",
+    "dataset": "dataset",
+    "seed": "seed",
+    "test_size": "test_size",
+    "train_size": "train_size",
+    "weights": "weights",
+    "tolerance": "tolerance",
+    "budget_mbit": "budget_mbit",
+    "budget_divisor": "budget_divisor",
+    "workers": "workers",
+}
+
+
+def resolve_spec(args, base: Optional[QuantSpec] = None) -> QuantSpec:
+    """Fold parsed CLI arguments into a validated :class:`QuantSpec`.
+
+    ``base`` seeds the resolution (e.g. an artifact's provenance spec);
+    a ``--spec`` file overrides it, and explicitly-passed flags (parser
+    defaults are ``None``) override both.
+    """
+    spec = base if base is not None else QuantSpec()
+    spec_path = getattr(args, "spec", None)
+    if spec_path is not None:
+        spec = QuantSpec.load(spec_path)
+    overrides = {}
+    for attr, field in _SPEC_ARG_FIELDS.items():
+        value = getattr(args, attr, None)
+        if value is not None:
+            overrides[field] = value
+    scheme = getattr(args, "scheme", None)
+    if scheme is not None:
+        overrides["schemes"] = (scheme,)
+    schemes = getattr(args, "schemes", None)
+    if schemes is not None:
+        overrides["schemes"] = tuple(schemes)
+    return spec.with_overrides(**overrides)
+
+
+def _require_weights(spec: QuantSpec, command: str) -> None:
+    if spec.weights is None:
+        raise SystemExit(
+            f"{command} needs trained weights: pass --weights or set "
+            "\"weights\" in the --spec file (train first with "
+            "'qcapsnets train --out model.npz')"
+        )
+
+
+def _report_sidecar(out: str) -> str:
+    return os.path.splitext(out)[0] + ".json"
+
+
+# ----------------------------------------------------------------------
+# Subcommands (thin shells over repro.api.Session)
+# ----------------------------------------------------------------------
 def cmd_train(args) -> int:
-    image_size = 14 if args.model == "shallow-tiny" else None
-    train, test = build_dataset(
-        args.dataset, args.train_size, args.test_size, args.seed, image_size
-    )
-    model = build_model(args.model, args.dataset, seed=args.seed)
-    print(f"training {args.model} on {args.dataset} "
+    spec = resolve_spec(args)
+    session = Session(spec)
+    model = session.model
+    print(f"training {spec.model} on {spec.dataset} "
           f"({model.num_parameters():,} params, {args.epochs} epochs)")
-    trainer = Trainer(model, Adam(model.parameters(), lr=args.lr),
-                      seed=args.seed)
-    history = trainer.fit(
-        train.images, train.labels, test.images, test.labels,
-        epochs=args.epochs, batch_size=args.batch_size, verbose=True,
+    history = session.train(
+        epochs=args.epochs, batch_size=args.batch_size, lr=args.lr,
+        out=args.out, verbose=True,
     )
-    model.save(args.out)
     print(f"saved weights to {args.out} "
           f"(test accuracy {history.final_test_accuracy:.2f}%)")
     return 0
 
 
-def _weight_budget_mbit(args, model) -> float:
-    """Resolve the weight-memory budget from --budget-mbit/--budget-divisor."""
-    fp32_mbit = sum(model.layer_param_counts().values()) * 32 / 1e6
-    if args.budget_mbit is not None:
-        return args.budget_mbit
-    return fp32_mbit / args.budget_divisor
-
-
 def cmd_quantize(args) -> int:
-    image_size = 14 if args.model == "shallow-tiny" else None
-    _, test = build_dataset(
-        args.dataset, 1, args.test_size, args.seed, image_size
-    )
-    model = build_model(args.model, args.dataset, seed=args.seed)
-    model.load(args.weights)
-    fp32_accuracy = evaluate_accuracy(model, test.images, test.labels)
-    fp32_mbit = sum(model.layer_param_counts().values()) * 32 / 1e6
-    budget = _weight_budget_mbit(args, model)
-    print(f"FP32 accuracy {fp32_accuracy:.2f}%, weights {fp32_mbit:.3f} Mbit, "
-          f"budget {budget:.3f} Mbit, accTOL {args.tolerance}")
+    spec = resolve_spec(args)
+    _require_weights(spec, "quantize")
+    session = Session(spec)
+    fp32_mbit = sum(session.model.layer_param_counts().values()) * 32 / 1e6
+    print(f"FP32 accuracy {session.accuracy_fp32():.2f}%, "
+          f"weights {fp32_mbit:.3f} Mbit, "
+          f"budget {session.budget_mbit():.3f} Mbit, accTOL {spec.tolerance}")
 
-    framework = QCapsNets(
-        model, test.images, test.labels,
-        accuracy_tolerance=args.tolerance,
-        memory_budget_mbit=budget,
-        scheme=args.scheme,
-        seed=args.seed,
-        accuracy_fp32=fp32_accuracy,
-        workers=args.workers,
-    )
-    result = framework.run()
+    result = session.quantize()
     print(result.summary())
-    chosen = result.model_satisfied or result.model_accuracy
-    print(chosen.config.describe())
+    print(result.best_model().config.describe())
 
     if args.out:
-        scales = calibrate_scales(model, test.images)
-        artifact = QuantizedCapsNet(
-            model, chosen.config,
-            get_rounding_scheme(args.scheme, seed=args.seed),
-            act_scales=scales, seed=args.seed,
-        )
-        artifact.save(args.out)
-        print(f"saved quantized artifact to {args.out} "
-              f"({artifact.weight_storage_bits() / 1e6:.3f} Mbit of codes)")
+        artifact = session.export(result, path=args.out)
+        report_path = _report_sidecar(args.out)
+        with open(report_path, "w", encoding="utf-8") as handle:
+            json.dump(artifact.meta_dict(), handle, indent=2)
+        print(f"saved model artifact to {args.out} "
+              f"({artifact.weight_storage_bits() / 1e6:.3f} Mbit of codes; "
+              f"report {report_path})")
     return 0
 
 
 def cmd_select(args) -> int:
     """Sec. III-B rounding-scheme library search (parallel branches)."""
-    if len(set(args.schemes)) != len(args.schemes):
-        raise SystemExit(f"--schemes must be unique, got {args.schemes}")
-    image_size = 14 if args.model == "shallow-tiny" else None
-    _, test = build_dataset(
-        args.dataset, 1, args.test_size, args.seed, image_size
-    )
-    model = build_model(args.model, args.dataset, seed=args.seed)
-    model.load(args.weights)
-    budget = _weight_budget_mbit(args, model)
-    print(f"scheme library {list(args.schemes)}, budget {budget:.3f} Mbit, "
-          f"accTOL {args.tolerance}, workers {args.workers}")
-
-    def make_framework(scheme_name: str) -> QCapsNets:
-        return QCapsNets(
-            model, test.images, test.labels,
-            accuracy_tolerance=args.tolerance,
-            memory_budget_mbit=budget,
-            scheme=scheme_name,
-            seed=args.seed,
-        )
-
-    outcome = run_rounding_scheme_search(
-        make_framework, schemes=tuple(args.schemes), workers=args.workers
-    )
+    spec = resolve_spec(args)
+    _require_weights(spec, "select")
+    session = Session(spec)
+    print(f"scheme library {list(spec.schemes)}, "
+          f"budget {session.budget_mbit():.3f} Mbit, "
+          f"accTOL {spec.tolerance}, workers {spec.workers}")
+    outcome = session.select()
     print(outcome.summary())
     for result in outcome.per_scheme.values():
         print()
@@ -185,16 +191,63 @@ def cmd_select(args) -> int:
 
 
 def cmd_evaluate(args) -> int:
-    image_size = 14 if args.model == "shallow-tiny" else None
-    _, test = build_dataset(
-        args.dataset, 1, args.test_size, args.seed, image_size
-    )
-    model = build_model(args.model, args.dataset, seed=args.seed)
-    artifact = QuantizedCapsNet.load(args.artifact, model)
-    accuracy = artifact.accuracy(test.images, test.labels)
-    print(f"quantized accuracy on {args.dataset}: {accuracy:.2f}% "
+    try:
+        artifact = ModelArtifact.load(args.artifact)
+    except ArtifactError:
+        # Legacy bare QuantizedCapsNet archive (pre-artifact format,
+        # no provenance): model/dataset come from the flags alone.
+        spec = resolve_spec(args)
+        session = Session(spec)
+        legacy = QuantizedCapsNet.load(args.artifact, session.model)
+        images, labels = session.test_data
+        accuracy = legacy.accuracy(images, labels, batch_size=spec.batch_size)
+        print(f"quantized accuracy on {spec.dataset}: {accuracy:.2f}% "
+              f"({legacy.weight_storage_bits() / 1e6:.3f} Mbit of weights)")
+        print(legacy.config.describe())
+        return 0
+    # Like predict: the artifact's spec provenance rebuilds the session
+    # (model, dataset, trained weights for any non-frozen parameters —
+    # e.g. DeepCaps batch-norm); explicit flags override it.
+    base = QuantSpec.from_dict(artifact.spec) if artifact.spec else None
+    spec = resolve_spec(args, base=base)
+    session = Session(spec)
+    accuracy = session.evaluate(artifact)
+    print(f"quantized accuracy on {spec.dataset}: {accuracy:.2f}% "
           f"({artifact.weight_storage_bits() / 1e6:.3f} Mbit of weights)")
-    print(artifact.config.describe())
+    print(artifact.summary())
+    return 0
+
+
+def cmd_predict(args) -> int:
+    """Batched quantized inference from a saved artifact (no search)."""
+    artifact = ModelArtifact.load(args.artifact)
+    base = QuantSpec.from_dict(artifact.spec) if artifact.spec else None
+    spec = resolve_spec(args, base=base)
+    session = Session(spec)
+    served = session.serve(artifact)
+    images, labels = session.test_data
+    predictions = served.predict(images)
+    shown = min(args.num, len(predictions))
+    pairs = " ".join(
+        f"{int(pred)}/{int(label)}"
+        for pred, label in zip(predictions[:shown], labels[:shown])
+    )
+    print(f"predictions (pred/label, first {shown}): {pairs}")
+    accuracy = 100.0 * float((predictions == labels).mean())
+    print(f"served accuracy on {spec.dataset}: {accuracy:.2f}% "
+          f"({len(predictions)} samples, batch size {spec.batch_size})")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "predictions": [int(p) for p in predictions],
+                    "labels": [int(l) for l in labels],
+                    "accuracy": accuracy,
+                    "artifact": os.fspath(args.artifact),
+                },
+                handle,
+            )
+        print(f"wrote predictions to {args.out}")
     return 0
 
 
@@ -233,6 +286,45 @@ def cmd_hw_report(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def _add_common_options(p, with_model: bool = True) -> None:
+    """Options shared by every session-backed subcommand.
+
+    Defaults are ``None`` so :func:`resolve_spec` can tell "explicitly
+    passed" from "use the spec file / built-in default".
+    """
+    if with_model:
+        p.add_argument("--model", choices=MODEL_CHOICES, default=None,
+                       help="model preset (default: shallow-small)")
+        p.add_argument("--dataset", choices=DATASET_CHOICES, default=None,
+                       help="synthetic dataset (default: digits)")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--test-size", type=int, default=None)
+    p.add_argument("--spec", default=None, metavar="SPEC.JSON",
+                   help="JSON QuantSpec file; explicit flags override "
+                        "its fields")
+
+
+def _add_search_options(p) -> None:
+    """The search knobs shared verbatim by ``quantize`` and ``select``."""
+    group = p.add_argument_group("search options")
+    group.add_argument("--weights", default=None,
+                       help="trained weights .npz (or set in --spec)")
+    group.add_argument("--tolerance", type=float, default=None,
+                       help="accTOL, relative accuracy loss "
+                            "(default: 0.015)")
+    group.add_argument("--budget-mbit", type=float, default=None,
+                       help="absolute weight-memory budget in Mbit")
+    group.add_argument("--budget-divisor", type=float, default=None,
+                       help="derive the budget as FP32 size / divisor "
+                            "(default: 5)")
+    group.add_argument("--workers", type=int, default=None,
+                       help="forked workers for parallel branches/batches "
+                            "(bit-identical results; default: 1)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="qcapsnets",
@@ -240,18 +332,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p, with_model=True):
-        if with_model:
-            p.add_argument("--model", choices=MODEL_CHOICES,
-                           default="shallow-small")
-            p.add_argument("--dataset", choices=DATASET_CHOICES,
-                           default="digits")
-        p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--test-size", type=int, default=256)
-
     p_train = sub.add_parser("train", help="train an FP32 CapsNet")
-    common(p_train)
-    p_train.add_argument("--train-size", type=int, default=2000)
+    _add_common_options(p_train)
+    p_train.add_argument("--train-size", type=int, default=None)
     p_train.add_argument("--epochs", type=int, default=6)
     p_train.add_argument("--batch-size", type=int, default=64)
     p_train.add_argument("--lr", type=float, default=0.005)
@@ -259,42 +342,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.set_defaults(fn=cmd_train)
 
     p_quant = sub.add_parser("quantize", help="run the Q-CapsNets framework")
-    common(p_quant)
-    p_quant.add_argument("--weights", required=True)
-    p_quant.add_argument("--tolerance", type=float, default=0.015)
-    p_quant.add_argument("--budget-mbit", type=float, default=None)
-    p_quant.add_argument("--budget-divisor", type=float, default=5.0)
-    p_quant.add_argument("--scheme", default="RTN",
-                         choices=["TRN", "RTN", "RTNE", "SR"])
+    _add_common_options(p_quant)
+    _add_search_options(p_quant)
+    p_quant.add_argument("--scheme", default=None, choices=SCHEME_CHOICES,
+                         help="rounding scheme (default: RTN)")
     p_quant.add_argument("--out", default=None,
-                         help="optional quantized-artifact .npz path")
-    p_quant.add_argument("--workers", type=int, default=1,
-                         help="forked workers for parallel batch probes "
-                              "(deterministic schemes; bit-identical results)")
+                         help="save the winning model as a versioned "
+                              "artifact .npz (+ sidecar .json report)")
     p_quant.set_defaults(fn=cmd_quantize)
 
     p_select = sub.add_parser(
         "select",
         help="run the Sec. III-B rounding-scheme library search",
     )
-    common(p_select)
-    p_select.add_argument("--weights", required=True)
-    p_select.add_argument("--tolerance", type=float, default=0.015)
-    p_select.add_argument("--budget-mbit", type=float, default=None)
-    p_select.add_argument("--budget-divisor", type=float, default=5.0)
-    p_select.add_argument("--schemes", nargs="+",
-                          default=["TRN", "RTN", "SR"],
-                          choices=["TRN", "RTN", "RTNE", "SR"],
-                          help="rounding-scheme library (paper: TRN RTN SR)")
-    p_select.add_argument("--workers", type=int, default=1,
-                          help="forked workers running Algorithm-1 branches "
-                               "in parallel (bit-identical results)")
+    _add_common_options(p_select)
+    _add_search_options(p_select)
+    p_select.add_argument("--schemes", nargs="+", default=None,
+                          choices=SCHEME_CHOICES,
+                          help="rounding-scheme library "
+                               "(default: RTN TRN SR; paper: TRN RTN SR)")
     p_select.set_defaults(fn=cmd_select)
 
-    p_eval = sub.add_parser("evaluate", help="evaluate a quantized artifact")
-    common(p_eval)
+    p_eval = sub.add_parser(
+        "evaluate",
+        help="evaluate a saved artifact "
+             "(model/dataset default to the artifact's spec provenance)",
+    )
+    _add_common_options(p_eval)
     p_eval.add_argument("--artifact", required=True)
+    p_eval.add_argument("--weights", default=None,
+                        help="override the provenance weights path")
     p_eval.set_defaults(fn=cmd_evaluate)
+
+    p_pred = sub.add_parser(
+        "predict",
+        help="batched quantized inference from a saved artifact "
+             "(model/dataset default to the artifact's spec provenance)",
+    )
+    _add_common_options(p_pred)
+    p_pred.add_argument("--artifact", required=True)
+    p_pred.add_argument("--weights", default=None,
+                        help="override the provenance weights path")
+    p_pred.add_argument("--num", type=int, default=8,
+                        help="predictions to print (default: 8)")
+    p_pred.add_argument("--out", default=None,
+                        help="write predictions as JSON")
+    p_pred.set_defaults(fn=cmd_predict)
 
     p_hw = sub.add_parser("hw-report", help="hardware energy/latency report")
     p_hw.add_argument("--model", choices=["shallow-paper", "deep-paper"],
@@ -308,7 +401,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except (SpecError, ArtifactError) as error:
+        raise SystemExit(f"error: {error}") from error
 
 
 if __name__ == "__main__":

@@ -78,8 +78,17 @@ _POLL_INTERVAL_S = 0.25
 
 
 def fork_available() -> bool:
-    """True when ``fork``-start workers can be used on this platform."""
+    """True when ``fork``-start workers can be used *from this process*.
+
+    Daemonic processes (our own pool workers) may not spawn children,
+    so a branch that is itself running inside a fork pool reports False
+    and any nested fan-out degrades to inline execution instead of
+    crashing — e.g. a ``select(workers=N)`` branch whose evaluator was
+    configured for batch-level workers.
+    """
     try:
+        if multiprocessing.current_process().daemon:
+            return False
         return "fork" in multiprocessing.get_all_start_methods()
     except Exception:  # pragma: no cover - exotic platforms
         return False

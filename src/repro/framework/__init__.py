@@ -28,6 +28,7 @@ from repro.framework.qcapsnets import QCapsNets
 from repro.framework.selection import (
     SelectionOutcome,
     run_rounding_scheme_search,
+    scheme_search,
     select_best,
 )
 from repro.framework.finetune import (
@@ -52,6 +53,7 @@ __all__ = [
     "QuantizedModelResult",
     "SelectionOutcome",
     "run_rounding_scheme_search",
+    "scheme_search",
     "select_best",
     "StraightThroughQuant",
     "quantization_aware_finetune",

@@ -37,7 +37,7 @@ from repro.nn.trainer import default_predictions, evaluate_accuracy
 from repro.quant.calibrate import calibrate_scales
 from repro.quant.config import QuantizationConfig
 from repro.quant.qcontext import FixedPointQuant
-from repro.quant.rounding import RoundingScheme
+from repro.quant.rounding import RoundingScheme, get_rounding_scheme
 
 __all__ = ["Evaluator", "config_signature"]
 
@@ -62,6 +62,11 @@ class Evaluator:
         Inputs used to calibrate per-array power-of-two pre-scaling
         (defaults to a prefix of the test images); see
         :mod:`repro.quant.calibrate`.
+    scales:
+        Precomputed calibration scales — skips the calibration forward
+        pass entirely.  Calibration is scheme-independent, so sibling
+        per-scheme evaluators over one model/split (a session, a scheme
+        sweep) can share one dict instead of each re-measuring it.
     use_engine:
         Route queries through the batched inference engine (default).
         ``False`` evaluates every query over the full split — same
@@ -100,6 +105,7 @@ class Evaluator:
         prefix_cache_bytes: int = DEFAULT_PREFIX_CACHE_BYTES,
         staged_executor=None,
         workers: int = 1,
+        scales: Optional[Dict[str, float]] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -117,8 +123,13 @@ class Evaluator:
         self._cache: Dict[Tuple, float] = {}
         self._fp32_accuracy: Optional[float] = None
         self._naive_batches = 0
-        source = calibration_images if calibration_images is not None else images
-        self.scales = calibrate_scales(model, source, batch_size=batch_size)
+        if scales is not None:
+            self.scales = scales
+        else:
+            source = (
+                calibration_images if calibration_images is not None else images
+            )
+            self.scales = calibrate_scales(model, source, batch_size=batch_size)
         self.engine: Optional[StreamingEvaluator] = (
             StreamingEvaluator(
                 model,
@@ -135,6 +146,42 @@ class Evaluator:
             )
             if use_engine
             else None
+        )
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec,
+        model: Module,
+        images: np.ndarray,
+        labels: np.ndarray,
+        scheme=None,
+        staged_executor=None,
+        scales: Optional[Dict[str, float]] = None,
+    ) -> "Evaluator":
+        """Construct from a declarative :class:`repro.api.QuantSpec`.
+
+        ``spec`` supplies ``batch_size``, ``seed``, ``workers`` and the
+        prefix-cache byte budget (``cache_bytes``); ``scheme`` defaults
+        to the spec's first scheme and may be a name or an instance.
+        ``staged_executor`` injects a session-shared prefix cache and
+        ``scales`` a session-shared calibration result.
+        """
+        if scheme is None:
+            scheme = spec.schemes[0]
+        if isinstance(scheme, str):
+            scheme = get_rounding_scheme(scheme, seed=spec.seed)
+        return cls(
+            model,
+            images,
+            labels,
+            scheme,
+            batch_size=spec.batch_size,
+            seed=spec.seed,
+            prefix_cache_bytes=spec.cache_bytes,
+            staged_executor=staged_executor,
+            workers=spec.workers,
+            scales=scales,
         )
 
     @property

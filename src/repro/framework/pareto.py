@@ -112,7 +112,7 @@ def sweep_memory_budgets(
     )
 
     def run_budget(budget: float, fp32: Optional[float]) -> QCapsNetsResult:
-        return QCapsNets(
+        return QCapsNets.build(
             model, test_images, test_labels,
             accuracy_tolerance=accuracy_tolerance,
             memory_budget_mbit=budget,

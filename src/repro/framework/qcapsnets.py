@@ -20,6 +20,7 @@ Flow::
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Union
 
 import numpy as np
@@ -124,9 +125,87 @@ class QCapsNets:
         worker processes (deterministic schemes only; bit-identical
         results — see :mod:`repro.engine.parallel`).  Ignored when
         ``evaluator`` is given.
+
+    .. deprecated::
+        Direct keyword construction (``QCapsNets(**kwargs)``) is a
+        deprecation shim: prefer a declarative
+        :class:`repro.api.QuantSpec` driven through
+        :class:`repro.api.Session` (or, for low-level wiring,
+        :meth:`QCapsNets.build` / :meth:`QCapsNets.from_spec`).  The
+        shim is slated for removal two minor releases after v1.1.
     """
 
-    def __init__(
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "QCapsNets(**kwargs) keyword construction is deprecated; "
+            "declare a repro.api.QuantSpec and drive it through "
+            "repro.api.Session (or use QCapsNets.build/from_spec). "
+            "This shim will be removed two minor releases after v1.1.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._setup(*args, **kwargs)
+
+    @classmethod
+    def build(cls, *args, **kwargs) -> "QCapsNets":
+        """Canonical (non-deprecated) constructor — same signature as
+        the historical ``__init__``; used by :class:`repro.api.Session`
+        and the sweep/selection drivers."""
+        self = cls.__new__(cls)
+        self._setup(*args, **kwargs)
+        return self
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec,
+        model: Module,
+        test_images: np.ndarray,
+        test_labels: np.ndarray,
+        scheme: Union[str, RoundingScheme, None] = None,
+        memory_budget_mbit: Optional[float] = None,
+        accuracy_fp32: Optional[float] = None,
+        evaluator: Optional[Evaluator] = None,
+        staged_executor=None,
+    ) -> "QCapsNets":
+        """Construct from a declarative :class:`repro.api.QuantSpec`.
+
+        ``spec`` may be any object carrying the spec's search fields
+        (``tolerance``, ``schemes``, ``budget_mbit``, ``batch_size``,
+        ``seed``, ``q_init``, ``min_bits``, ``workers``); per-branch
+        overrides (``scheme``, ``memory_budget_mbit``) and shared
+        resources (``evaluator``, ``staged_executor``) are passed
+        explicitly by the caller — typically
+        :meth:`repro.api.Session.quantize`.
+        """
+        if memory_budget_mbit is None:
+            memory_budget_mbit = spec.budget_mbit
+        if memory_budget_mbit is None:
+            raise ValueError(
+                "no memory budget: spec.budget_mbit is unset and no "
+                "memory_budget_mbit override was given (a Session derives "
+                "it from spec.budget_divisor and the model's FP32 size)"
+            )
+        self = cls.__new__(cls)
+        self._setup(
+            model,
+            test_images,
+            test_labels,
+            accuracy_tolerance=spec.tolerance,
+            memory_budget_mbit=memory_budget_mbit,
+            scheme=spec.schemes[0] if scheme is None else scheme,
+            batch_size=spec.batch_size,
+            seed=spec.seed,
+            q_init=spec.q_init,
+            min_bits=spec.min_bits,
+            accuracy_fp32=accuracy_fp32,
+            evaluator=evaluator,
+            staged_executor=staged_executor,
+            workers=spec.workers,
+        )
+        return self
+
+    def _setup(
         self,
         model: Module,
         test_images: np.ndarray,

@@ -40,6 +40,39 @@ class QuantizedModelResult:
         """A-mem reduction vs FP32 (Table I column)."""
         return self.memory.act_reduction
 
+    # ------------------------------------------------------------------
+    # Serialization (JSON-safe; consumed by repro.api.ModelArtifact)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation; inverse of :meth:`from_dict`."""
+        return {
+            "label": self.label,
+            "config": self.config.to_dict(),
+            "accuracy": self.accuracy,
+            "scheme_name": self.scheme_name,
+            "param_counts": dict(self.memory.param_counts),
+            "act_counts": dict(self.memory.act_counts),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "QuantizedModelResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        The :class:`~repro.quant.memory.MemoryReport` is reconstructed
+        from the stored per-layer counts and config, so every derived
+        number (weight/act bits and reductions) round-trips exactly.
+        """
+        config = QuantizationConfig.from_dict(data["config"])
+        return cls(
+            label=str(data["label"]),
+            config=config,
+            accuracy=float(data["accuracy"]),
+            memory=MemoryReport(
+                dict(data["param_counts"]), dict(data["act_counts"]), config
+            ),
+            scheme_name=str(data["scheme_name"]),
+        )
+
     def summary(self) -> str:
         return (
             f"{self.label} [{self.scheme_name}]: acc={self.accuracy:.2f}%, "
@@ -91,6 +124,65 @@ class QCapsNetsResult:
         if self.model_accuracy is not None:
             out["model_accuracy"] = self.model_accuracy
         return out
+
+    def best_model(self) -> QuantizedModelResult:
+        """The deployment pick: ``model_satisfied`` on Path A, else the
+        accuracy-constrained Path-B model (``model_accuracy``)."""
+        chosen = self.model_satisfied or self.model_accuracy
+        if chosen is None:
+            raise ValueError(
+                "result holds no deployable model (neither model_satisfied "
+                "nor model_accuracy was produced)"
+            )
+        return chosen
+
+    # ------------------------------------------------------------------
+    # Serialization (JSON-safe; consumed by repro.api.ModelArtifact)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation; inverse of :meth:`from_dict`."""
+        out: Dict[str, object] = {
+            "scheme_name": self.scheme_name,
+            "accuracy_fp32": self.accuracy_fp32,
+            "accuracy_target": self.accuracy_target,
+            "memory_budget_bits": self.memory_budget_bits,
+            "path": self.path,
+            "eval_count": self.eval_count,
+            "batches_evaluated": self.batches_evaluated,
+            "phase_stats": {
+                step: dict(counts) for step, counts in self.phase_stats.items()
+            },
+            "log": list(self.log),
+        }
+        for name in ("model_satisfied", "model_memory", "model_accuracy",
+                     "model_uniform"):
+            model = getattr(self, name)
+            out[name] = model.to_dict() if model is not None else None
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "QCapsNetsResult":
+        """Rebuild a result from :meth:`to_dict` output (lossless)."""
+        result = cls(
+            scheme_name=str(data["scheme_name"]),
+            accuracy_fp32=float(data["accuracy_fp32"]),
+            accuracy_target=float(data["accuracy_target"]),
+            memory_budget_bits=int(data["memory_budget_bits"]),
+            path=str(data["path"]),
+            eval_count=int(data.get("eval_count", 0)),
+            batches_evaluated=int(data.get("batches_evaluated", 0)),
+            phase_stats={
+                step: dict(counts)
+                for step, counts in dict(data.get("phase_stats", {})).items()
+            },
+            log=list(data.get("log", [])),
+        )
+        for name in ("model_satisfied", "model_memory", "model_accuracy",
+                     "model_uniform"):
+            model = data.get(name)
+            if model is not None:
+                setattr(result, name, QuantizedModelResult.from_dict(model))
+        return result
 
     def summary(self) -> str:
         batches = (

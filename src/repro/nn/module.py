@@ -52,6 +52,33 @@ class ForwardStage:
         return f"{self.layer}:{self.tag}" if self.tag else self.layer
 
 
+def run_forward_stages(stages: List["ForwardStage"], x, q):
+    """Fold ``x`` through ``stages`` — *the* forward pass of a staged model.
+
+    Every staged model's ``forward`` delegates here, so the ``stages()``
+    decomposition the prefix-reuse engine consumes cannot drift from the
+    model's actual computation.
+    """
+    for stage in stages:
+        x = stage.fn(x, q)
+    return x
+
+
+def activation_stage(layer: str) -> ForwardStage:
+    """A trailing activation-quantization step for ``layer``.
+
+    Runs just the layer's ``q.act`` hook, so an activation-bits-only
+    probe reuses the cached compute output of the layer and re-runs only
+    this step.  Shared by every staged model (the closure is identical
+    across them — only the layer name differs).
+    """
+
+    def act(x, q):
+        return q.act(layer, x)
+
+    return ForwardStage(layer, ("qa",), act, tag="act")
+
+
 class Parameter(Tensor):
     """A tensor that is always a leaf with ``requires_grad=True``."""
 

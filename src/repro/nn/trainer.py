@@ -53,6 +53,38 @@ def _forward(model: Module, batch: Tensor, q=None) -> Tensor:
     return model(batch, q=q)
 
 
+def predict_in_batches(
+    model: Module,
+    images: np.ndarray,
+    batch_size: int = 128,
+    q=None,
+    predict_fn: Callable[[Tensor], np.ndarray] = default_predictions,
+) -> np.ndarray:
+    """Predicted labels for ``images``, evaluated batch by batch.
+
+    Runs under ``no_grad`` in eval mode (restored afterwards); ``q`` is
+    an optional quantization context threaded through every batch in
+    order — the single batched-inference loop behind the serving and
+    evaluation paths.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    was_training = model.training
+    model.eval()
+    predictions = []
+    try:
+        with no_grad():
+            for start in range(0, len(images), batch_size):
+                batch = Tensor(images[start:start + batch_size])
+                predictions.append(predict_fn(_forward(model, batch, q=q)))
+    finally:
+        if was_training:
+            model.train()
+    if not predictions:
+        return np.zeros(0, dtype=np.int64)
+    return np.concatenate(predictions)
+
+
 def evaluate_accuracy(
     model: Module,
     images: np.ndarray,

@@ -90,6 +90,33 @@ class QuantizationConfig:
         return copy
 
     # ------------------------------------------------------------------
+    # Serialization (JSON-safe; used by the api artifact/result formats)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation; inverse of :meth:`from_dict`."""
+        return {
+            "layer_names": list(self.layer_names),
+            "integer_bits": self.integer_bits,
+            "specs": {
+                name: {"qw": spec.qw, "qa": spec.qa, "qdr": spec.qdr}
+                for name, spec in self.specs.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "QuantizationConfig":
+        """Rebuild a config from :meth:`to_dict` output (lossless)."""
+        config = cls(
+            list(data["layer_names"]), integer_bits=int(data["integer_bits"])
+        )
+        for name, spec in dict(data.get("specs", {})).items():
+            config.specs[name] = LayerQuantSpec(
+                spec.get("qw"), spec.get("qa"), spec.get("qdr")
+            )
+        config.__post_init__()  # re-validate the incoming spec names
+        return config
+
+    # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
     def __getitem__(self, layer: str) -> LayerQuantSpec:

@@ -93,6 +93,32 @@ class QuantizedCapsNet:
         self.weight_codes: Dict[str, tuple] = {}
         self._freeze_weights()
 
+    @classmethod
+    def from_codes(
+        cls,
+        model: Module,
+        config: QuantizationConfig,
+        scheme: RoundingScheme,
+        weight_codes: Dict[str, tuple],
+        act_scales: Optional[Dict[str, float]] = None,
+        seed: int = 0,
+    ) -> "QuantizedCapsNet":
+        """Bind already-frozen integer codes onto ``model``.
+
+        Skips the freezing pass entirely — this is the deserialization
+        path shared by :meth:`load` and the versioned
+        :class:`repro.api.ModelArtifact` format; the float weights of
+        ``model`` are irrelevant for the frozen layers.
+        """
+        instance = cls.__new__(cls)
+        instance.model = model
+        instance.config = config.clone()
+        instance.scheme = scheme
+        instance.act_scales = dict(act_scales) if act_scales else {}
+        instance.seed = seed
+        instance.weight_codes = dict(weight_codes)
+        return instance
+
     # ------------------------------------------------------------------
     # Freezing
     # ------------------------------------------------------------------
@@ -231,20 +257,19 @@ class QuantizedCapsNet:
                 config.specs[name] = LayerQuantSpec(
                     spec["qw"], spec["qa"], spec["qdr"]
                 )
-            instance = cls.__new__(cls)
-            instance.model = model
-            instance.config = config
-            instance.scheme = get_rounding_scheme(
-                meta["scheme"], seed=meta["seed"]
-            )
-            instance.act_scales = dict(meta["act_scales"])
-            instance.seed = meta["seed"]
-            instance.weight_codes = {}
+            weight_codes = {}
             for key, info in meta["weight_meta"].items():
                 fmt = FixedPointFormat(
                     info["integer_bits"], info["fractional_bits"]
                 )
-                instance.weight_codes[key] = (
+                weight_codes[key] = (
                     archive[f"codes:{key}"], fmt, info["scale"]
                 )
-        return instance
+            return cls.from_codes(
+                model,
+                config,
+                get_rounding_scheme(meta["scheme"], seed=meta["seed"]),
+                weight_codes,
+                act_scales=dict(meta["act_scales"]),
+                seed=meta["seed"],
+            )

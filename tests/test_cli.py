@@ -1,9 +1,12 @@
 """Tests for the ``qcapsnets`` command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
-from repro.cli import build_model, build_parser, main
+from repro.api import QuantSpec
+from repro.cli import build_model, build_parser, main, resolve_spec
 
 
 class TestParser:
@@ -11,12 +14,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_train_defaults(self):
+    def test_train_defaults_resolve_to_spec_defaults(self):
         args = build_parser().parse_args(["train", "--out", "x.npz"])
-        args_dict = vars(args)
-        assert args_dict["model"] == "shallow-small"
-        assert args_dict["dataset"] == "digits"
-        assert args_dict["epochs"] == 6
+        spec = resolve_spec(args)
+        assert spec.model == "shallow-small"
+        assert spec.dataset == "digits"
+        assert spec == QuantSpec()
+        assert args.epochs == 6
 
     def test_quantize_scheme_choices(self):
         with pytest.raises(SystemExit):
@@ -28,16 +32,16 @@ class TestParser:
         args = build_parser().parse_args(
             ["quantize", "--weights", "w.npz", "--workers", "3"]
         )
-        assert args.workers == 3
-        assert build_parser().parse_args(
-            ["quantize", "--weights", "w.npz"]
-        ).workers == 1
+        assert resolve_spec(args).workers == 3
+        default = build_parser().parse_args(["quantize", "--weights", "w.npz"])
+        assert resolve_spec(default).workers == 1
 
     def test_select_defaults(self):
         args = build_parser().parse_args(["select", "--weights", "w.npz"])
-        assert args.schemes == ["TRN", "RTN", "SR"]
-        assert args.workers == 1
-        assert args.tolerance == 0.015
+        spec = resolve_spec(args)
+        assert set(spec.schemes) == {"TRN", "RTN", "SR"}
+        assert spec.workers == 1
+        assert spec.tolerance == 0.015
 
     def test_select_scheme_choices(self):
         with pytest.raises(SystemExit):
@@ -46,11 +50,44 @@ class TestParser:
             )
 
     def test_select_duplicate_schemes_clean_error(self):
-        from repro.cli import main
-
-        with pytest.raises(SystemExit, match="unique"):
+        with pytest.raises(SystemExit, match="duplicate"):
             main(["select", "--weights", "w.npz",
                   "--schemes", "TRN", "TRN"])
+
+    def test_shared_search_options_land_in_both(self):
+        """The factored option group keeps quantize and select in sync."""
+        for command in ("quantize", "select"):
+            args = build_parser().parse_args([
+                command, "--weights", "w.npz", "--tolerance", "0.05",
+                "--budget-mbit", "0.25", "--workers", "2",
+            ])
+            spec = resolve_spec(args)
+            assert spec.tolerance == 0.05
+            assert spec.budget_mbit == 0.25
+            assert spec.workers == 2
+            assert spec.weights == "w.npz"
+
+    def test_spec_file_with_flag_overrides(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        QuantSpec(model="shallow-tiny", tolerance=0.1, seed=7).save(spec_path)
+        for command in ("quantize", "select"):
+            args = build_parser().parse_args(
+                [command, "--spec", str(spec_path), "--tolerance", "0.2"]
+            )
+            spec = resolve_spec(args)
+            assert spec.model == "shallow-tiny"  # from the file
+            assert spec.seed == 7                # from the file
+            assert spec.tolerance == 0.2         # explicit flag wins
+
+    def test_bad_spec_file_is_a_clean_error(self, tmp_path):
+        bad = tmp_path / "spec.json"
+        bad.write_text('{"modle": "shallow-tiny"}')
+        with pytest.raises(SystemExit, match="unknown spec field"):
+            main(["quantize", "--spec", str(bad), "--weights", "w.npz"])
+
+    def test_quantize_requires_weights(self):
+        with pytest.raises(SystemExit, match="trained weights"):
+            main(["quantize", "--model", "shallow-tiny"])
 
 
 class TestBuildModel:
@@ -73,9 +110,10 @@ class TestBuildModel:
 class TestEndToEndCli:
     """Full pipeline through the CLI with tiny settings (seconds)."""
 
-    def test_train_quantize_evaluate_roundtrip(self, tmp_path, capsys):
+    def test_train_quantize_evaluate_predict_roundtrip(self, tmp_path, capsys):
         weights = tmp_path / "weights.npz"
         artifact = tmp_path / "artifact.npz"
+        predictions = tmp_path / "predictions.json"
         base = [
             "--model", "shallow-tiny", "--dataset", "digits",
             "--test-size", "128", "--seed", "1",
@@ -92,12 +130,36 @@ class TestEndToEndCli:
             "--out", str(artifact),
         ]) == 0
         assert artifact.exists()
+        # The artifact ships with a JSON sidecar report (spec provenance
+        # + accuracy/memory summary) for dashboards and CI uploads.
+        sidecar = tmp_path / "artifact.json"
+        assert sidecar.exists()
+        meta = json.loads(sidecar.read_text())
+        assert meta["format"] == "qcapsnets/model-artifact"
+        assert meta["spec"]["model"] == "shallow-tiny"
         out = capsys.readouterr().out
         assert "Q-CapsNets result" in out
 
         assert main(["evaluate", *base, "--artifact", str(artifact)]) == 0
         out = capsys.readouterr().out
         assert "quantized accuracy" in out
+
+        # predict needs no --model/--dataset: the artifact's embedded
+        # spec provenance rebuilds the session.
+        assert main([
+            "predict", "--artifact", str(artifact),
+            "--num", "4", "--out", str(predictions),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served accuracy" in out
+        payload = json.loads(predictions.read_text())
+        assert len(payload["predictions"]) == 128
+        assert payload["accuracy"] == pytest.approx(
+            100.0 * np.mean(
+                np.array(payload["predictions"])
+                == np.array(payload["labels"])
+            )
+        )
 
         assert main([
             "select", *base, "--weights", str(weights),
