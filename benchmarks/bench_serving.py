@@ -1,0 +1,288 @@
+"""Serving bench — micro-batched request queue vs per-request forwards.
+
+The serving daemon coalesces queued ``/v1/predict`` requests for one
+tenant into a single model forward (up to ``--max-batch`` samples,
+waiting ``--max-wait-ms`` for stragglers).  This bench fires the same
+concurrent workload — many client threads, small per-request image
+chunks, two tenants — at two daemon configurations:
+
+* **batched** — the default micro-batching queue;
+* **per-request** — ``max_batch=1``: every request runs its own forward
+  (the pre-daemon baseline, one ``ServingModel.predict`` per call).
+
+Hard assertions (both arms):
+
+* every response is bit-identical to the offline ``Session.predict``
+  for its image slice — coalescing must be invisible in the results;
+* the batched arm actually coalesces (fewer forwards than requests).
+
+The report gives wall clock, images/s, requests/s and the batcher
+counters for both arms.  Speedup is reported, not asserted: the win
+comes from amortizing per-forward overhead (context construction,
+frozen-weight reconstruction) across requests, so it is largest for
+many small requests (the default workload) and fades as individual
+requests grow batch-sized themselves.  Run directly for CI smoke coverage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick \
+        --json serving_quick.json
+"""
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))  # conftest/harness as a script
+
+import numpy as np
+
+from conftest import emit
+
+from repro.api import ModelArtifact, QuantSpec, ServingModel
+from repro.quant import (
+    QuantizationConfig,
+    QuantizedCapsNet,
+    calibrate_scales,
+    get_rounding_scheme,
+)
+from repro.serve import Client, ModelRegistry, ServingDaemon
+
+
+def make_artifacts(model, images, spec):
+    """Two tenants over one trained model: an RTN and a TRN freeze."""
+    scales = calibrate_scales(model, images[:64])
+    artifacts = {}
+    for name, scheme, qw, qa in (("rtn", "RTN", 4, 5), ("trn", "TRN", 5, 6)):
+        config = QuantizationConfig.uniform(
+            list(model.quant_layers), qw=qw, qa=qa
+        )
+        quantized = QuantizedCapsNet(
+            model, config, get_rounding_scheme(scheme, seed=0),
+            act_scales=scales, seed=0,
+        )
+        artifacts[name] = ModelArtifact.from_quantized(
+            quantized, report={"label": name, "accuracy": 0.0},
+            spec=spec.to_dict(),
+        )
+    return artifacts
+
+
+def offline_predictions(model, artifacts, images, batch_size):
+    return {
+        name: ServingModel(
+            artifact.bind(model), batch_size=batch_size
+        ).predict(images)
+        for name, artifact in artifacts.items()
+    }
+
+
+def make_jobs(num_requests, chunk, tenants, total_images):
+    """Round-robin (tenant, lo, hi) slices over the image pool."""
+    jobs = []
+    for index in range(num_requests):
+        lo = (index * chunk) % (total_images - chunk + 1)
+        jobs.append((tenants[index % len(tenants)], lo, lo + chunk))
+    return jobs
+
+
+def run_arm(
+    label, model, artifacts, images, expected, jobs, threads,
+    max_batch, max_wait_ms, batch_size,
+):
+    """One daemon configuration under the concurrent client workload."""
+    registry = ModelRegistry(max_warm=len(artifacts), batch_size=batch_size)
+    for name, artifact in artifacts.items():
+        registry.register(name, artifact=artifact, model=model)
+    daemon = ServingDaemon(
+        registry, port=0, max_batch=max_batch, max_wait_ms=max_wait_ms
+    )
+    with daemon:
+        client = Client(daemon.url, timeout=600.0)
+        for name in artifacts:  # warm every tenant before timing
+            client.predict(name, images[:1])
+        results = [None] * len(jobs)
+        errors = []
+        barrier = threading.Barrier(threads + 1)
+
+        def worker(worker_index):
+            barrier.wait()
+            for job_index in range(worker_index, len(jobs), threads):
+                tenant, lo, hi = jobs[job_index]
+                try:
+                    results[job_index] = client.predict(tenant, images[lo:hi])
+                except Exception as error:  # pragma: no cover
+                    errors.append((job_index, error))
+
+        pool = [
+            threading.Thread(target=worker, args=(i,)) for i in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in pool:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        stats = daemon.batcher.stats()
+        registry_stats = daemon.registry.stats()
+    if errors:
+        raise AssertionError(f"{label}: {len(errors)} requests failed: "
+                             f"{errors[0]}")
+    for (tenant, lo, hi), result in zip(jobs, results):
+        assert np.array_equal(result, expected[tenant][lo:hi]), (
+            f"{label}: served predictions diverge from offline "
+            f"Session.predict for {tenant}[{lo}:{hi}]"
+        )
+    samples = sum(hi - lo for _, lo, hi in jobs)
+    return {
+        "label": label,
+        "max_batch": max_batch,
+        "max_wait_ms": max_wait_ms,
+        "requests": len(jobs),
+        "samples": samples,
+        "seconds": round(elapsed, 4),
+        "images_per_s": round(samples / elapsed, 2),
+        "requests_per_s": round(len(jobs) / elapsed, 2),
+        "batcher": stats,
+        "registry": registry_stats,
+    }
+
+
+def compare(model, images, spec, num_requests, chunk, threads,
+            max_batch, max_wait_ms, batch_size):
+    artifacts = make_artifacts(model, images, spec)
+    expected = offline_predictions(model, artifacts, images, batch_size)
+    jobs = make_jobs(num_requests, chunk, sorted(artifacts), len(images))
+    batched = run_arm(
+        "batched", model, artifacts, images, expected, jobs, threads,
+        max_batch, max_wait_ms, batch_size,
+    )
+    per_request = run_arm(
+        "per-request", model, artifacts, images, expected, jobs, threads,
+        1, 0.0, batch_size,
+    )
+    # The timed workload (the post-warmup jobs) must have coalesced.
+    coalesced_forwards = (
+        batched["batcher"]["batches"] - len(artifacts)  # minus warmups
+    )
+    assert coalesced_forwards < num_requests, (
+        "micro-batching never coalesced: "
+        f"{coalesced_forwards} forwards for {num_requests} requests"
+    )
+    return {
+        "threads": threads,
+        "chunk": chunk,
+        "arms": [batched, per_request],
+        "speedup": round(
+            per_request["seconds"] / batched["seconds"], 3
+        ),
+    }
+
+
+def format_report(report):
+    lines = [
+        f"{'arm':>12} {'req':>5} {'samples':>8} {'s':>8} {'img/s':>9} "
+        f"{'req/s':>8} {'forwards':>9} {'coalesced':>10}"
+    ]
+    for arm in report["arms"]:
+        lines.append(
+            f"{arm['label']:>12} {arm['requests']:>5} {arm['samples']:>8} "
+            f"{arm['seconds']:>8.3f} {arm['images_per_s']:>9.1f} "
+            f"{arm['requests_per_s']:>8.1f} {arm['batcher']['batches']:>9} "
+            f"{arm['batcher']['coalesced_requests']:>10}"
+        )
+    lines.append(
+        f"batched queue speedup over per-request forwards: "
+        f"{report['speedup']:.2f}x "
+        f"({report['threads']} client threads, "
+        f"{report['chunk']} images/request)"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Pytest entry (runs on the cached trained ShallowCaps)
+# ----------------------------------------------------------------------
+def test_serving_throughput(shallow_digits, digits_data):
+    model, _ = shallow_digits
+    _, test = digits_data
+    spec = QuantSpec(model="shallow-small", dataset="digits", seed=0,
+                     batch_size=64)
+    report = compare(
+        model, test.images[:192], spec, num_requests=16, chunk=8,
+        threads=4, max_batch=64, max_wait_ms=10.0, batch_size=64,
+    )
+    emit("serving_throughput", format_report(report))
+
+
+# ----------------------------------------------------------------------
+# Script entry (self-contained; used by the CI smoke job)
+# ----------------------------------------------------------------------
+def _train_model(quick):
+    from repro.capsnet import ShallowCaps, presets
+    from repro.data import synth_digits
+    from repro.nn import Adam, Trainer
+
+    if quick:
+        train, test = synth_digits(
+            train_size=600, test_size=192, image_size=14, seed=1
+        )
+        model = ShallowCaps(presets.shallowcaps_tiny())
+        epochs = 6
+        spec = QuantSpec(model="shallow-tiny", dataset="digits", seed=1,
+                         batch_size=64)
+    else:
+        train, test = synth_digits(train_size=2000, test_size=256, seed=0)
+        model = ShallowCaps(presets.shallowcaps_small())
+        epochs = 8
+        spec = QuantSpec(model="shallow-small", dataset="digits", seed=0,
+                         batch_size=64)
+    Trainer(model, Adam(model.parameters(), lr=0.005), seed=0).fit(
+        train.images, train.labels, epochs=epochs, batch_size=32
+    )
+    return model, test, spec
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny model + short training (CI smoke mode)",
+    )
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write the report as JSON to this path")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="total predict requests "
+                             "(default: 24 quick, 64 full)")
+    parser.add_argument("--chunk", type=int, default=4,
+                        help="images per request (default: 4 — micro-"
+                             "batching pays off for small requests)")
+    parser.add_argument("--threads", type=int, default=8,
+                        help="concurrent client threads (default: 8)")
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--max-wait-ms", type=float, default=4.0)
+    args = parser.parse_args(argv)
+
+    model, test, spec = _train_model(args.quick)
+    num_requests = (
+        args.requests if args.requests is not None
+        else (24 if args.quick else 64)
+    )
+    report = compare(
+        model, test.images, spec, num_requests=num_requests,
+        chunk=args.chunk, threads=args.threads,
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        batch_size=64,
+    )
+    report["quick"] = args.quick
+    print(format_report(report))
+    if args.json is not None:
+        args.json.write_text(json.dumps(report, indent=2))
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,7 @@ keyword surfaces (``QCapsNets(**kwargs)``,
 from repro.api.artifact import (
     ARTIFACT_FORMAT,
     ARTIFACT_VERSION,
+    SUPPORTED_VERSIONS,
     ArtifactError,
     ModelArtifact,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "MODEL_CHOICES",
     "ModelArtifact",
     "QuantSpec",
+    "SUPPORTED_VERSIONS",
     "ServingModel",
     "Session",
     "SpecError",

@@ -9,7 +9,9 @@ model bound to frozen integer codes), a :class:`ModelArtifact` is the
 * the :class:`~repro.api.spec.QuantSpec` provenance that produced it;
 * the per-layer :class:`~repro.quant.config.QuantizationConfig`;
 * the frozen two's-complement weight codes with their fixed-point
-  formats and power-of-two scales;
+  formats and power-of-two scales — **bit-packed** into
+  wordlength-wide fields in format v2 (the default), so a 3-bit layer
+  costs 3 bits per weight on disk, not an int64;
 * the calibrated activation/routing scales;
 * an accuracy/memory report (including the full Algorithm-1 search
   record with per-phase engine statistics).
@@ -33,17 +35,31 @@ from repro.framework.results import QCapsNetsResult, QuantizedModelResult
 from repro.nn.module import Module
 from repro.quant.config import QuantizationConfig
 from repro.quant.fixed_point import FixedPointFormat
-from repro.quant.qmodel import QuantizedCapsNet
+from repro.quant.qmodel import QuantizedCapsNet, pack_codes, unpack_codes
 from repro.quant.rounding import RoundingScheme, get_rounding_scheme
 
 #: Format identifier embedded in every artifact file.
 ARTIFACT_FORMAT = "qcapsnets/model-artifact"
-#: Highest format version this build can read and the one it writes.
-ARTIFACT_VERSION = 1
+#: Highest format version this build can read and the one it writes by
+#: default.  v1 stores weight codes as whole int64 arrays (8 bytes per
+#: weight regardless of wordlength); v2 bit-packs them into
+#: wordlength-wide two's-complement fields, so the on-disk payload
+#: tracks :meth:`ModelArtifact.weight_storage_bits`.
+ARTIFACT_VERSION = 2
+#: Every version this build can read and write.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 class ArtifactError(ValueError):
     """An artifact file is malformed, foreign, or from a newer format."""
+
+
+def _check_version_writable(version: int) -> None:
+    if version not in SUPPORTED_VERSIONS:
+        raise ArtifactError(
+            f"unsupported artifact format version {version!r}; this build "
+            f"writes versions {list(SUPPORTED_VERSIONS)}"
+        )
 
 
 @dataclass
@@ -136,11 +152,36 @@ class ModelArtifact:
             for codes, fmt, _ in self.weight_codes.values()
         )
 
+    def codes_payload_nbytes(self, format_version: Optional[int] = None) -> int:
+        """Bytes the ``codes:*`` payload occupies in a saved archive.
+
+        For v2 this is ``ceil(size x wordlength / 8)`` per tensor — the
+        bit-packed fields plus at most 7 pad bits each — so it tracks
+        :meth:`weight_storage_bits` to within ``8 x num_tensors`` bits.
+        For v1 it is 8 bytes per weight (whole int64 arrays).
+        """
+        version = self.version if format_version is None else format_version
+        _check_version_writable(version)
+        if version >= 2:
+            return sum(
+                (codes.size * fmt.wordlength + 7) // 8
+                for codes, fmt, _ in self.weight_codes.values()
+            )
+        return sum(
+            codes.size * np.dtype(np.int64).itemsize
+            for codes, _, _ in self.weight_codes.values()
+        )
+
     def summary(self) -> str:
+        layout = (
+            "bit-packed codes" if self.version >= 2 else "whole int64 arrays"
+        )
         lines = [
-            f"ModelArtifact v{self.version} [{self.scheme}]"
+            f"ModelArtifact format v{self.version} [{self.scheme}]"
             + (f": {self.report['label']}" if "label" in self.report else ""),
-            f"  weights: {self.weight_storage_bits() / 1e6:.3f} Mbit of codes",
+            f"  weights: {self.weight_storage_bits() / 1e6:.3f} Mbit of "
+            f"codes ({layout} on disk, "
+            f"{self.codes_payload_nbytes() / 1024:.1f} KiB payload)",
         ]
         if self.accuracy is not None:
             lines.append(f"  search-time accuracy: {self.accuracy:.2f}%")
@@ -198,18 +239,38 @@ class ModelArtifact:
                     "integer_bits": fmt.integer_bits,
                     "fractional_bits": fmt.fractional_bits,
                     "scale": scale,
+                    "shape": list(codes.shape),
                 }
-                for key, (_, fmt, scale) in self.weight_codes.items()
+                for key, (codes, fmt, scale) in self.weight_codes.items()
             },
         }
 
-    def save(self, path) -> None:
-        """Persist as a single ``.npz`` (JSON meta + integer code arrays)."""
-        arrays = {
-            f"codes:{key}": codes
-            for key, (codes, _, _) in self.weight_codes.items()
-        }
-        np.savez(path, meta=json.dumps(self.meta_dict()), **arrays)
+    def save(self, path, format_version: Optional[int] = None) -> None:
+        """Persist as a single ``.npz`` (JSON meta + code payloads).
+
+        ``format_version`` selects the on-disk layout: ``2`` (the
+        default for new artifacts) bit-packs every code tensor into
+        wordlength-wide two's-complement fields via
+        :func:`repro.quant.qmodel.pack_codes`; ``1`` writes the legacy
+        whole-int64 arrays.  When omitted, the artifact's own
+        :attr:`version` is kept — so re-saving a loaded v1 file stays
+        v1 unless you explicitly migrate it with ``format_version=2``.
+        """
+        version = self.version if format_version is None else format_version
+        _check_version_writable(version)
+        meta = self.meta_dict()
+        meta["version"] = version
+        if version >= 2:
+            arrays = {
+                f"codes:{key}": pack_codes(codes, fmt.wordlength)
+                for key, (codes, fmt, _) in self.weight_codes.items()
+            }
+        else:
+            arrays = {
+                f"codes:{key}": np.asarray(codes, dtype=np.int64)
+                for key, (codes, _, _) in self.weight_codes.items()
+            }
+        np.savez(path, meta=json.dumps(meta), **arrays)
 
     @classmethod
     def load(cls, path) -> "ModelArtifact":
@@ -256,9 +317,33 @@ class ModelArtifact:
                 fmt = FixedPointFormat(
                     info["integer_bits"], info["fractional_bits"]
                 )
-                weight_codes[key] = (
-                    archive[f"codes:{key}"], fmt, info["scale"]
-                )
+                if f"codes:{key}" not in archive.files:
+                    raise ArtifactError(
+                        f"{path!r} is missing the 'codes:{key}' payload "
+                        "its meta block names"
+                    )
+                stored = archive[f"codes:{key}"]
+                if version >= 2:
+                    if "shape" not in info:
+                        raise ArtifactError(
+                            f"{path!r}: v{version} weight_meta for "
+                            f"{key!r} lacks the tensor shape needed to "
+                            "unpack its codes"
+                        )
+                    shape = tuple(info["shape"])
+                    count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+                    try:
+                        codes = unpack_codes(
+                            stored, fmt.wordlength, count
+                        ).reshape(shape)
+                    except ValueError as error:
+                        raise ArtifactError(
+                            f"{path!r}: packed payload 'codes:{key}' is "
+                            f"invalid: {error}"
+                        ) from error
+                else:
+                    codes = stored
+                weight_codes[key] = (codes, fmt, info["scale"])
             return cls(
                 config=QuantizationConfig.from_dict(meta["config"]),
                 scheme=meta["scheme"],

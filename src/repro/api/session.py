@@ -57,6 +57,19 @@ def dataset_channels(dataset: str) -> tuple:
     return (3, 32) if dataset == "cifar" else (1, 28)
 
 
+def spec_input_shape(spec: "QuantSpec") -> tuple:
+    """Per-sample input shape ``(channels, size, size)`` of a spec.
+
+    Derivable without instantiating the model: the dataset family fixes
+    channels and canvas, and presets with a bespoke canvas (see
+    :data:`_IMAGE_SIZE_OVERRIDES`) override the side length.  The
+    serving daemon validates request payloads against this.
+    """
+    channels, size = dataset_channels(spec.dataset)
+    size = _IMAGE_SIZE_OVERRIDES.get(spec.model, size)
+    return (channels, size, size)
+
+
 def build_model(name: str, dataset: str, seed: int = 0) -> Module:
     """Instantiate a model preset matched to a dataset's shape."""
     channels, size = dataset_channels(dataset)
@@ -170,6 +183,9 @@ class Session:
         self._executor: Optional[StagedExecutor] = None
         self._evaluators: Dict[str, Evaluator] = {}
         self._scales: Optional[Dict[str, float]] = None
+        #: Model weight version the caches were built under (None until
+        #: the first weight-derived resource is materialized).
+        self._cached_weight_version: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Shared resources (lazy; built once per session)
@@ -211,10 +227,32 @@ class Session:
             self._test = (test.images, test.labels)
         return self._test
 
+    def _check_weight_freshness(self) -> None:
+        """Invalidate weight-derived caches if the model mutated.
+
+        ``quantization_aware_finetune`` (or any ``load_state_dict`` /
+        training loop) mutates the session's model in place and bumps
+        its ``weight_version``; every weight-derived resource accessor
+        funnels through here first, so a warm session can never serve
+        evaluator memos, calibration scales or prefix-cache activations
+        measured on the pre-mutation weights.
+        """
+        if self._model is None:
+            return
+        # Read through the property so spec.weights are applied before
+        # the version is sampled (loading bumps the version itself).
+        version = getattr(self.model, "weight_version", 0)
+        if self._cached_weight_version is None:
+            self._cached_weight_version = version
+        elif version != self._cached_weight_version:
+            self._invalidate()
+            self._cached_weight_version = version
+
     @property
     def executor(self) -> Optional[StagedExecutor]:
         """The session-wide prefix-reuse executor (one per session;
         ``None`` for models without a ``stages()`` decomposition)."""
+        self._check_weight_freshness()
         if self._executor is None:
             model = self.model
             if callable(getattr(model, "stages", None)):
@@ -225,7 +263,9 @@ class Session:
 
     def _calibration_scales(self) -> Dict[str, float]:
         """Calibrated activation/routing scales, measured once per
-        session (calibration is scheme-independent)."""
+        set of model weights (calibration is scheme-independent but
+        weight-dependent — a mutation re-measures)."""
+        self._check_weight_freshness()
         if self._scales is None:
             images, _ = self.test_data
             self._scales = calibrate_scales(
@@ -237,6 +277,7 @@ class Session:
         """Per-scheme evaluator, memoized — repeated operations share
         the exact-accuracy memo, the calibration scales and the session
         executor."""
+        self._check_weight_freshness()
         name = scheme if scheme is not None else self.spec.scheme
         evaluator = self._evaluators.get(name)
         if evaluator is None:
@@ -251,11 +292,12 @@ class Session:
 
     def _invalidate(self) -> None:
         """Drop every cache derived from the model's weights (called
-        after training mutates them — the executor's contract assumes a
-        frozen model)."""
+        when a weight mutation is observed — training, fine-tuning or a
+        state-dict load)."""
         self._executor = None
         self._evaluators.clear()
         self._scales = None
+        self._cached_weight_version = None
 
     def budget_mbit(self) -> float:
         """The effective weight-memory budget (absolute, in Mbit)."""

@@ -12,6 +12,8 @@ Installed as the ``qcapsnets`` console script::
     qcapsnets evaluate --model shallow-small --dataset digits \
                        --artifact model.qcn.npz
     qcapsnets predict  --artifact model.qcn.npz --num 8
+    qcapsnets serve    --artifact model.qcn.npz --artifact alt=other.npz \
+                       --port 8080 --max-batch 64 --max-wait-ms 2
     qcapsnets hw-report --model shallow-paper --qw 7 --qa 5 --qdr 3
 
 Every search subcommand accepts ``--spec spec.json`` — a JSON
@@ -251,6 +253,54 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def parse_tenant(spec: str) -> tuple:
+    """``[NAME=]PATH`` -> ``(name, path)``; the default name is the file
+    stem with the ``.npz`` / ``.qcn`` suffixes stripped."""
+    name, _, path = spec.rpartition("=")
+    if not name:
+        path = spec
+        name = os.path.basename(path)
+        for suffix in (".npz", ".qcn"):
+            if name.endswith(suffix):
+                name = name[: -len(suffix)]
+    return name, path
+
+
+def cmd_serve(args) -> int:
+    """Long-lived multi-tenant serving daemon over saved artifacts."""
+    from repro.serve import ModelRegistry, RegistryError, ServingDaemon
+
+    registry = ModelRegistry(
+        max_warm=args.max_warm, batch_size=args.batch_size
+    )
+    for spec in args.artifact:
+        name, path = parse_tenant(spec)
+        try:
+            entry = registry.register(name, path=path)
+        except RegistryError as error:
+            raise SystemExit(f"error: {error}") from error
+        print(f"registered {name!r} from {path} "
+              f"(format v{entry.artifact.version}, {entry.artifact.scheme}, "
+              f"{entry.artifact.weight_storage_bits() / 1e6:.3f} Mbit)")
+    try:
+        daemon = ServingDaemon(
+            registry,
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+        )
+    except OSError as error:  # e.g. port already in use
+        raise SystemExit(
+            f"error: cannot bind {args.host}:{args.port}: {error}"
+        ) from error
+    print(f"serving {len(registry)} model(s) on {daemon.url} "
+          f"(max-warm {args.max_warm}, max-batch {args.max_batch}, "
+          f"max-wait {args.max_wait_ms}ms); Ctrl-C to stop")
+    daemon.serve_forever()
+    return 0
+
+
 def cmd_hw_report(args) -> int:
     stats = (
         deepcaps_stats() if args.model.startswith("deep") else shallowcaps_stats()
@@ -388,6 +438,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.add_argument("--out", default=None,
                         help="write predictions as JSON")
     p_pred.set_defaults(fn=cmd_predict)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve saved artifacts over HTTP (warm sessions, "
+             "micro-batched requests, LRU eviction of cold tenants)",
+    )
+    p_serve.add_argument(
+        "--artifact", action="append", required=True, metavar="[NAME=]PATH",
+        help="artifact to serve; repeat for multiple tenants "
+             "(name defaults to the file stem)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="0 picks an ephemeral port")
+    p_serve.add_argument("--max-batch", type=int, default=64,
+                         help="sample cap per coalesced forward "
+                              "(default: 64)")
+    p_serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                         help="micro-batch gathering window (default: 2)")
+    p_serve.add_argument("--max-warm", type=int, default=4,
+                         help="tenants kept warm at once; colder ones "
+                              "re-bind on demand (default: 4)")
+    p_serve.add_argument("--batch-size", type=int, default=None,
+                         help="inference batch size override "
+                              "(default: each artifact's spec)")
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_hw = sub.add_parser("hw-report", help="hardware energy/latency report")
     p_hw.add_argument("--model", choices=["shallow-paper", "deep-paper"],

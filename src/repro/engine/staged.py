@@ -420,12 +420,17 @@ class StagedExecutor:
     scheme-aware fingerprints decide what may be shared across the
     evaluators (see :func:`stage_fingerprints`).
 
-    The model is assumed **frozen** for the executor's lifetime — the
-    same contract the engine's plans rely on for their quantized-weight
-    caches.  Fingerprints cover the quantization state, not the
-    parameter values, so mutating weights in place (e.g. a fine-tuning
-    pass) without calling ``cache.clear()`` would serve stale boundary
-    activations.
+    Fingerprints cover the quantization state, not the parameter
+    values; parameter mutation is tracked through the model's
+    ``weight_version`` token instead (bumped by ``load_state_dict`` and
+    the training loops — see :meth:`repro.nn.module.Module.
+    bump_weight_version`).  Every :meth:`run` compares the model's
+    current version against the one the cache was filled under and
+    clears stale boundaries automatically, so a fine-tuning pass (or a
+    ``load``) between evaluations can never serve pre-mutation
+    activations.  Note this covers the executor only: evaluators keep
+    their own weight-derived memos, which the session layer invalidates
+    on the same token.
     """
 
     def __init__(self, model, max_bytes: int = DEFAULT_PREFIX_CACHE_BYTES):
@@ -447,6 +452,10 @@ class StagedExecutor:
             seen.add(stage.layer)
             self._prefix_layers.append(frozenset(seen))
         self.cache = PrefixCache(max_bytes)
+        #: Model weight version the cache contents were produced under.
+        self._weight_version = getattr(model, "weight_version", 0)
+        #: Cache clears forced by an observed parameter mutation.
+        self.weight_invalidations = 0
         #: Stage callables actually run (the bench's headline metric).
         self.stage_executions = 0
         #: Stage callables skipped by resuming from a cached boundary.
@@ -496,6 +505,7 @@ class StagedExecutor:
         ``context``.  ``split`` namespaces the batch index when several
         evaluators share this executor; a lone evaluator may omit it.
         """
+        self._check_weight_version()
         fps = self.fingerprints(context)
         batch_key = (split, batch_index)
         self.runs += 1
@@ -531,6 +541,22 @@ class StagedExecutor:
             self.executed_by_stage[stage.name] += 1
             self._store(batch_key, k, fps[k], current, context)
         return current
+
+    def _check_weight_version(self) -> None:
+        """Drop every cached boundary if the model's weights mutated.
+
+        Boundary activations (and the carried quantized-weight tensors)
+        are functions of the parameter values, which the fingerprints
+        deliberately do not hash; the model's ``weight_version`` token
+        stands in for them.  Clearing — rather than keying — keeps
+        pre-mutation entries from wasting the byte budget: they could
+        never be served again.
+        """
+        version = getattr(self.model, "weight_version", 0)
+        if version != self._weight_version:
+            self._weight_version = version
+            self.cache.clear()
+            self.weight_invalidations += 1
 
     def _store(
         self,
@@ -582,4 +608,5 @@ class StagedExecutor:
             "cache_entries": len(self.cache),
             "cache_bytes": self.cache.current_bytes,
             "cache_evictions": self.cache.evictions,
+            "weight_invalidations": self.weight_invalidations,
         }

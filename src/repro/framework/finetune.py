@@ -9,9 +9,13 @@ forward pass sees quantized weights/activations while gradients update
 the underlying float parameters (the straight-through estimator, STE).
 
 With the autograd engine here the STE needs no special casing: the
-context returns ``param + const(quantized − param_value)``, whose value
-is the quantized tensor and whose gradient w.r.t. ``param`` is the
-identity.
+context returns ``const(quantized) + (param − const(param_value))``,
+whose value is bit-exactly the quantized tensor (the parenthesized
+difference is a true zero) and whose gradient w.r.t. ``param`` is the
+identity.  The quantized values come from the same
+:func:`~repro.quant.qcontext.scaled_quantize` kernel the inference
+context applies, so the fine-tuning forward matches deployment
+bit-for-bit for every calibration scale.
 """
 
 from __future__ import annotations
@@ -30,8 +34,8 @@ from repro.quant.qcontext import (
     FixedPointQuant,
     QuantContext,
     power_of_two_scale,
+    scaled_quantize,
 )
-from repro.quant.quantize import quantize
 from repro.quant.rounding import RoundingScheme
 
 
@@ -59,13 +63,17 @@ class StraightThroughQuant(QuantContext):
         return FixedPointFormat(self.config.integer_bits, bits)
 
     def _ste(self, tensor: Tensor, bits: int, scale: float) -> Tensor:
-        fmt = self._format(bits)
-        if scale > 1.0:
-            quantized = scale * quantize(tensor.data / scale, fmt, self.scheme)
-        else:
-            quantized = quantize(tensor.data, fmt, self.scheme)
-        correction = Tensor(quantized - tensor.data)
-        return tensor + correction
+        # scaled_quantize is the exact kernel FixedPointQuant applies at
+        # inference (any scale != 1.0 is honoured, sub-unit included).
+        quantized = scaled_quantize(
+            tensor.data, self._format(bits), self.scheme, scale
+        )
+        # Forward value must be *bit-exact* with the inference context:
+        # q + (x - x) evaluates to exactly q (x - x is a true zero),
+        # whereas the former x + (q - x) could drift by one ULP when the
+        # rounded difference lost low bits.  Gradient w.r.t. x stays the
+        # identity.
+        return Tensor(quantized) + (tensor - Tensor(tensor.data))
 
     def weight(self, layer: str, name: str, tensor: Tensor) -> Tensor:
         bits = self.config[layer].qw

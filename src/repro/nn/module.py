@@ -102,6 +102,7 @@ class Module:
         object.__setattr__(self, "_modules", {})
         object.__setattr__(self, "_buffers", {})
         object.__setattr__(self, "training", True)
+        object.__setattr__(self, "_weight_version", 0)
 
     def __setattr__(self, name: str, value) -> None:
         if isinstance(value, Parameter):
@@ -138,6 +139,35 @@ class Module:
     def zero_grad(self) -> None:
         for param in self.parameters():
             param.grad = None
+
+    # ------------------------------------------------------------------
+    # Weight-version tracking
+    # ------------------------------------------------------------------
+    @property
+    def weight_version(self) -> int:
+        """Monotonic token that changes whenever parameters mutate.
+
+        Weight-derived caches (the prefix-reuse executor's boundary
+        activations, a session's evaluator memos and calibration scales)
+        key or guard on this value: a bump invalidates them without any
+        tensor comparison.  :meth:`load_state_dict` and the training
+        loops bump it automatically; code that assigns ``param.data``
+        directly must call :meth:`bump_weight_version` itself.
+        """
+        return self._weight_version
+
+    def bump_weight_version(self) -> int:
+        """Record an in-place parameter mutation (recursive).
+
+        Every submodule is bumped too, so caches watching any level of
+        the module tree observe the change — e.g. fine-tuning wraps the
+        model in an STE shell and trains the wrapper, while the serving
+        caches watch the inner model.  Returns the new root version.
+        """
+        object.__setattr__(self, "_weight_version", self._weight_version + 1)
+        for module in self._modules.values():
+            module.bump_weight_version()
+        return self._weight_version
 
     # ------------------------------------------------------------------
     # Train / eval mode
@@ -202,6 +232,7 @@ class Module:
             if name not in own_buffers:
                 raise KeyError(f"unexpected buffer '{name}' in state dict")
             self._assign_buffer(name, np.asarray(value))
+        self.bump_weight_version()
 
     def save(self, path) -> None:
         """Persist parameters to an ``.npz`` archive."""

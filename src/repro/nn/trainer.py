@@ -184,6 +184,10 @@ class Trainer:
             self.optimizer.step()
             losses.append(loss.item())
             correct += int((self.predict_fn(outputs) == labels[index]).sum())
+        # Optimizer steps mutated the parameters in place: advance the
+        # model's weight version so weight-derived caches (prefix-reuse
+        # boundaries, evaluator memos) never serve pre-training state.
+        self.model.bump_weight_version()
         return float(np.mean(losses)), 100.0 * correct / labels.shape[0]
 
     def fit(

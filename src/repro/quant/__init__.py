@@ -36,9 +36,10 @@ from repro.quant.qcontext import (
     QuantContext,
     RecordingContext,
     power_of_two_scale,
+    scaled_quantize,
 )
 from repro.quant.calibrate import calibrate_scales
-from repro.quant.qmodel import QuantizedCapsNet
+from repro.quant.qmodel import QuantizedCapsNet, pack_codes, unpack_codes
 from repro.quant.memory import (
     MemoryReport,
     activation_memory_bits,
@@ -67,7 +68,10 @@ __all__ = [
     "CalibrationContext",
     "calibrate_scales",
     "power_of_two_scale",
+    "scaled_quantize",
     "QuantizedCapsNet",
+    "pack_codes",
+    "unpack_codes",
     "MemoryReport",
     "weight_memory_bits",
     "activation_memory_bits",

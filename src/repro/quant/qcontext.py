@@ -45,6 +45,27 @@ def routing_scale_key(layer: str, array: str) -> str:
     return f"r:{layer}:{array}"
 
 
+def scaled_quantize(
+    data: np.ndarray,
+    fmt: FixedPointFormat,
+    scheme: RoundingScheme,
+    scale: float,
+) -> np.ndarray:
+    """Quantize ``data`` onto ``fmt``'s grid under a pre-scaling factor.
+
+    Any ``scale != 1.0`` is applied (divide in, round, multiply out) —
+    including sub-unit scales, which a hardware shared-exponent shift
+    supports just as well as amplifying ones.  This is the single
+    quantization kernel behind both the inference context
+    (:class:`FixedPointQuant`) and the fine-tuning STE context
+    (:class:`~repro.framework.finetune.StraightThroughQuant`), so their
+    forward values are bit-identical by construction.
+    """
+    if scale != 1.0:
+        return scale * quantize(data / scale, fmt, scheme)
+    return quantize(data, fmt, scheme)
+
+
 def power_of_two_scale(max_abs: float) -> float:
     """Smallest power-of-two ≥ max_abs (and ≥ 1).
 
@@ -131,10 +152,7 @@ class FixedPointQuant(QuantContext):
         return FixedPointFormat(self.config.integer_bits, fractional_bits)
 
     def _apply(self, data: np.ndarray, bits: int, scale: float) -> np.ndarray:
-        fmt = self._format(bits)
-        if scale > 1.0:
-            return scale * quantize(data / scale, fmt, self.scheme)
-        return quantize(data, fmt, self.scheme)
+        return scaled_quantize(data, self._format(bits), self.scheme, scale)
 
     def weight(self, layer: str, name: str, tensor: Tensor) -> Tensor:
         bits = self.config[layer].qw

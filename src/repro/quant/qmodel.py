@@ -37,6 +37,79 @@ from repro.quant.rounding import (
 )
 
 
+# ----------------------------------------------------------------------
+# Sub-byte code packing (artifact format v2)
+# ----------------------------------------------------------------------
+def pack_codes(codes: np.ndarray, wordlength: int) -> np.ndarray:
+    """Bit-pack two's-complement codes into ``wordlength``-wide fields.
+
+    Values are laid out big-endian within each field and fields are
+    concatenated without padding (the final byte is zero-padded), so a
+    tensor of ``n`` codes occupies exactly ``ceil(n * wordlength / 8)``
+    bytes — the ``bits x count`` storage the paper's memory accounting
+    reports, instead of the 8 bytes/weight a whole int64 array costs.
+    The inverse is :func:`unpack_codes`.
+    """
+    if not 1 <= wordlength <= 63:
+        raise ValueError(
+            f"wordlength must be in [1, 63], got {wordlength}"
+        )
+    flat = np.asarray(codes, dtype=np.int64).ravel()
+    lo, hi = -(1 << (wordlength - 1)), (1 << (wordlength - 1)) - 1
+    if flat.size and (int(flat.min()) < lo or int(flat.max()) > hi):
+        raise ValueError(
+            f"codes out of range [{lo}, {hi}] for wordlength {wordlength}"
+        )
+    # Two's complement: the low `wordlength` bits of the int64 pattern.
+    unsigned = flat.astype(np.uint64) & np.uint64((1 << wordlength) - 1)
+    shifts = np.arange(wordlength - 1, -1, -1, dtype=np.uint64)
+    bits = ((unsigned[:, None] >> shifts) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bits.ravel())
+
+
+def unpack_codes(
+    packed: np.ndarray, wordlength: int, count: int
+) -> np.ndarray:
+    """Inverse of :func:`pack_codes`: a flat ``int64`` array of ``count``
+    sign-extended codes.
+
+    Raises :class:`ValueError` when the payload is not the exact
+    ``ceil(count * wordlength / 8)`` bytes of ``uint8`` the field layout
+    requires — the truncation/corruption check the artifact loader
+    relies on.
+    """
+    if not 1 <= wordlength <= 63:
+        raise ValueError(
+            f"wordlength must be in [1, 63], got {wordlength}"
+        )
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    packed = np.asarray(packed)
+    if packed.dtype != np.uint8 or packed.ndim != 1:
+        raise ValueError(
+            f"packed payload must be a 1-D uint8 array, got "
+            f"{packed.ndim}-D {packed.dtype}"
+        )
+    expected = (count * wordlength + 7) // 8
+    if packed.size != expected:
+        raise ValueError(
+            f"packed payload holds {packed.size} bytes, expected "
+            f"{expected} for {count} codes of {wordlength} bits "
+            "(truncated or corrupt)"
+        )
+    if count == 0:
+        return np.zeros(0, dtype=np.int64)
+    bits = np.unpackbits(packed, count=count * wordlength)
+    bits = bits.reshape(count, wordlength).astype(np.int64)
+    weights = np.int64(1) << np.arange(
+        wordlength - 1, -1, -1, dtype=np.int64
+    )
+    unsigned = bits @ weights
+    # Sign-extend via shift pair (no 2**wordlength intermediate needed).
+    shift = np.int64(64 - wordlength)
+    return (unsigned << shift) >> shift
+
+
 class _FrozenWeightContext(QuantContext):
     """Serves pre-quantized weights; quantizes activations at runtime."""
 

@@ -1,0 +1,236 @@
+"""Micro-batching request queue for the serving daemon.
+
+HTTP handler threads enqueue predict requests; one worker thread drains
+them, coalescing queued requests for the *same* tenant into a single
+model forward of up to ``max_batch`` samples, then splits the
+prediction vector back per request.  Requests queue **per tenant**, so
+interleaved multi-tenant traffic still coalesces — the worker serves
+tenants in arrival order of their oldest waiting request (FIFO across
+tenants) and batches within each tenant.
+
+Waiting policy: only a *lonely* request blocks (up to ``max_wait_ms``)
+for a first companion; once a batch holds two requests it drains
+whatever else is already queued and runs.  Under load the queues fill
+while the previous batch computes, so coalescing costs no added
+latency; an isolated request pays at most one ``max_wait_ms``.
+
+Coalescing is exact for the deterministic rounding schemes — every
+sample's forward is independent of its batchmates — and is disabled
+per-tenant for stochastic rounding, whose shared draw stream would make
+results depend on batch composition (the registry marks such tenants
+``coalescable=False``; their requests run one per forward, bit-identical
+to an offline ``Session.predict``).
+
+The single worker also serializes all model execution, which the NumPy
+models require (their forwards are not thread-safe), while HTTP I/O
+stays fully concurrent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from itertools import count
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.serve.registry import ModelRegistry
+
+
+class PredictTicket:
+    """A submitted request: its future plus batching telemetry."""
+
+    __slots__ = ("name", "images", "future", "batched_with", "seq")
+
+    def __init__(self, name: str, images: np.ndarray):
+        self.name = name
+        self.images = images
+        self.future: "Future[np.ndarray]" = Future()
+        #: Total samples in the coalesced forward that served this
+        #: request (== len(images) when it ran alone); set on completion.
+        self.batched_with = 0
+        #: Arrival order across all tenants (set by the batcher).
+        self.seq = -1
+
+
+class MicroBatcher:
+    """Coalesce queued predict requests into larger model forwards.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.serve.registry.ModelRegistry` that resolves
+        tenant names to warm serving models.
+    max_batch:
+        Sample cap per coalesced forward (a single larger request still
+        runs whole — the serving model chunks it internally).
+    max_wait_ms:
+        How long a lonely request waits for a first companion.  0
+        disables waiting: requests coalesce only when already queued.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be >= 0, got {max_wait_ms}"
+            )
+        self.registry = registry
+        self.max_batch = max_batch
+        self.max_wait = max_wait_ms / 1000.0
+        self._cond = threading.Condition()
+        #: Per-tenant FIFO queues of waiting tickets.
+        self._queues: Dict[str, Deque[PredictTicket]] = {}
+        self._seq = count()
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        # Counters (worker-thread writes, reader races are benign).
+        self.requests = 0
+        self.batches = 0
+        #: Requests that shared a forward with at least one other.
+        self.coalesced_requests = 0
+        self.batched_samples = 0
+        self.largest_batch = 0
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def start(self) -> "MicroBatcher":
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._loop, name="qcapsnets-batcher", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def submit(self, name: str, images: np.ndarray) -> PredictTicket:
+        """Enqueue one predict request.
+
+        Returns its :class:`PredictTicket`; ``ticket.future.result()``
+        resolves to the request's own label vector, and
+        ``ticket.batched_with`` (set on completion) tells how many
+        samples shared its forward.
+        """
+        self.start()
+        ticket = PredictTicket(name, images)
+        with self._cond:
+            ticket.seq = next(self._seq)
+            self._queues.setdefault(name, deque()).append(ticket)
+            self.requests += 1
+            self._cond.notify_all()
+        return ticket
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop the worker after the queued tickets drain."""
+        with self._cond:
+            self._closed = True
+            thread = self._thread
+            self._cond.notify_all()
+        if thread is not None:
+            thread.join(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _oldest_tenant(self) -> Optional[str]:
+        """Tenant whose head ticket arrived first (FIFO across tenants).
+        Caller holds the lock."""
+        best: Optional[str] = None
+        best_seq = None
+        for name, queue in self._queues.items():
+            if queue and (best_seq is None or queue[0].seq < best_seq):
+                best, best_seq = name, queue[0].seq
+        return best
+
+    def _take_batch(self) -> Optional[List[PredictTicket]]:
+        """Block for the next coalesced group (None = closed and dry)."""
+        with self._cond:
+            while True:
+                name = self._oldest_tenant()
+                if name is not None:
+                    break
+                if self._closed:
+                    return None
+                self._cond.wait()
+            queue = self._queues[name]
+            group = [queue.popleft()]
+            total = len(group[0].images)
+            try:
+                coalescable = self.registry.entry(name).coalescable
+            except Exception:
+                coalescable = False  # _process surfaces the real error
+            deadline = time.monotonic() + self.max_wait
+            while coalescable and total < self.max_batch:
+                if queue:
+                    if total + len(queue[0].images) > self.max_batch:
+                        break
+                    ticket = queue.popleft()
+                    group.append(ticket)
+                    total += len(ticket.images)
+                    continue
+                # This tenant's queue is dry: only a lonely head waits.
+                if len(group) > 1 or self._closed:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+            if not queue:
+                self._queues.pop(name, None)
+            return group
+
+    def _loop(self) -> None:
+        while True:
+            group = self._take_batch()
+            if group is None:
+                break
+            self._process(group)
+
+    def _process(self, group: List[PredictTicket]) -> None:
+        total = sum(len(ticket.images) for ticket in group)
+        try:
+            serving = self.registry.get(group[0].name, requests=len(group))
+            images = (
+                group[0].images
+                if len(group) == 1
+                else np.concatenate([ticket.images for ticket in group])
+            )
+            predictions = serving.predict(images)
+        except Exception as error:  # surfaced per-request as a 5xx
+            for ticket in group:
+                ticket.future.set_exception(error)
+            return
+        self.batches += 1
+        self.batched_samples += total
+        self.largest_batch = max(self.largest_batch, total)
+        if len(group) > 1:
+            self.coalesced_requests += len(group)
+        offset = 0
+        for ticket in group:
+            size = len(ticket.images)
+            ticket.batched_with = total
+            ticket.future.set_result(predictions[offset:offset + size])
+            offset += size
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "coalesced_requests": self.coalesced_requests,
+            "batched_samples": self.batched_samples,
+            "largest_batch": self.largest_batch,
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait * 1000.0,
+        }

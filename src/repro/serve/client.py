@@ -1,0 +1,96 @@
+"""Stdlib HTTP client for the serving daemon.
+
+Mirrors the daemon's three endpoints with typed helpers::
+
+    client = Client("http://127.0.0.1:8080")
+    client.health()                   # liveness + counters
+    client.models()                   # registered tenants
+    labels = client.predict("mnist-rtn", images)   # np.int64 labels
+
+Server-reported failures (validation 4xx, model 5xx) raise
+:class:`ServeError` carrying the HTTP status and the server's message,
+so callers can distinguish a bad payload from a down daemon
+(:class:`ServeError` with ``status=None``).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+class ServeError(RuntimeError):
+    """A serving request failed (HTTP error or unreachable daemon)."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        #: HTTP status code, or None when the daemon was unreachable.
+        self.status = status
+
+
+class Client:
+    """Minimal JSON client for one serving daemon."""
+
+    def __init__(self, base_url: str, timeout: float = 300.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, path: str, payload: Optional[dict] = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            try:
+                message = json.loads(error.read()).get("error", str(error))
+            except (json.JSONDecodeError, ValueError):
+                message = str(error)
+            raise ServeError(message, status=error.code) from error
+        except urllib.error.URLError as error:
+            raise ServeError(
+                f"cannot reach serving daemon at {self.base_url}: "
+                f"{error.reason}"
+            ) from error
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        """``GET /healthz``."""
+        return self._request("/healthz")
+
+    def models(self) -> List[Dict[str, object]]:
+        """``GET /v1/models`` — one row per registered tenant."""
+        return self._request("/v1/models")["models"]
+
+    def predict(
+        self, model: str, images: np.ndarray, full_response: bool = False
+    ):
+        """``POST /v1/predict`` — predicted labels for ``images``.
+
+        ``images`` is a ``(batch, channels, height, width)`` float32
+        array (a single un-batched sample is accepted too).  Returns
+        the label vector as ``np.int64``, or the full response dict
+        (including ``batched_with`` telemetry) when ``full_response``.
+        """
+        images = np.asarray(images, dtype=np.float32)
+        response = self._request("/v1/predict", payload={
+            "model": model,
+            "images": images.tolist(),
+            "dtype": "float32",
+        })
+        if full_response:
+            return response
+        return np.asarray(response["predictions"], dtype=np.int64)

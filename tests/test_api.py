@@ -368,6 +368,45 @@ class TestSession:
         second = session._evaluator("TRN")
         assert second.scales is first.scales
 
+    def test_finetune_between_evaluates_matches_cold_session(
+        self, tiny_spec, trained_tiny, tiny_data
+    ):
+        """Stale-cache regression: a weight mutation between two
+        ``evaluate`` calls must invalidate every warm cache — the warm
+        session's post-mutation answer has to equal a cold session's
+        (difference of exactly 0), not the memoized pre-mutation one.
+        """
+        from repro.capsnet import ShallowCaps, presets
+        from repro.framework import quantization_aware_finetune
+        from repro.quant import get_rounding_scheme
+
+        train, test = tiny_data
+        data = (test.images[:96], test.labels[:96])
+        model = ShallowCaps(presets.shallowcaps_tiny())
+        model.load_state_dict(trained_tiny.state_dict())
+
+        session = Session(tiny_spec, model=model, test_data=data)
+        config = QuantizationConfig.uniform(model.quant_layers, qw=3, qa=5)
+        warm_before = session.evaluate(config)
+        executor_before = session.executor
+
+        quantization_aware_finetune(
+            model, config, get_rounding_scheme("RTN"),
+            train.images[:192], train.labels[:192],
+            test.images[:32], test.labels[:32],
+            epochs=1, lr=0.002, seed=1,
+        )
+
+        warm_after = session.evaluate(config)
+        cold = Session(
+            tiny_spec, model=model, test_data=data
+        ).evaluate(config)
+        assert warm_after == cold
+        assert session.executor is not executor_before  # rebuilt
+        # The memo would have replayed the pre-mutation number; the
+        # fine-tuned weights genuinely move the accuracy of this config.
+        assert warm_after != warm_before
+
 
 class TestDeprecationShims:
     def test_qcapsnets_keyword_construction_warns_but_works(

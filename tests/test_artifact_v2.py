@@ -1,0 +1,286 @@
+"""Artifact format v2: bit-packed weight codes.
+
+The v1 <-> v2 matrix the bugfix issue demands:
+
+* ``pack_codes``/``unpack_codes`` round-trip every wordlength and
+  reject truncated / corrupt payloads;
+* save v2 -> load v2 and save v1 -> load v1 are lossless, and
+  save -> load -> predict stays bit-identical to the in-memory model
+  for all four rounding schemes in both formats;
+* legacy v1 archives (written by the previous build, no ``shape``
+  entries in ``weight_meta``) still load;
+* corrupt or truncated packed payloads raise :class:`ArtifactError`;
+* the on-disk ``codes:*`` payload of a v2 file tracks
+  ``weight_storage_bits()`` (v1 does not — that was the accounting
+  bug), and sub-8-bit v2 files are measurably smaller than v1.
+"""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ARTIFACT_VERSION,
+    ArtifactError,
+    ModelArtifact,
+    ServingModel,
+)
+from repro.quant import (
+    QuantizationConfig,
+    QuantizedCapsNet,
+    calibrate_scales,
+    get_rounding_scheme,
+    pack_codes,
+    unpack_codes,
+)
+
+ALL_SCHEMES = ("TRN", "RTN", "RTNE", "SR")
+
+
+def _make_artifact(trained_tiny, tiny_data, scheme_name="RTN", qw=3, qa=4):
+    _, test = tiny_data
+    config = QuantizationConfig.uniform(
+        list(trained_tiny.quant_layers), qw=qw, qa=qa
+    )
+    scales = calibrate_scales(trained_tiny, test.images[:64])
+    quantized = QuantizedCapsNet(
+        trained_tiny, config, get_rounding_scheme(scheme_name, seed=3),
+        act_scales=scales, seed=3,
+    )
+    return ModelArtifact.from_quantized(
+        quantized, report={"label": "uniform", "accuracy": 0.0}
+    )
+
+
+class TestPackCodes:
+    @pytest.mark.parametrize("wordlength", [1, 2, 3, 5, 7, 8, 9, 13, 31, 63])
+    def test_round_trip_extremes(self, rng, wordlength):
+        lo, hi = -(1 << (wordlength - 1)), (1 << (wordlength - 1)) - 1
+        codes = rng.integers(lo, hi + 1, size=101, dtype=np.int64)
+        codes[:2] = (lo, hi)  # always cover both extremes
+        packed = pack_codes(codes, wordlength)
+        assert packed.dtype == np.uint8
+        assert packed.size == (codes.size * wordlength + 7) // 8
+        assert np.array_equal(
+            unpack_codes(packed, wordlength, codes.size), codes
+        )
+
+    def test_empty_round_trip(self):
+        packed = pack_codes(np.zeros(0, dtype=np.int64), 5)
+        assert packed.size == 0
+        assert unpack_codes(packed, 5, 0).size == 0
+
+    def test_out_of_range_codes_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            pack_codes(np.array([4], dtype=np.int64), 3)  # 3-bit max is 3
+
+    def test_bad_wordlength_rejected(self):
+        with pytest.raises(ValueError, match="wordlength"):
+            pack_codes(np.array([0]), 0)
+        with pytest.raises(ValueError, match="wordlength"):
+            unpack_codes(np.zeros(1, dtype=np.uint8), 64, 1)
+
+    def test_truncated_payload_rejected(self):
+        packed = pack_codes(np.arange(-8, 8, dtype=np.int64), 5)
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            unpack_codes(packed[:-1], 5, 16)
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(ValueError, match="uint8"):
+            unpack_codes(np.zeros(10, dtype=np.int64), 5, 16)
+
+
+class TestFormatMatrix:
+    @pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+    @pytest.mark.parametrize("format_version", [1, 2])
+    def test_save_load_predict_bit_identical(
+        self, tmp_path, trained_tiny, tiny_data, scheme_name, format_version
+    ):
+        _, test = tiny_data
+        images = test.images[:96]
+        artifact = _make_artifact(trained_tiny, tiny_data, scheme_name)
+        path = tmp_path / f"{scheme_name}.v{format_version}.npz"
+        artifact.save(path, format_version=format_version)
+        loaded = ModelArtifact.load(path)
+        assert loaded.version == format_version
+
+        for key, (codes, fmt, scale) in artifact.weight_codes.items():
+            loaded_codes, loaded_fmt, loaded_scale = loaded.weight_codes[key]
+            assert np.array_equal(codes, loaded_codes), key
+            assert codes.shape == loaded_codes.shape, key
+            assert (fmt, scale) == (loaded_fmt, loaded_scale), key
+
+        reference = ServingModel(
+            artifact.bind(trained_tiny), batch_size=40
+        ).predict(images)
+        served = ServingModel(
+            loaded.bind(trained_tiny), batch_size=40
+        ).predict(images)
+        assert np.array_equal(reference, served)
+
+    def test_default_save_writes_v2(self, tmp_path, trained_tiny, tiny_data):
+        artifact = _make_artifact(trained_tiny, tiny_data)
+        path = tmp_path / "artifact.npz"
+        artifact.save(path)
+        assert ModelArtifact.load(path).version == ARTIFACT_VERSION == 2
+
+    def test_resave_preserves_v1_until_migrated(
+        self, tmp_path, trained_tiny, tiny_data
+    ):
+        artifact = _make_artifact(trained_tiny, tiny_data)
+        v1_path = tmp_path / "v1.npz"
+        artifact.save(v1_path, format_version=1)
+        loaded = ModelArtifact.load(v1_path)
+        assert loaded.version == 1
+
+        resaved = tmp_path / "resaved.npz"
+        loaded.save(resaved)  # no explicit version: stays v1
+        assert ModelArtifact.load(resaved).version == 1
+
+        migrated = tmp_path / "migrated.npz"
+        loaded.save(migrated, format_version=2)
+        assert ModelArtifact.load(migrated).version == 2
+
+    def test_legacy_v1_without_shape_meta_loads(
+        self, tmp_path, trained_tiny, tiny_data
+    ):
+        """Files written by the previous build carry no 'shape' entries."""
+        artifact = _make_artifact(trained_tiny, tiny_data)
+        path = tmp_path / "legacy.npz"
+        artifact.save(path, format_version=1)
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            arrays = {
+                key: archive[key] for key in archive.files if key != "meta"
+            }
+        for info in meta["weight_meta"].values():
+            info.pop("shape")
+        np.savez(path, meta=json.dumps(meta), **arrays)
+
+        loaded = ModelArtifact.load(path)
+        for key, (codes, _, _) in artifact.weight_codes.items():
+            assert np.array_equal(codes, loaded.weight_codes[key][0])
+
+    def test_unsupported_write_version_rejected(
+        self, tmp_path, trained_tiny, tiny_data
+    ):
+        artifact = _make_artifact(trained_tiny, tiny_data)
+        with pytest.raises(ArtifactError, match="unsupported"):
+            artifact.save(tmp_path / "x.npz", format_version=3)
+
+    def test_summary_states_format_version(self, trained_tiny, tiny_data):
+        artifact = _make_artifact(trained_tiny, tiny_data)
+        assert "format v2" in artifact.summary()
+        assert "bit-packed" in artifact.summary()
+        artifact.version = 1
+        assert "format v1" in artifact.summary()
+        assert "int64" in artifact.summary()
+
+
+class TestCorruptPayloads:
+    def _resave_with(self, path, mutate):
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            arrays = {
+                key: archive[key] for key in archive.files if key != "meta"
+            }
+        mutate(meta, arrays)
+        np.savez(path, meta=json.dumps(meta), **arrays)
+
+    @pytest.fixture()
+    def saved_v2(self, tmp_path, trained_tiny, tiny_data):
+        path = tmp_path / "artifact.npz"
+        _make_artifact(trained_tiny, tiny_data).save(path)
+        return path
+
+    def test_truncated_packed_payload(self, saved_v2):
+        def truncate(meta, arrays):
+            key = sorted(k for k in arrays if k.startswith("codes:"))[0]
+            arrays[key] = arrays[key][:-1]
+
+        self._resave_with(saved_v2, truncate)
+        with pytest.raises(ArtifactError, match="truncated or corrupt"):
+            ModelArtifact.load(saved_v2)
+
+    def test_wrong_dtype_payload(self, saved_v2):
+        def corrupt(meta, arrays):
+            key = sorted(k for k in arrays if k.startswith("codes:"))[0]
+            arrays[key] = arrays[key].astype(np.int64)
+
+        self._resave_with(saved_v2, corrupt)
+        with pytest.raises(ArtifactError, match="uint8"):
+            ModelArtifact.load(saved_v2)
+
+    def test_missing_payload(self, saved_v2):
+        def drop(meta, arrays):
+            key = sorted(k for k in arrays if k.startswith("codes:"))[0]
+            del arrays[key]
+
+        self._resave_with(saved_v2, drop)
+        with pytest.raises(ArtifactError, match="missing"):
+            ModelArtifact.load(saved_v2)
+
+    def test_missing_shape_meta(self, saved_v2):
+        def drop_shape(meta, arrays):
+            for info in meta["weight_meta"].values():
+                info.pop("shape")
+
+        self._resave_with(saved_v2, drop_shape)
+        with pytest.raises(ArtifactError, match="shape"):
+            ModelArtifact.load(saved_v2)
+
+
+class TestStorageAccounting:
+    def _payload_bytes(self, path):
+        """Uncompressed size of the codes:* members inside the .npz."""
+        with zipfile.ZipFile(path) as archive:
+            return sum(
+                info.file_size
+                for info in archive.infolist()
+                if info.filename.startswith("codes:")
+            )
+
+    def test_v2_payload_tracks_weight_storage_bits(
+        self, tmp_path, trained_tiny, tiny_data
+    ):
+        artifact = _make_artifact(trained_tiny, tiny_data, qw=3)
+        path = tmp_path / "v2.npz"
+        artifact.save(path)
+
+        payload = self._payload_bytes(path)
+        # npz members carry a small npy header (~128 bytes per array);
+        # the data bytes themselves are exactly codes_payload_nbytes.
+        headers = payload - artifact.codes_payload_nbytes()
+        assert 0 < headers <= 160 * len(artifact.weight_codes)
+        # Reported bits match the packed payload to <= 7 pad bits/tensor.
+        packed_bits = artifact.codes_payload_nbytes() * 8
+        assert artifact.weight_storage_bits() <= packed_bits
+        assert packed_bits - artifact.weight_storage_bits() < 8 * len(
+            artifact.weight_codes
+        )
+
+    def test_v2_smaller_than_v1_for_sub_8bit(
+        self, tmp_path, trained_tiny, tiny_data
+    ):
+        artifact = _make_artifact(trained_tiny, tiny_data, qw=3)
+        v1, v2 = tmp_path / "v1.npz", tmp_path / "v2.npz"
+        artifact.save(v1, format_version=1)
+        artifact.save(v2, format_version=2)
+        # int64 v1 stores 64 bits/weight vs 4 packed bits (qw=3 + sign):
+        # the raw payload shrinks ~16x; assert a conservative 8x on the
+        # actual files.
+        assert self._payload_bytes(v2) * 8 < self._payload_bytes(v1)
+        assert v2.stat().st_size < v1.stat().st_size
+
+    def test_codes_payload_nbytes_per_version(
+        self, trained_tiny, tiny_data
+    ):
+        artifact = _make_artifact(trained_tiny, tiny_data, qw=3)
+        total = sum(c.size for c, _, _ in artifact.weight_codes.values())
+        assert artifact.codes_payload_nbytes(format_version=1) == total * 8
+        assert artifact.codes_payload_nbytes(format_version=2) == sum(
+            (c.size * fmt.wordlength + 7) // 8
+            for c, fmt, _ in artifact.weight_codes.values()
+        )

@@ -6,7 +6,13 @@ import numpy as np
 import pytest
 
 from repro.api import QuantSpec
-from repro.cli import build_model, build_parser, main, resolve_spec
+from repro.cli import (
+    build_model,
+    build_parser,
+    main,
+    parse_tenant,
+    resolve_spec,
+)
 
 
 class TestParser:
@@ -88,6 +94,30 @@ class TestParser:
     def test_quantize_requires_weights(self):
         with pytest.raises(SystemExit, match="trained weights"):
             main(["quantize", "--model", "shallow-tiny"])
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "--artifact", "a.npz", "--artifact", "alt=b.npz"]
+        )
+        assert args.artifact == ["a.npz", "alt=b.npz"]
+        assert args.port == 8080
+        assert args.max_batch == 64
+        assert args.max_wait_ms == 2.0
+        assert args.max_warm == 4
+        assert args.batch_size is None
+
+    def test_serve_requires_an_artifact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    @pytest.mark.parametrize("spec, expected", [
+        ("model.qcn.npz", ("model", "model.qcn.npz")),
+        ("dir/sub/model.npz", ("model", "dir/sub/model.npz")),
+        ("alt=weird name.npz", ("alt", "weird name.npz")),
+        ("plain", ("plain", "plain")),
+    ])
+    def test_serve_tenant_naming(self, spec, expected):
+        assert parse_tenant(spec) == expected
 
 
 class TestBuildModel:

@@ -65,6 +65,96 @@ class TestStraightThroughQuant:
         assert context.routing("L1", "logits", x) is x
 
 
+class TestSTEMatchesInferenceContext:
+    """Regression: the STE forward must be bit-exact with deployment.
+
+    The old ``_ste`` only applied the calibration scale when it exceeded
+    1.0 (silently dropping sub-unit scales) and reconstructed the value
+    as ``x + (q - x)``, which can drift from ``q`` by one ULP.  Both
+    contexts now share :func:`repro.quant.scaled_quantize`, so STE
+    forward values equal the inference-context values exactly for every
+    scale.
+    """
+
+    SCALES = [0.25, 0.5, 1.0, 2.0, 8.0]
+
+    def _pair(self, scheme_name, scales):
+        config = QuantizationConfig.uniform(LAYERS, qw=3, qa=4, qdr=2)
+        ste = StraightThroughQuant(
+            config, get_rounding_scheme(scheme_name), scales=scales
+        )
+        inference = FixedPointQuant(
+            config, get_rounding_scheme(scheme_name), scales=scales
+        )
+        inference.reset()
+        return ste, inference
+
+    @pytest.mark.parametrize("scheme_name", ["TRN", "RTN", "RTNE"])
+    @pytest.mark.parametrize("scale", SCALES)
+    def test_act_hook_bit_exact(self, rng, scheme_name, scale):
+        scales = {"a:L1": scale}
+        ste, inference = self._pair(scheme_name, scales)
+        x = rng.normal(scale=1.7, size=(4, 9)).astype(np.float32)
+        out_ste = ste.act("L1", Tensor(x, requires_grad=True))
+        out_inf = inference.act("L1", Tensor(x))
+        assert np.array_equal(out_ste.data, out_inf.data)
+
+    @pytest.mark.parametrize("scale", SCALES)
+    def test_routing_hook_bit_exact(self, rng, scale):
+        scales = {"r:L2:coupling": scale}
+        ste, inference = self._pair("RTN", scales)
+        x = rng.normal(scale=0.8, size=(3, 5)).astype(np.float32)
+        out_ste = ste.routing("L2", "coupling", Tensor(x, requires_grad=True))
+        out_inf = inference.routing("L2", "coupling", Tensor(x))
+        assert np.array_equal(out_ste.data, out_inf.data)
+
+    def test_weight_hook_bit_exact(self, rng):
+        ste, inference = self._pair("RTN", None)
+        w = rng.normal(scale=2.5, size=(7, 4)).astype(np.float32)
+        out_ste = ste.weight("L1", "w", Parameter(w))
+        out_inf = inference.weight("L1", "w", Tensor(w))
+        assert np.array_equal(out_ste.data, out_inf.data)
+
+    def test_sub_unit_scale_is_applied(self):
+        """A 0.5 pre-scale halves the effective grid step — visibly
+        different from dropping the scale."""
+        config = QuantizationConfig.uniform(LAYERS, qa=1)
+        context = FixedPointQuant(
+            config, get_rounding_scheme("RTN"), scales={"a:L1": 0.5}
+        )
+        context.reset()
+        out = context.act("L1", Tensor(np.array([0.3], dtype=np.float32)))
+        # fmt <1.1> has step 0.5; with the 0.5 pre-scale the effective
+        # step is 0.25, so 0.3 rounds to 0.25 instead of 0.5.
+        assert out.data[0] == pytest.approx(0.25)
+
+    def test_full_forward_bit_exact(self, trained_tiny, tiny_data):
+        """Whole-model STE forward equals the inference-context forward
+        with mixed super- and sub-unit calibration scales."""
+        from repro.autograd.tensor import no_grad
+
+        _, test = tiny_data
+        images = test.images[:16]
+        config = QuantizationConfig.uniform(
+            trained_tiny.quant_layers, qw=4, qa=5, qdr=3
+        )
+        scales = calibrate_scales(trained_tiny, test.images[:64])
+        scales[f"a:{trained_tiny.quant_layers[0]}"] = 0.5  # sub-unit
+        ste = StraightThroughQuant(
+            config, get_rounding_scheme("RTN"), scales=scales
+        )
+        inference = FixedPointQuant(
+            config, get_rounding_scheme("RTN"), scales=scales
+        )
+        inference.reset()
+        trained_tiny.eval()
+        with no_grad():
+            out_ste = trained_tiny(Tensor(images), q=ste)
+            out_inf = trained_tiny(Tensor(images), q=inference)
+        trained_tiny.train()
+        assert np.array_equal(out_ste.data, out_inf.data)
+
+
 class TestQuantizationAwareFinetune:
     def test_recovers_accuracy_at_aggressive_bits(self, trained_tiny, tiny_data):
         train, test = tiny_data

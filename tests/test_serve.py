@@ -1,0 +1,453 @@
+"""Tests for the multi-tenant serving daemon (repro.serve).
+
+The serving acceptance criteria:
+
+* the daemon serves two artifacts concurrently, and every response is
+  bit-identical to an offline ``Session.predict`` on the same images;
+* concurrent requests for one tenant coalesce into shared forwards
+  (micro-batching) and the responses are split back per request;
+* invalid payloads (empty batches, non-float32 data, wrong shapes,
+  unknown tenants, malformed JSON) return 4xx responses, never a crash;
+* cold tenants beyond ``max_warm`` are evicted and transparently
+  re-bound on their next request.
+"""
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.api import ModelArtifact, QuantSpec, Session
+from repro.quant import (
+    QuantizationConfig,
+    QuantizedCapsNet,
+    calibrate_scales,
+    get_rounding_scheme,
+)
+from repro.serve import (
+    Client,
+    MicroBatcher,
+    ModelRegistry,
+    RegistryError,
+    ServeError,
+    ServingDaemon,
+    validate_images,
+)
+
+
+def _artifact(trained_tiny, tiny_data, scheme_name="RTN", qw=4, qa=5):
+    _, test = tiny_data
+    config = QuantizationConfig.uniform(
+        list(trained_tiny.quant_layers), qw=qw, qa=qa
+    )
+    scales = calibrate_scales(trained_tiny, test.images[:64])
+    quantized = QuantizedCapsNet(
+        trained_tiny, config, get_rounding_scheme(scheme_name, seed=3),
+        act_scales=scales, seed=3,
+    )
+    spec = QuantSpec(model="shallow-tiny", dataset="digits", seed=1)
+    return ModelArtifact.from_quantized(
+        quantized,
+        report={"label": f"uniform-{scheme_name}", "accuracy": 80.0},
+        spec=spec.to_dict(),
+    )
+
+
+@pytest.fixture(scope="module")
+def two_tenant_registry(trained_tiny, tiny_data):
+    """Registry with an RTN and a TRN tenant over the shared model."""
+    registry = ModelRegistry(max_warm=4, batch_size=32)
+    registry.register(
+        "rtn", artifact=_artifact(trained_tiny, tiny_data, "RTN"),
+        model=trained_tiny,
+    )
+    registry.register(
+        "trn", artifact=_artifact(trained_tiny, tiny_data, "TRN", qw=3),
+        model=trained_tiny,
+    )
+    return registry
+
+
+@pytest.fixture(scope="module")
+def daemon(two_tenant_registry):
+    daemon = ServingDaemon(
+        two_tenant_registry, port=0, max_batch=48, max_wait_ms=25.0
+    )
+    with daemon:
+        yield daemon
+
+
+@pytest.fixture(scope="module")
+def client(daemon):
+    return Client(daemon.url, timeout=120.0)
+
+
+@pytest.fixture(scope="module")
+def offline(trained_tiny, tiny_data):
+    """Offline predictions to compare every served response against."""
+    _, test = tiny_data
+    images = test.images[:64]
+    spec = QuantSpec(model="shallow-tiny", dataset="digits", seed=1,
+                     batch_size=32)
+    session = Session(spec, model=trained_tiny,
+                      test_data=(images, test.labels[:64]))
+    return {
+        "images": images,
+        "rtn": session.serve(_artifact(trained_tiny, tiny_data, "RTN"))
+        .predict(images),
+        "trn": session.serve(
+            _artifact(trained_tiny, tiny_data, "TRN", qw=3)
+        ).predict(images),
+    }
+
+
+class TestRegistry:
+    def test_register_validates(self, trained_tiny, tiny_data):
+        registry = ModelRegistry()
+        with pytest.raises(RegistryError, match="exactly one"):
+            registry.register("x")
+        artifact = _artifact(trained_tiny, tiny_data)
+        registry.register("x", artifact=artifact, model=trained_tiny)
+        with pytest.raises(RegistryError, match="already registered"):
+            registry.register("x", artifact=artifact, model=trained_tiny)
+        with pytest.raises(RegistryError, match="unknown model"):
+            registry.get("nope")
+
+    def test_artifact_without_provenance_needs_model(
+        self, trained_tiny, tiny_data
+    ):
+        from repro.api import ArtifactError
+
+        artifact = _artifact(trained_tiny, tiny_data)
+        artifact.spec = None
+        registry = ModelRegistry()
+        with pytest.raises(ArtifactError, match="provenance"):
+            registry.register("bare", artifact=artifact)
+
+    def test_lru_eviction_of_cold_sessions(self, trained_tiny, tiny_data):
+        registry = ModelRegistry(max_warm=1, batch_size=32)
+        for name in ("a", "b"):
+            registry.register(
+                name, artifact=_artifact(trained_tiny, tiny_data),
+                model=trained_tiny,
+            )
+        registry.get("a")
+        assert registry.warm_names() == ["a"]
+        registry.get("b")  # evicts a (LRU beyond max_warm=1)
+        assert registry.warm_names() == ["b"]
+        assert registry.evictions == 1
+        registry.get("a")  # transparent re-bind
+        assert registry.warm_names() == ["a"]
+        assert registry.entry("a").binds == 2
+        assert registry.entry("b").binds == 1
+
+    def test_hot_tenant_survives_accesses(self, trained_tiny, tiny_data):
+        registry = ModelRegistry(max_warm=2, batch_size=32)
+        for name in ("a", "b", "c"):
+            registry.register(
+                name, artifact=_artifact(trained_tiny, tiny_data),
+                model=trained_tiny,
+            )
+        registry.get("a")
+        registry.get("b")
+        registry.get("a")  # refresh a's recency
+        registry.get("c")  # must evict b, the least recently used
+        assert sorted(registry.warm_names()) == ["a", "c"]
+
+    def test_sr_tenants_marked_non_coalescable(
+        self, trained_tiny, tiny_data
+    ):
+        registry = ModelRegistry()
+        registry.register(
+            "sr", artifact=_artifact(trained_tiny, tiny_data, "SR"),
+            model=trained_tiny,
+        )
+        registry.register(
+            "rtn", artifact=_artifact(trained_tiny, tiny_data, "RTN"),
+            model=trained_tiny,
+        )
+        assert not registry.entry("sr").coalescable
+        assert registry.entry("rtn").coalescable
+
+
+class TestMicroBatcher:
+    def test_coalesces_and_splits_responses(
+        self, two_tenant_registry, offline
+    ):
+        batcher = MicroBatcher(
+            two_tenant_registry, max_batch=64, max_wait_ms=50.0
+        )
+        images = offline["images"]
+        chunks = [images[0:8], images[8:24], images[24:40]]
+        tickets = [batcher.submit("rtn", chunk) for chunk in chunks]
+        results = [t.future.result(timeout=60) for t in tickets]
+        batcher.close()
+
+        stitched = np.concatenate(results)
+        assert np.array_equal(stitched, offline["rtn"][:40])
+        for ticket, chunk in zip(tickets, chunks):
+            assert len(ticket.future.result()) == len(chunk)
+        # The lonely head waits for its first companion, so at least two
+        # of the three requests share a forward.
+        assert batcher.batches < batcher.requests
+        assert batcher.coalesced_requests >= 2
+        assert batcher.largest_batch >= max(len(c) for c in chunks)
+
+    def test_max_batch_bounds_coalescing(self, two_tenant_registry, offline):
+        batcher = MicroBatcher(
+            two_tenant_registry, max_batch=16, max_wait_ms=50.0
+        )
+        images = offline["images"]
+        tickets = [
+            batcher.submit("rtn", images[i * 12:(i + 1) * 12])
+            for i in range(3)
+        ]
+        results = [t.future.result(timeout=60) for t in tickets]
+        batcher.close()
+        assert np.array_equal(np.concatenate(results), offline["rtn"][:36])
+        assert batcher.largest_batch <= 16
+
+    def test_different_tenants_never_share_a_forward(
+        self, two_tenant_registry, offline
+    ):
+        batcher = MicroBatcher(
+            two_tenant_registry, max_batch=64, max_wait_ms=50.0
+        )
+        images = offline["images"]
+        t1 = batcher.submit("rtn", images[:16])
+        t2 = batcher.submit("trn", images[:16])
+        r1 = t1.future.result(timeout=60)
+        r2 = t2.future.result(timeout=60)
+        batcher.close()
+        assert np.array_equal(r1, offline["rtn"][:16])
+        assert np.array_equal(r2, offline["trn"][:16])
+        assert t1.batched_with == 16
+        assert t2.batched_with == 16
+
+    def test_sr_requests_run_one_per_forward(
+        self, trained_tiny, tiny_data, offline
+    ):
+        registry = ModelRegistry(batch_size=32)
+        registry.register(
+            "sr", artifact=_artifact(trained_tiny, tiny_data, "SR"),
+            model=trained_tiny,
+        )
+        batcher = MicroBatcher(registry, max_batch=64, max_wait_ms=50.0)
+        images = offline["images"]
+        tickets = [batcher.submit("sr", images[:8]) for _ in range(3)]
+        results = [t.future.result(timeout=60) for t in tickets]
+        batcher.close()
+        # Identical inputs through identical frozen codes + reseeded
+        # streams: every request must see the very same labels.
+        assert np.array_equal(results[0], results[1])
+        assert np.array_equal(results[0], results[2])
+        assert batcher.coalesced_requests == 0
+        assert batcher.batches == 3
+
+    def test_tenant_request_telemetry_counts_submissions(
+        self, two_tenant_registry, offline
+    ):
+        """A coalesced forward must advance the tenant's request counter
+        by its group size, not by 1."""
+        entry = two_tenant_registry.entry("rtn")
+        before = entry.requests
+        batcher = MicroBatcher(
+            two_tenant_registry, max_batch=64, max_wait_ms=50.0
+        )
+        tickets = [
+            batcher.submit("rtn", offline["images"][:4]) for _ in range(3)
+        ]
+        for ticket in tickets:
+            ticket.future.result(timeout=60)
+        batcher.close()
+        assert entry.requests == before + 3
+
+    def test_unknown_tenant_surfaces_as_exception(self, two_tenant_registry):
+        batcher = MicroBatcher(two_tenant_registry)
+        ticket = batcher.submit("ghost", np.zeros((1, 1, 14, 14), np.float32))
+        with pytest.raises(RegistryError, match="unknown model"):
+            ticket.future.result(timeout=60)
+        batcher.close()
+
+    def test_parameter_validation(self, two_tenant_registry):
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(two_tenant_registry, max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            MicroBatcher(two_tenant_registry, max_wait_ms=-1)
+
+
+class TestValidation:
+    EXPECTED = (1, 14, 14)
+
+    def _check(self, payload, match, status=400):
+        from repro.serve import RequestError
+
+        with pytest.raises(RequestError, match=match) as excinfo:
+            validate_images(payload, self.EXPECTED)
+        assert excinfo.value.status == status
+
+    def test_missing_images(self):
+        self._check({}, "missing 'images'")
+
+    def test_empty_batch(self):
+        self._check({"images": []}, "empty image batch")
+
+    def test_non_numeric(self):
+        self._check({"images": [["a", "b"]]}, "numeric")
+
+    def test_ragged(self):
+        self._check({"images": [[1.0], [1.0, 2.0]]}, "malformed|numeric")
+
+    def test_non_float32_dtype_claim(self):
+        self._check(
+            {"images": [[[[0.0]]]], "dtype": "float64"}, "float32"
+        )
+
+    def test_wrong_rank(self):
+        self._check({"images": [[0.0, 1.0]]}, "4-D")
+
+    def test_wrong_sample_shape(self):
+        self._check(
+            {"images": np.zeros((2, 1, 7, 7)).tolist()},
+            "does not match",
+        )
+
+    def test_single_sample_promoted(self):
+        batch = validate_images(
+            {"images": np.zeros(self.EXPECTED).tolist()}, self.EXPECTED
+        )
+        assert batch.shape == (1,) + self.EXPECTED
+        assert batch.dtype == np.float32
+
+    def test_single_sample_promoted_without_expected_shape(self):
+        """Tenants without spec provenance (injected model, no derived
+        input shape) must still accept an un-batched sample."""
+        batch = validate_images(
+            {"images": np.zeros(self.EXPECTED).tolist()}, None
+        )
+        assert batch.shape == (1,) + self.EXPECTED
+
+    def test_integers_accepted_as_float32(self):
+        batch = validate_images(
+            {"images": np.zeros((2,) + self.EXPECTED, dtype=int).tolist()},
+            self.EXPECTED,
+        )
+        assert batch.dtype == np.float32
+
+
+class TestDaemonEndToEnd:
+    def test_healthz_and_models(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert sorted(health["models"]) == ["rtn", "trn"]
+        rows = {row["name"]: row for row in client.models()}
+        assert rows["rtn"]["scheme"] == "RTN"
+        assert rows["rtn"]["format_version"] == 2
+        assert rows["rtn"]["input_shape"] == [1, 14, 14]
+        assert rows["trn"]["weight_storage_bits"] > 0
+
+    def test_predict_matches_offline_session(self, client, offline):
+        served = client.predict("rtn", offline["images"])
+        assert np.array_equal(served, offline["rtn"])
+
+    def test_concurrent_two_tenant_predicts_match_offline(
+        self, client, offline
+    ):
+        """Many clients, two tenants, in flight together: every response
+        must match the offline prediction for its slice."""
+        images = offline["images"]
+        jobs = []
+        for index in range(8):
+            tenant = "rtn" if index % 2 == 0 else "trn"
+            lo = (index // 2) * 16
+            jobs.append((tenant, lo, lo + 16))
+        results = [None] * len(jobs)
+        errors = []
+
+        def worker(slot, tenant, lo, hi):
+            try:
+                results[slot] = client.predict(tenant, images[lo:hi])
+            except Exception as error:  # pragma: no cover - test plumbing
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,) + job)
+            for i, job in enumerate(jobs)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        for (tenant, lo, hi), result in zip(jobs, results):
+            assert np.array_equal(result, offline[tenant][lo:hi]), (
+                tenant, lo, hi
+            )
+
+    def test_predict_reports_batching_telemetry(self, client, offline):
+        response = client.predict(
+            "rtn", offline["images"][:4], full_response=True
+        )
+        assert response["count"] == 4
+        assert response["batched_with"] >= 4
+
+    def test_unknown_model_is_404(self, client, offline):
+        with pytest.raises(ServeError, match="unknown model") as excinfo:
+            client.predict("ghost", offline["images"][:2])
+        assert excinfo.value.status == 404
+
+    def test_empty_batch_is_400(self, client):
+        with pytest.raises(ServeError, match="empty") as excinfo:
+            client.predict("rtn", np.zeros((0, 1, 14, 14), np.float32))
+        assert excinfo.value.status == 400
+
+    def test_wrong_shape_is_400(self, client):
+        with pytest.raises(ServeError, match="does not match") as excinfo:
+            client.predict("rtn", np.zeros((2, 1, 7, 7), np.float32))
+        assert excinfo.value.status == 400
+
+    def test_non_float32_is_400(self, daemon):
+        body = json.dumps({
+            "model": "rtn",
+            "images": np.zeros((1, 1, 14, 14)).tolist(),
+            "dtype": "float64",
+        }).encode()
+        request = urllib.request.Request(
+            f"{daemon.url}/v1/predict", data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_malformed_json_is_400(self, daemon):
+        request = urllib.request.Request(
+            f"{daemon.url}/v1/predict", data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_unroutable_paths_are_404(self, daemon):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{daemon.url}/nope", timeout=30)
+        assert excinfo.value.code == 404
+
+    def test_daemon_survives_validation_storm(self, client, offline):
+        """A burst of bad requests must not poison later good ones."""
+        for _ in range(3):
+            with pytest.raises(ServeError):
+                client.predict("rtn", np.zeros((1, 1, 3, 3), np.float32))
+        served = client.predict("rtn", offline["images"][:8])
+        assert np.array_equal(served, offline["rtn"][:8])
+
+
+class TestClientErrors:
+    def test_unreachable_daemon(self):
+        client = Client("http://127.0.0.1:9", timeout=2.0)
+        with pytest.raises(ServeError, match="cannot reach") as excinfo:
+            client.health()
+        assert excinfo.value.status is None

@@ -480,6 +480,64 @@ class TestStagedExecutor:
         assert stats["cache_bytes"] > 0
 
 
+class TestWeightMutationInvalidation:
+    """Regression: the executor assumed a frozen model, so an in-place
+    parameter mutation (fine-tuning, ``load_state_dict``) between runs
+    served stale boundary activations.  The model's ``weight_version``
+    token now clears the cache automatically."""
+
+    def _run(self, executor, images, config, scheme="RTN"):
+        context = FixedPointQuant(config, get_rounding_scheme(scheme, seed=0))
+        context.reset()
+        with no_grad():
+            return executor.run(0, Tensor(images), context)
+
+    def test_mutation_invalidates_warm_cache(self, trained_tiny, tiny_data):
+        _, test = tiny_data
+        model = ShallowCaps(presets.shallowcaps_tiny())
+        model.load_state_dict(trained_tiny.state_dict())
+        model.eval()
+        images = test.images[:16]
+        config = _uniform(6)
+
+        executor = StagedExecutor(model)
+        before = self._run(executor, images, config)
+        assert len(executor.cache) > 0
+
+        # In-place mutation, exactly like a fine-tuning pass would do.
+        state = {
+            key: value * np.float32(0.5)
+            for key, value in model.state_dict().items()
+        }
+        model.load_state_dict(state)
+
+        warm = self._run(executor, images, config)
+        cold = self._run(StagedExecutor(model), images, config)
+        assert executor.weight_invalidations == 1
+        assert executor.stats()["weight_invalidations"] == 1
+        assert np.array_equal(warm.data, cold.data)
+        assert not np.array_equal(warm.data, before.data)
+
+    def test_repeat_runs_without_mutation_stay_cached(
+        self, trained_tiny, tiny_data
+    ):
+        _, test = tiny_data
+        trained_tiny.eval()
+        executor = StagedExecutor(trained_tiny)
+        config = _uniform(6)
+        self._run(executor, test.images[:16], config)
+        self._run(executor, test.images[:16], config)
+        trained_tiny.train()
+        assert executor.weight_invalidations == 0
+        assert executor.resumes == 1  # second run fully resumed
+
+    def test_bump_weight_version_is_recursive(self, trained_tiny):
+        before = trained_tiny.conv1.weight_version
+        root = trained_tiny.bump_weight_version()
+        assert trained_tiny.weight_version == root
+        assert trained_tiny.conv1.weight_version == before + 1
+
+
 # ----------------------------------------------------------------------
 # Full search equivalence
 # ----------------------------------------------------------------------
