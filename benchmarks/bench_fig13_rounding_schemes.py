@@ -24,7 +24,6 @@ SCHEMES = ("TRN", "RTN", "SR")
 
 def _sweep(model, test, fp32_acc, dataset_name):
     scales = calibrate_scales(model, test.images)
-    fp32_weight_bits = sum(model.layer_param_counts().values()) * 32
     rows = {scheme: [] for scheme in SCHEMES}
     lines = [
         f"{dataset_name} (FP32 acc {fp32_acc:.2f}%)",

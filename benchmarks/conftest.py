@@ -9,11 +9,9 @@ tables for every figure are both printed and written under
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 from typing import Tuple
 
-import numpy as np
 import pytest
 
 from repro.capsnet import DeepCaps, ShallowCaps, presets

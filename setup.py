@@ -27,6 +27,7 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.9",
     install_requires=["numpy"],
 )

@@ -25,9 +25,10 @@ re-running any part of the search.
 from __future__ import annotations
 
 import json
+import os
 import zipfile
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -245,7 +246,8 @@ class ModelArtifact:
             },
         }
 
-    def save(self, path, format_version: Optional[int] = None) -> None:
+    def save(self, path: Union[str, os.PathLike],
+             format_version: Optional[int] = None) -> None:
         """Persist as a single ``.npz`` (JSON meta + code payloads).
 
         ``format_version`` selects the on-disk layout: ``2`` (the
@@ -273,7 +275,7 @@ class ModelArtifact:
         np.savez(path, meta=json.dumps(meta), **arrays)
 
     @classmethod
-    def load(cls, path) -> "ModelArtifact":
+    def load(cls, path: Union[str, os.PathLike]) -> "ModelArtifact":
         """Load and validate an artifact written by :meth:`save`.
 
         Raises :class:`ArtifactError` when the file is missing or

@@ -20,23 +20,24 @@ scratch per command; the CLI is now a thin shell over this class.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.api.artifact import ModelArtifact
 from repro.api.spec import MODEL_CHOICES, QuantSpec, SpecError
 from repro.capsnet import DeepCaps, ShallowCaps, presets
-from repro.data import synth_cifar, synth_digits, synth_fashion
+from repro.data import Dataset, synth_cifar, synth_digits, synth_fashion
 from repro.engine import StagedExecutor
 from repro.framework.evaluate import Evaluator
 from repro.framework.pareto import TradeOffPoint, sweep_memory_budgets
 from repro.framework.qcapsnets import QCapsNets
 from repro.framework.results import QCapsNetsResult, QuantizedModelResult
 from repro.framework.selection import SelectionOutcome, scheme_search
+from repro.lint.sanitizer import FixedPointSanitizer
 from repro.nn import Adam, Trainer
 from repro.nn.module import Module
-from repro.nn.trainer import predict_in_batches
+from repro.nn.trainer import TrainingHistory, predict_in_batches
 from repro.quant.calibrate import calibrate_scales
 from repro.quant.config import QuantizationConfig
 from repro.quant.qmodel import QuantizedCapsNet
@@ -95,7 +96,7 @@ def build_model(name: str, dataset: str, seed: int = 0) -> Module:
 
 
 def build_dataset(name: str, train_size: int, test_size: int, seed: int,
-                  image_size: Optional[int] = None):
+                  image_size: Optional[int] = None) -> Tuple[Dataset, Dataset]:
     """Generate a (train, test) synthetic split pair."""
     factory = _DATASET_FACTORIES.get(name)
     if factory is None:
@@ -118,24 +119,52 @@ class ServingModel:
     reconstructed from the integer codes once, activations quantize on
     the fly), and batches stream through it in order — deterministic
     for every rounding scheme.
+
+    With ``sanitize=True`` every predict runs under a persistent
+    :class:`~repro.lint.sanitizer.FixedPointSanitizer`: per-layer
+    overflow/saturation/NaN counters accumulate across requests and are
+    surfaced via :meth:`sanitizer_report` (and the serving daemon's
+    ``/healthz``).  Outputs are bit-identical with the sanitizer on.
     """
 
-    def __init__(self, quantized: QuantizedCapsNet, batch_size: int = 128):
+    def __init__(
+        self,
+        quantized: QuantizedCapsNet,
+        batch_size: int = 128,
+        sanitize: bool = False,
+    ) -> None:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.quantized = quantized
         self.batch_size = batch_size
+        self._sanitizer = FixedPointSanitizer() if sanitize else None
 
     @property
     def config(self) -> QuantizationConfig:
         return self.quantized.config
 
+    @property
+    def sanitizing(self) -> bool:
+        return self._sanitizer is not None
+
+    def sanitizer_report(self) -> Dict[str, object]:
+        """Accumulated sanitizer counters (empty report when disabled)."""
+        if self._sanitizer is None:
+            return {"layers": {}, "totals": {}}
+        return self._sanitizer.report()
+
     def predict(self, images: np.ndarray) -> np.ndarray:
         """Predicted labels for ``images``, evaluated in batches."""
-        return predict_in_batches(
-            self.quantized.model, images, self.batch_size,
-            q=self.quantized.context(),
-        )
+        if self._sanitizer is None:
+            return predict_in_batches(
+                self.quantized.model, images, self.batch_size,
+                q=self.quantized.context(),
+            )
+        with self._sanitizer:
+            return predict_in_batches(
+                self.quantized.model, images, self.batch_size,
+                q=self.quantized.context(),
+            )
 
     def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
         """Accuracy (%) of :meth:`predict` against ``labels``."""
@@ -166,7 +195,7 @@ class Session:
         spec: Union[QuantSpec, dict, str, os.PathLike],
         model: Optional[Module] = None,
         test_data: Optional[tuple] = None,
-    ):
+    ) -> None:
         if isinstance(spec, (str, os.PathLike)):
             spec = QuantSpec.load(spec)
         elif isinstance(spec, dict):
@@ -325,7 +354,7 @@ class Session:
         lr: float = 0.005,
         out: Optional[str] = None,
         verbose: bool = False,
-    ):
+    ) -> TrainingHistory:
         """Train the model on the spec's synthetic train split.
 
         Saves to ``out`` (or ``spec.weights``) when given — and records
@@ -505,7 +534,9 @@ class Session:
                 "ModelArtifact or a path to one"
             )
         return ServingModel(
-            artifact.bind(self.model), batch_size=self.spec.batch_size
+            artifact.bind(self.model),
+            batch_size=self.spec.batch_size,
+            sanitize=self.spec.sanitize,
         )
 
     def predict(

@@ -19,8 +19,9 @@ fails at load time, not three search phases in.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, fields, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from repro.engine import DEFAULT_PREFIX_CACHE_BYTES
 from repro.quant.rounding import ROUNDING_SCHEMES
@@ -85,6 +86,11 @@ class QuantSpec:
         Starting fractional wordlength for Step 1 (paper: 32).
     min_bits:
         Floor for every searched wordlength.
+    sanitize:
+        Run inference under the fixed-point sanitizer (per-layer
+        overflow/saturation/NaN counters; see
+        :class:`repro.lint.sanitizer.FixedPointSanitizer`).  Outputs
+        are bit-identical either way; off adds zero overhead.
     """
 
     model: str = "shallow-small"
@@ -103,8 +109,9 @@ class QuantSpec:
     train_size: int = 2000
     q_init: int = 32
     min_bits: int = 0
+    sanitize: bool = False
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         # Coerce JSON-decoded lists so equality (and hashing) hold
         # across a to_dict/from_dict round-trip.
         object.__setattr__(self, "schemes", tuple(self.schemes))
@@ -172,6 +179,10 @@ class QuantSpec:
         )
         _check(self.q_init >= 1, f"q_init must be >= 1, got {self.q_init}")
         _check(self.min_bits >= 0, f"min_bits must be >= 0, got {self.min_bits}")
+        _check(
+            isinstance(self.sanitize, bool),
+            f"sanitize must be a bool, got {self.sanitize!r}",
+        )
 
     # ------------------------------------------------------------------
     # Derived values
@@ -182,7 +193,7 @@ class QuantSpec:
         ``schemes``)."""
         return self.schemes[0]
 
-    def with_overrides(self, **overrides) -> "QuantSpec":
+    def with_overrides(self, **overrides: object) -> "QuantSpec":
         """A copy with the given fields replaced (re-validated)."""
         unknown = set(overrides) - {f.name for f in fields(self)}
         if unknown:
@@ -214,6 +225,7 @@ class QuantSpec:
             "train_size": self.train_size,
             "q_init": self.q_init,
             "min_bits": self.min_bits,
+            "sanitize": self.sanitize,
         }
 
     @classmethod
@@ -252,13 +264,13 @@ class QuantSpec:
             raise SpecError(f"spec is not valid JSON: {error}") from error
         return cls.from_dict(data)
 
-    def save(self, path) -> None:
+    def save(self, path: Union[str, os.PathLike]) -> None:
         """Write the spec as a JSON document."""
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json() + "\n")
 
     @classmethod
-    def load(cls, path) -> "QuantSpec":
+    def load(cls, path: Union[str, os.PathLike]) -> "QuantSpec":
         """Read and validate a JSON spec document."""
         try:
             with open(path, "r", encoding="utf-8") as handle:

@@ -9,7 +9,7 @@ no routing layers to specialize).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

@@ -93,6 +93,7 @@ _SPEC_ARG_FIELDS = {
     "budget_mbit": "budget_mbit",
     "budget_divisor": "budget_divisor",
     "workers": "workers",
+    "sanitize": "sanitize",
 }
 
 
@@ -238,12 +239,28 @@ def cmd_predict(args) -> int:
     accuracy = 100.0 * float((predictions == labels).mean())
     print(f"served accuracy on {spec.dataset}: {accuracy:.2f}% "
           f"({len(predictions)} samples, batch size {spec.batch_size})")
+    if served.sanitizing:
+        report = served.sanitizer_report()
+        totals = report["totals"]
+        print(f"sanitizer: {totals.get('overflow', 0)} overflow, "
+              f"{totals.get('saturated', 0)} saturated, "
+              f"{totals.get('nan', 0)} nan "
+              f"across {totals.get('elements', 0)} quantized elements")
+        if args.sanitizer_report:
+            with open(args.sanitizer_report, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2)
+            print(f"wrote sanitizer report to {args.sanitizer_report}")
+    elif args.sanitizer_report:
+        raise SystemExit(
+            "error: --sanitizer-report needs --sanitize (or "
+            "\"sanitize\": true in the spec/artifact provenance)"
+        )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(
                 {
                     "predictions": [int(p) for p in predictions],
-                    "labels": [int(l) for l in labels],
+                    "labels": [int(label) for label in labels],
                     "accuracy": accuracy,
                     "artifact": os.fspath(args.artifact),
                 },
@@ -271,7 +288,9 @@ def cmd_serve(args) -> int:
     from repro.serve import ModelRegistry, RegistryError, ServingDaemon
 
     registry = ModelRegistry(
-        max_warm=args.max_warm, batch_size=args.batch_size
+        max_warm=args.max_warm,
+        batch_size=args.batch_size,
+        sanitize=args.sanitize,
     )
     for spec in args.artifact:
         name, path = parse_tenant(spec)
@@ -299,6 +318,15 @@ def cmd_serve(args) -> int:
           f"max-wait {args.max_wait_ms}ms); Ctrl-C to stop")
     daemon.serve_forever()
     return 0
+
+
+def cmd_lint(args) -> int:
+    """qlint: quantization-aware static analysis (the CI gate)."""
+    from repro.lint.cli import list_rules, run_lint
+
+    if args.rules:
+        return list_rules()
+    return run_lint(args.paths, runtime=args.runtime or ())
 
 
 def cmd_hw_report(args) -> int:
@@ -437,6 +465,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="predictions to print (default: 8)")
     p_pred.add_argument("--out", default=None,
                         help="write predictions as JSON")
+    p_pred.add_argument("--sanitize", action="store_true", default=None,
+                        help="count per-layer overflow/saturation/NaN "
+                             "events (outputs stay bit-identical)")
+    p_pred.add_argument("--sanitizer-report", default=None, metavar="PATH",
+                        help="write the sanitizer counters as JSON "
+                             "(needs --sanitize)")
     p_pred.set_defaults(fn=cmd_predict)
 
     p_serve = sub.add_parser(
@@ -463,7 +497,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--batch-size", type=int, default=None,
                          help="inference batch size override "
                               "(default: each artifact's spec)")
+    p_serve.add_argument("--sanitize", action="store_true", default=None,
+                         help="run every tenant under the fixed-point "
+                              "sanitizer; counters appear in /healthz")
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="quantization-aware static analysis "
+             "(stage deps, determinism, serve locking; non-zero exit "
+             "on findings)",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="directories or .py files to analyze (default: src)",
+    )
+    p_lint.add_argument(
+        "--runtime", action="append", default=None, metavar="FILE.PY",
+        help="also import FILE.PY and run its main() under the "
+             "fixed-point sanitizer; hazard events become findings",
+    )
+    p_lint.add_argument("--rules", action="store_true",
+                        help="list the rule ids and exit")
+    p_lint.set_defaults(fn=cmd_lint)
 
     p_hw = sub.add_parser("hw-report", help="hardware energy/latency report")
     p_hw.add_argument("--model", choices=["shallow-paper", "deep-paper"],

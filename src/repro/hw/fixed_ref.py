@@ -19,11 +19,15 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.lint.sanitizer import active_sanitizer
 from repro.quant.fixed_point import FixedPointFormat
 
 
 def saturate(codes: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
     """Clamp integer codes into the representable range of ``fmt``."""
+    sanitizer = active_sanitizer()
+    if sanitizer is not None:
+        sanitizer.record_saturation(codes, fmt.int_min, fmt.int_max)
     return np.clip(codes, fmt.int_min, fmt.int_max)
 
 

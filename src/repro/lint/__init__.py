@@ -1,0 +1,53 @@
+"""qlint: quantization-aware static analysis + runtime sanitizers.
+
+Four analyzers, one CLI (``qcapsnets lint``), one CI gate:
+
+* :mod:`repro.lint.stagedeps` — QL001/QL002 stage-dependency checker;
+* :mod:`repro.lint.determinism` — QL010/QL011/QL012 determinism lint;
+* :mod:`repro.lint.concurrency` — QL020 serve concurrency audit;
+* :mod:`repro.lint.sanitizer` — QL030/QL031 runtime fixed-point
+  sanitizer (``QuantSpec(sanitize=True)`` / ``--sanitize``).
+
+The sanitizer half is imported eagerly — the quant kernels call
+:func:`active_sanitizer` on their hot path, so it must be a dependency
+leaf.  The analyzers are loaded lazily via ``__getattr__``: they import
+model code, which itself imports the quant kernels, and an eager import
+here would cycle.
+"""
+
+from repro.lint.findings import RULES, Finding
+from repro.lint.sanitizer import (
+    UNATTRIBUTED,
+    FixedPointSanitizer,
+    SanitizerError,
+    active_sanitizer,
+)
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "UNATTRIBUTED",
+    "FixedPointSanitizer",
+    "SanitizerError",
+    "active_sanitizer",
+    "concurrency",
+    "determinism",
+    "stagedeps",
+    "run_lint",
+    "list_rules",
+]
+
+_LAZY_MODULES = {"concurrency", "determinism", "stagedeps"}
+_LAZY_CLI = {"run_lint", "list_rules"}
+
+
+def __getattr__(name):
+    if name in _LAZY_MODULES:
+        import importlib
+
+        return importlib.import_module(f"repro.lint.{name}")
+    if name in _LAZY_CLI:
+        from repro.lint import cli
+
+        return getattr(cli, name)
+    raise AttributeError(f"module 'repro.lint' has no attribute {name!r}")

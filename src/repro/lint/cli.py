@@ -1,0 +1,192 @@
+"""Lint runner backing ``qcapsnets lint``.
+
+Expands the requested paths to Python files, runs the static analyzers
+(determinism, concurrency) over each, runs the stage-dependency checker
+over the model zoo when the target covers model code (or over the
+staged models defined in an explicitly named file), and optionally
+executes ``--runtime`` modules under a strict-origin
+:class:`~repro.lint.sanitizer.FixedPointSanitizer` to convert runtime
+overflow/NaN events into findings.
+
+Exit status is 0 when no findings survive suppression, 1 otherwise —
+the CI gate contract.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+from typing import Callable, List, Optional, Sequence
+
+from repro.lint import concurrency, determinism, stagedeps
+from repro.lint.findings import RULES, Finding
+from repro.lint.sanitizer import FixedPointSanitizer
+
+#: Directory path fragments whose files hold staged model definitions;
+#: seeing any of them triggers the model-zoo stage-dependency check.
+_MODEL_FRAGMENTS = (
+    os.path.join("repro", "capsnet"),
+    os.path.join("repro", "baselines"),
+)
+
+#: Fragment identifying the shipped source tree (zoo models cover it).
+_SRC_FRAGMENT = os.path.join("src", "repro")
+
+
+def _iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories to a sorted, deduplicated .py list."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = [
+                    d for d in dirnames if d != "__pycache__"
+                ]
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        files.append(os.path.join(dirpath, filename))
+        elif path.endswith(".py") and os.path.isfile(path):
+            files.append(path)
+        else:
+            raise FileNotFoundError(
+                f"lint target {path!r} is neither a directory nor a "
+                f".py file"
+            )
+    seen = set()
+    unique = []
+    for name in files:
+        normalized = os.path.normpath(name)
+        if normalized not in seen:
+            seen.add(normalized)
+            unique.append(normalized)
+    return sorted(unique)
+
+
+def _import_module_from_path(path: str) -> object:
+    """Import an arbitrary .py file under a private module name."""
+    name = "_qlint_" + os.path.splitext(os.path.basename(path))[0]
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot import {path!r}")
+    module = importlib.util.module_from_spec(spec)
+    # Registered so dataclasses/pickling inside the module resolve.
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    except BaseException:
+        sys.modules.pop(name, None)
+        raise
+    return module
+
+
+def _staged_models_of_module(module: object) -> List[object]:
+    """Instantiate the no-arg staged model classes a module defines.
+
+    Used for explicitly named files outside the shipped tree (fixtures,
+    user models): every module-level class defined *in that module*
+    with a ``stages`` method and a no-argument constructor is checked.
+    """
+    models: List[object] = []
+    for name in dir(module):
+        value = getattr(module, name)
+        if not isinstance(value, type):
+            continue
+        if getattr(value, "__module__", None) != getattr(
+            module, "__name__", None
+        ):
+            continue
+        if not callable(getattr(value, "stages", None)):
+            continue
+        try:
+            models.append(value())
+        except TypeError:
+            continue  # needs constructor arguments: not checkable here
+    return models
+
+
+def _stage_findings(files: Sequence[str]) -> List[Finding]:
+    """Stage-dependency findings for the requested targets."""
+    findings: List[Finding] = []
+    shipped = [f for f in files if _SRC_FRAGMENT in os.path.normpath(f)]
+    if any(_MODEL_FRAGMENTS[0] in f or _MODEL_FRAGMENTS[1] in f
+           for f in shipped):
+        findings.extend(stagedeps.check_models(stagedeps.model_zoo()))
+    for path in files:
+        normalized = os.path.normpath(path)
+        if _SRC_FRAGMENT in normalized:
+            continue  # covered by the zoo, and not no-arg constructible
+        try:
+            module = _import_module_from_path(path)
+        except BaseException as error:  # fixture import errors are findings
+            findings.append(Finding(
+                "QL002", path, 0,
+                f"cannot import module for stage analysis: {error}",
+            ))
+            continue
+        findings.extend(
+            stagedeps.check_models(_staged_models_of_module(module))
+        )
+    return findings
+
+
+def _runtime_findings(runtime: Sequence[str]) -> List[Finding]:
+    """Run each ``--runtime`` module's ``main()`` under a sanitizer."""
+    findings: List[Finding] = []
+    for path in runtime:
+        sanitizer = FixedPointSanitizer(capture_origin=True)
+        try:
+            module = _import_module_from_path(path)
+            entry = getattr(module, "main", None)
+            if not callable(entry):
+                raise AttributeError(
+                    f"runtime target {path!r} defines no main() function"
+                )
+            with sanitizer:
+                entry()
+        except BaseException as error:
+            findings.append(Finding(
+                "QL031", path, 0, f"runtime target failed: {error}",
+            ))
+            continue
+        findings.extend(sanitizer.findings(default_path=path))
+    return findings
+
+
+def run_lint(
+    paths: Sequence[str],
+    runtime: Sequence[str] = (),
+    emit: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Run every analyzer; print findings; return the exit status."""
+    emit = emit if emit is not None else lambda line: print(line)
+    try:
+        files = _iter_python_files(paths)
+    except FileNotFoundError as error:
+        emit(f"error: {error}")
+        return 2
+
+    findings: List[Finding] = []
+    for path in files:
+        findings.extend(determinism.check_file(path))
+        findings.extend(concurrency.check_file(path))
+    findings.extend(_stage_findings(files))
+    findings.extend(_runtime_findings(runtime))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    for finding in findings:
+        emit(finding.format())
+    rules = sorted({f.rule for f in findings})
+    emit(
+        f"qlint: {len(files)} file(s), {len(findings)} finding(s)"
+        + (f" [{', '.join(rules)}]" if rules else "")
+    )
+    return 1 if findings else 0
+
+
+def list_rules(emit: Optional[Callable[[str], None]] = None) -> int:
+    """Print the rule table (``qcapsnets lint --rules``)."""
+    emit = emit if emit is not None else lambda line: print(line)
+    for rule, meaning in sorted(RULES.items()):
+        emit(f"{rule}  {meaning}")
+    return 0

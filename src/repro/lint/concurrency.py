@@ -1,0 +1,250 @@
+"""Serve concurrency audit (rule QL020).
+
+The serving daemon shares state across threads: HTTP handler threads
+(the ``ThreadingHTTPServer`` pool) submit requests and read ``/healthz``
+counters while the micro-batcher's worker thread executes models and
+updates telemetry.  Every class that owns a lock declares, implicitly,
+which attributes that lock protects; this analyzer makes the contract
+checkable:
+
+* A class is *in scope* when its ``__init__`` binds an attribute to
+  ``threading.Lock()`` / ``RLock()`` / ``Condition()``.
+* An attribute is *shared* when some method outside ``__init__``
+  rebinds it (``self.requests += 1``, ``self._thread = ...``) — state
+  that only ``__init__`` writes is configuration and is exempt.
+* Every access (read or write) to a shared attribute outside
+  ``__init__`` must be lexically inside ``with self.<lock>:`` for one
+  of the class's locks, or be covered by a
+  ``# qlint: guarded-by(<lock>)`` annotation — on the access line, or
+  on the method's ``def`` line to assert the whole method is only
+  called with the lock held.
+
+Known limitation (documented, deliberate): mutating a container bound
+once in ``__init__`` (``self._queues.setdefault(...)``) is a *read* of
+the attribute binding and is not tracked; the rule targets the counter/
+handle rebinding pattern that actually raced in the serving daemon
+(`MicroBatcher` stats read by ``/healthz`` mid-update).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.findings import (
+    Finding,
+    filter_suppressed,
+    parse_guards,
+    parse_suppressions,
+)
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+
+
+def _is_lock_construction(node: ast.AST, threading_names: Set[str]) -> bool:
+    """True for ``threading.Lock()`` / ``Condition()`` style calls."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _LOCK_FACTORIES:
+        return (
+            isinstance(func.value, ast.Name)
+            and func.value.id in threading_names
+        )
+    if isinstance(func, ast.Name):
+        return func.id in _LOCK_FACTORIES
+    return False
+
+
+def _threading_aliases(tree: ast.Module) -> Set[str]:
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "threading":
+                    names.add(alias.asname or "threading")
+    return names
+
+
+class _Access:
+    __slots__ = ("attr", "line", "store", "method", "held")
+
+    def __init__(self, attr: str, line: int, store: bool, method: str,
+                 held: Tuple[str, ...]):
+        self.attr = attr
+        self.line = line
+        self.store = store
+        self.method = method
+        self.held = held
+
+
+class _MethodWalker:
+    """Collects ``self.X`` accesses with the lock set held at each."""
+
+    def __init__(self, self_name: str, lock_attrs: Set[str], method: str):
+        self.self_name = self_name
+        self.lock_attrs = lock_attrs
+        self.method = method
+        self.accesses: List[_Access] = []
+
+    def walk(self, stmts: List[ast.stmt], held: Tuple[str, ...]) -> None:
+        for stmt in stmts:
+            self._walk_stmt(stmt, held)
+
+    def _walk_stmt(self, stmt: ast.stmt, held: Tuple[str, ...]) -> None:
+        if isinstance(stmt, ast.With):
+            acquired = list(held)
+            for item in stmt.items:
+                lock = self._lock_of(item.context_expr)
+                if lock is not None:
+                    acquired.append(lock)
+                else:
+                    self._collect(item.context_expr, held)
+                if item.optional_vars is not None:
+                    self._collect(item.optional_vars, held)
+            self.walk(stmt.body, tuple(acquired))
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested functions may outlive the lock scope; analyze
+            # their bodies as unguarded.
+            self.walk(stmt.body, ())
+            return
+        # Generic: visit child expressions here, recurse into child
+        # statement lists with the same held set.
+        for _field, value in ast.iter_fields(stmt):
+            if isinstance(value, list):
+                if value and isinstance(value[0], ast.stmt):
+                    self.walk(value, held)
+                else:
+                    for entry in value:
+                        if isinstance(entry, ast.AST):
+                            self._collect(entry, held)
+            elif isinstance(value, ast.AST):
+                self._collect(value, held)
+
+    def _lock_of(self, expr: ast.AST) -> Optional[str]:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == self.self_name
+            and expr.attr in self.lock_attrs
+        ):
+            return expr.attr
+        return None
+
+    def _collect(self, expr: ast.AST, held: Tuple[str, ...]) -> None:
+        for node in ast.walk(expr):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == self.self_name
+                and node.attr not in self.lock_attrs
+            ):
+                self.accesses.append(_Access(
+                    node.attr,
+                    node.lineno,
+                    isinstance(node.ctx, (ast.Store, ast.Del)),
+                    self.method,
+                    held,
+                ))
+
+
+def _self_name(fdef: ast.FunctionDef) -> Optional[str]:
+    if fdef.args.args:
+        return fdef.args.args[0].arg
+    return None
+
+
+def _check_class(
+    classdef: ast.ClassDef,
+    threading_names: Set[str],
+    guards: Dict[int, str],
+    path: str,
+) -> List[Finding]:
+    methods = [
+        node for node in classdef.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    init = next((m for m in methods if m.name == "__init__"), None)
+    if init is None:
+        return []
+    init_self = _self_name(init)
+    if init_self is None:
+        return []
+
+    lock_attrs: Set[str] = set()
+    for node in ast.walk(init):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == init_self
+                    and _is_lock_construction(node.value, threading_names)
+                ):
+                    lock_attrs.add(target.attr)
+    if not lock_attrs:
+        return []
+
+    accesses: List[_Access] = []
+    method_guards: Dict[str, str] = {}
+    for method in methods:
+        if method.name == "__init__":
+            continue
+        self_name = _self_name(method)
+        if self_name is None:
+            continue
+        guard = guards.get(method.lineno)
+        if guard is not None:
+            method_guards[method.name] = guard
+        walker = _MethodWalker(self_name, lock_attrs, method.name)
+        walker.walk(method.body, ())
+        accesses.extend(walker.accesses)
+
+    shared = {access.attr for access in accesses if access.store}
+    findings: List[Finding] = []
+    for access in accesses:
+        if access.attr not in shared:
+            continue
+        if access.held:
+            continue
+        method_guard = method_guards.get(access.method)
+        if method_guard is not None and method_guard in lock_attrs:
+            continue
+        line_guard = guards.get(access.line)
+        if line_guard is not None and line_guard in lock_attrs:
+            continue
+        locks = "/".join(sorted(lock_attrs))
+        kind = "write to" if access.store else "read of"
+        findings.append(Finding(
+            "QL020", path, access.line,
+            f"unguarded {kind} shared attribute "
+            f"'self.{access.attr}' in {classdef.name}.{access.method}: "
+            f"hold 'with self.{locks}:' or annotate the line/method "
+            f"with # qlint: guarded-by(<lock>)",
+        ))
+    return findings
+
+
+def check_source(source: str, path: str) -> List[Finding]:
+    """QL020 findings for one file's source text."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [Finding(
+            "QL020", path, error.lineno or 0, f"cannot parse file: {error}"
+        )]
+    threading_names = _threading_aliases(tree)
+    guards = parse_guards(source)
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            findings.extend(
+                _check_class(node, threading_names, guards, path)
+            )
+    return filter_suppressed(findings, parse_suppressions(source))
+
+
+def check_file(path: str) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return check_source(handle.read(), path)

@@ -1,0 +1,252 @@
+"""Determinism lint (rules QL010/QL011/QL012).
+
+The whole repo rests on evaluations being pure functions of (config,
+seed): the search memoizes accuracies, the prefix-reuse engine resumes
+stochastic-rounding streams from cached boundary states, and the sweep
+engine rebinds per-branch seeds (the PR 3 bug class).  Three patterns
+break that and are flagged by a pure AST pass:
+
+* **QL010** — unseeded RNG construction:
+  ``np.random.default_rng()`` / ``np.random.RandomState()`` /
+  ``random.Random()`` with no seed argument draws from OS entropy and
+  makes results irreproducible.
+* **QL011** — draws from the module-level global random state
+  (``np.random.rand(...)``, ``random.random()``, ``np.random.seed``):
+  global state is shared across all call sites, so any new draw
+  anywhere shifts every downstream stream.
+* **QL012** — stochastic-rounding draw-stream escapes.  The SR stream
+  position is part of the cache-fingerprint contract — only
+  ``RoundingScheme.apply`` (via ``_round_codes``) and the
+  executor-managed ``get_state``/``set_state`` resume machinery may
+  advance it; an extra draw desynchronizes every resumed evaluation.
+  Flagged: a draw on the ``rng`` of anything named like a rounding
+  scheme (``scheme.rng.random(...)``, ``self.scheme.rng...``), and a
+  ``self.rng`` draw inside a :class:`RoundingScheme` subclass outside
+  its ``_round_codes`` hook.  A model's or trainer's *own* seeded
+  generator (``self.rng.permutation`` in the training loop) is not an
+  SR stream and is not flagged.
+
+Import aliases are resolved per file (``import numpy as np``,
+``from numpy.random import default_rng``), so a local variable that
+merely shadows the name ``random`` is not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.lint.findings import Finding, filter_suppressed, parse_suppressions
+
+#: Constructors that take their seed as the first argument.
+_SEEDED_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "random.Random",
+}
+
+#: Module-level draw/seed functions of ``numpy.random`` (global state).
+_NP_GLOBAL_DRAWS = {
+    "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+    "exponential", "gamma", "geometric", "get_state", "gumbel",
+    "hypergeometric", "laplace", "logistic", "lognormal", "logseries",
+    "multinomial", "multivariate_normal", "negative_binomial",
+    "noncentral_chisquare", "noncentral_f", "normal", "pareto",
+    "permutation", "poisson", "power", "rand", "randint", "randn",
+    "random", "random_integers", "random_sample", "ranf", "rayleigh",
+    "sample", "seed", "set_state", "shuffle", "standard_cauchy",
+    "standard_exponential", "standard_gamma", "standard_normal",
+    "standard_t", "triangular", "uniform", "vonmises", "wald",
+    "weibull", "zipf",
+}
+
+#: Module-level functions of the stdlib ``random`` module.
+_PY_GLOBAL_DRAWS = {
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "getstate", "lognormvariate",
+    "normalvariate", "paretovariate", "randbytes", "randint", "random",
+    "randrange", "sample", "seed", "setstate", "shuffle", "triangular",
+    "uniform", "vonmisesvariate", "weibullvariate",
+}
+
+#: Draw methods on a ``Generator`` that advance its stream.
+_GENERATOR_DRAWS = {
+    "bytes", "choice", "integers", "normal", "permutation", "random",
+    "shuffle", "standard_normal", "uniform",
+}
+
+#: Receiver-name fragments that identify a rounding-scheme stream.
+_SCHEME_NAMES = {"scheme", "schemes", "rounding", "sr"}
+
+#: Base-class names identifying a rounding-scheme subclass.
+_SCHEME_BASES = {"RoundingScheme", "StochasticRounding"}
+
+#: The only methods of a scheme allowed to advance ``self.rng``.
+_SCHEME_DRAW_METHODS = {"_round_codes"}
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> dotted module/object path, from import statements."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return aliases
+
+
+def _dotted_path(
+    node: ast.AST, aliases: Dict[str, str]
+) -> Optional[str]:
+    """Resolve ``np.random.rand`` to ``numpy.random.rand`` via aliases."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id)
+    if root is None:
+        return None
+    return ".".join([root] + list(reversed(parts)))
+
+
+def _receiver_chain(node: ast.AST) -> List[str]:
+    """Attribute chain of an expression (``self.scheme.rng`` ->
+    ``["self", "scheme", "rng"]``); empty when not a plain chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return []
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(self, path: str, aliases: Dict[str, str]):
+        self.path = path
+        self.aliases = aliases
+        #: ``(name, is_scheme_subclass)`` per enclosing class.
+        self.class_stack: List[tuple] = []
+        self.func_stack: List[str] = []
+        self.findings: List[Finding] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        is_scheme = any(
+            base.id in _SCHEME_BASES
+            for base in node.bases
+            if isinstance(base, ast.Name)
+        ) or any(
+            base.attr in _SCHEME_BASES
+            for base in node.bases
+            if isinstance(base, ast.Attribute)
+        )
+        self.class_stack.append((node.name, is_scheme))
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.func_stack.append(node.name)
+        self.generic_visit(node)
+        self.func_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_constructor(node)
+        self._check_global_draw(node)
+        self._check_sr_escape(node)
+        self.generic_visit(node)
+
+    def _check_constructor(self, node: ast.Call) -> None:
+        path = _dotted_path(node.func, self.aliases)
+        if path in _SEEDED_CONSTRUCTORS and not node.args and not node.keywords:
+            self.findings.append(Finding(
+                "QL010", self.path, node.lineno,
+                f"unseeded RNG construction {path}(): pass an explicit "
+                f"seed so results are reproducible",
+            ))
+
+    def _check_global_draw(self, node: ast.Call) -> None:
+        path = _dotted_path(node.func, self.aliases)
+        if path is None:
+            return
+        parts = path.split(".")
+        if (
+            len(parts) == 3
+            and parts[:2] == ["numpy", "random"]
+            and parts[2] in _NP_GLOBAL_DRAWS
+        ):
+            self.findings.append(Finding(
+                "QL011", self.path, node.lineno,
+                f"draw from the numpy global random state ({path}); use "
+                f"a seeded np.random.default_rng(seed) generator instead",
+            ))
+        elif (
+            len(parts) == 2
+            and parts[0] == "random"
+            and parts[1] in _PY_GLOBAL_DRAWS
+        ):
+            self.findings.append(Finding(
+                "QL011", self.path, node.lineno,
+                f"draw from the stdlib global random state ({path}); use "
+                f"a seeded random.Random(seed) instance instead",
+            ))
+
+    def _check_sr_escape(self, node: ast.Call) -> None:
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in _GENERATOR_DRAWS
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "rng"
+        ):
+            return
+        chain = _receiver_chain(func.value)  # e.g. ["self", "scheme", "rng"]
+        owner_parts = {part.lower() for part in chain[:-1]}
+        scheme_receiver = bool(owner_parts & _SCHEME_NAMES)
+        in_scheme_class = bool(self.class_stack) and self.class_stack[-1][1]
+        self_draw_in_scheme = (
+            in_scheme_class
+            and chain[:-1] == ["self"]
+            and (
+                not self.func_stack
+                or self.func_stack[-1] not in _SCHEME_DRAW_METHODS
+            )
+        )
+        if not scheme_receiver and not self_draw_in_scheme:
+            return
+        self.findings.append(Finding(
+            "QL012", self.path, node.lineno,
+            f"stochastic-rounding stream escape: .rng.{func.attr}(...) "
+            f"advances an SR draw stream outside RoundingScheme.apply / "
+            f"_round_codes; resumed evaluations would draw from the "
+            f"wrong position",
+        ))
+
+
+def check_source(source: str, path: str) -> List[Finding]:
+    """Determinism findings for one file's source text."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [Finding(
+            "QL011", path, error.lineno or 0, f"cannot parse file: {error}"
+        )]
+    visitor = _DeterminismVisitor(path, _import_aliases(tree))
+    visitor.visit(tree)
+    return filter_suppressed(visitor.findings, parse_suppressions(source))
+
+
+def check_file(path: str) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return check_source(handle.read(), path)

@@ -1,0 +1,367 @@
+"""Stage-dependency checker (rule QL001).
+
+Every :class:`~repro.nn.module.ForwardStage` declares which per-layer
+config fields (``qw``/``qa``/``qdr``) its compute function consumes;
+the prefix-reuse engine fingerprints cache entries from exactly those
+declarations.  An *undeclared* read — a stage whose function calls
+``q.act`` but declares only ``("qw",)`` — makes the fingerprint
+incomplete, so a probe that changes the undeclared field silently
+reuses a stale cached activation.  This is the repo's oldest bug class
+(PR 1's weight-cache staleness, PR 5's ``weight_version`` fix); the
+checker turns it into a lint error.
+
+Strategy: hybrid runtime + AST.  The model is *instantiated* (so
+conditional structure like DeepCaps' routed-vs-plain skip branch
+resolves to the actual live objects), then each stage's compute
+function is AST-walked:
+
+* calls on the stage's quantization-context parameter (by convention
+  named ``q``) map to required fields — ``q.weight`` → ``qw``,
+  ``q.act`` → ``qa``, ``q.routing`` → ``qdr`` *and* ``qa`` (the
+  ``effective_qdr()`` fallback makes every routing read depend on
+  ``qa`` too);
+* calls that *forward* ``q`` (``self.primary.compute(x, q=q)``,
+  ``dynamic_routing(votes, q=q, ...)``, ``self.digit(x, q=q)``) are
+  recursed into, resolving the receiver against the live object — so
+  ``self.skip`` resolves to the :class:`ConvCaps3d` or
+  :class:`ConvCaps2d` actually constructed;
+* ``if self.<flag>:`` branches whose test resolves to a bool on the
+  live object are pruned (e.g. ``quantize_output`` of inner cell
+  convolutions), avoiding false positives from dead branches.
+
+Fields required but not declared are QL001 findings; a forwarded ``q``
+the checker cannot resolve is a QL002 finding (fix the code or add a
+``# qlint: disable=QL002`` with justification).  Over-declaration is
+not an error — it only costs cache hits, never correctness.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.findings import Finding
+
+#: Hook method name on the context parameter -> required config fields.
+#: ``routing`` implies ``qa``: ``LayerQuantSpec.effective_qdr()`` falls
+#: back to the layer's ``qa`` when ``qdr`` is unset, so a routing read
+#: depends on both fields.
+HOOK_FIELDS = {
+    "weight": ("qw",),
+    "act": ("qa",),
+    "routing": ("qdr", "qa"),
+}
+
+#: Conventional name of the quantization-context parameter.
+CONTEXT_PARAM = "q"
+
+
+class _Unresolved:
+    """A context-forwarding call the checker could not resolve."""
+
+    def __init__(self, description: str, line: int):
+        self.description = description
+        self.line = line
+
+
+def _attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """``self.a.b`` -> ``["self", "a", "b"]``; None for other shapes."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def _underlying_function(fn: Callable) -> Tuple[Callable, Optional[object]]:
+    """``(plain function, bound self)`` of a callable.
+
+    Accepts bound methods, plain functions/closures, and callable
+    module instances (resolved through their ``forward``).
+    """
+    if inspect.ismethod(fn):
+        return fn.__func__, fn.__self__
+    if inspect.isfunction(fn):
+        return fn, None
+    forward = getattr(fn, "forward", None)
+    if forward is not None and inspect.ismethod(forward):
+        return forward.__func__, forward.__self__
+    raise TypeError(f"cannot analyze callable {fn!r}")
+
+
+def _function_def(func: Callable) -> Optional[ast.FunctionDef]:
+    try:
+        source = textwrap.dedent(inspect.getsource(func))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError):
+        return None
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node
+    return None
+
+
+def _param_names(fdef: ast.FunctionDef) -> List[str]:
+    args = fdef.args
+    names = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    names.extend(a.arg for a in args.kwonlyargs)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return names
+
+
+class _HookWalker(ast.NodeVisitor):
+    """Collects hook calls and context-forwarding calls in one function.
+
+    Prunes ``if``/``else`` branches whose test is an attribute chain on
+    the live ``self`` object resolving to a bool (or None), so only the
+    code the instantiated model can actually execute is analyzed.
+    """
+
+    def __init__(self, q_name: str, self_name: Optional[str],
+                 bound_self: Optional[object]):
+        self.q_name = q_name
+        self.self_name = self_name
+        self.bound_self = bound_self
+        self.required: Set[str] = set()
+        self.forwards: List[ast.Call] = []
+
+    def _static_test(self, test: ast.AST) -> Optional[bool]:
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            inner = self._static_test(test.operand)
+            return None if inner is None else (not inner)
+        chain = _attr_chain(test)
+        if (
+            chain is not None
+            and len(chain) > 1
+            and chain[0] == self.self_name
+            and self.bound_self is not None
+        ):
+            value: object = self.bound_self
+            for attr in chain[1:]:
+                try:
+                    value = getattr(value, attr)
+                except AttributeError:
+                    return None
+            if isinstance(value, bool):
+                return value
+            if value is None:
+                return False
+        return None
+
+    def visit_If(self, node: ast.If) -> None:
+        test_value = self._static_test(node.test)
+        if test_value is True:
+            for stmt in node.body:
+                self.visit(stmt)
+        elif test_value is False:
+            for stmt in node.orelse:
+                self.visit(stmt)
+        else:
+            self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        is_hook = (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == self.q_name
+            and func.attr in HOOK_FIELDS
+        )
+        if is_hook:
+            self.required.update(HOOK_FIELDS[func.attr])
+        elif self._forwards_context(node):
+            self.forwards.append(node)
+        self.generic_visit(node)
+
+    def _forwards_context(self, node: ast.Call) -> bool:
+        for arg in node.args:
+            if isinstance(arg, ast.Name) and arg.id == self.q_name:
+                return True
+        for keyword in node.keywords:
+            value = keyword.value
+            if isinstance(value, ast.Name) and value.id == self.q_name:
+                return True
+        return False
+
+
+def _resolve_call_target(
+    node: ast.Call,
+    func: Callable,
+    self_name: Optional[str],
+    bound_self: Optional[object],
+) -> Optional[Callable]:
+    """The callable a forwarding call invokes, resolved live."""
+    callee = node.func
+    if isinstance(callee, ast.Name):
+        return func.__globals__.get(callee.id)
+    chain = _attr_chain(callee)
+    if chain is None:
+        return None
+    if chain[0] == self_name and bound_self is not None:
+        value: object = bound_self
+        for attr in chain[1:]:
+            try:
+                value = getattr(value, attr)
+            except AttributeError:
+                return None
+        return value if callable(value) else None
+    # A module-level reference like ``routing.dynamic_routing``.
+    root = func.__globals__.get(chain[0])
+    if root is None:
+        return None
+    value = root
+    for attr in chain[1:]:
+        try:
+            value = getattr(value, attr)
+        except AttributeError:
+            return None
+    return value if callable(value) else None
+
+
+def _q_param_of_call(
+    node: ast.Call, target: Callable, q_name: str
+) -> Optional[str]:
+    """Which parameter of ``target`` receives the forwarded context."""
+    try:
+        plain, bound = _underlying_function(target)
+    except TypeError:
+        return None
+    fdef = _function_def(plain)
+    if fdef is None:
+        return None
+    params = _param_names(fdef)
+    if bound is not None and params:
+        params = params[1:]  # drop self: the call site omits it
+    for index, arg in enumerate(node.args):
+        if isinstance(arg, ast.Name) and arg.id == q_name:
+            if index < len(params):
+                return params[index]
+            return None
+    for keyword in node.keywords:
+        value = keyword.value
+        if (
+            keyword.arg is not None
+            and isinstance(value, ast.Name)
+            and value.id == q_name
+        ):
+            return keyword.arg
+    return None
+
+
+def _analyze(
+    fn: Callable,
+    q_name: Optional[str],
+    visited: Set[Tuple[int, int]],
+) -> Tuple[Set[str], List[_Unresolved]]:
+    """Required config fields of ``fn``, recursing through forwards."""
+    func, bound_self = _underlying_function(fn)
+    fdef = _function_def(func)
+    if fdef is None:
+        return set(), [_Unresolved(f"no source for {func!r}", 0)]
+    params = _param_names(fdef)
+    self_name = params[0] if bound_self is not None and params else None
+    if q_name is None:
+        q_name = CONTEXT_PARAM if CONTEXT_PARAM in params else None
+    if q_name is None or q_name not in params:
+        return set(), []  # no context parameter: cannot consume fields
+
+    key = (id(func.__code__), id(bound_self))
+    if key in visited:
+        return set(), []
+    visited.add(key)
+    try:
+        walker = _HookWalker(q_name, self_name, bound_self)
+        for stmt in fdef.body:
+            walker.visit(stmt)
+        required = set(walker.required)
+        unresolved: List[_Unresolved] = []
+        for call in walker.forwards:
+            target = _resolve_call_target(call, func, self_name, bound_self)
+            if target is None:
+                unresolved.append(_Unresolved(
+                    f"cannot resolve context-forwarding call at line "
+                    f"{call.lineno} of {func.__qualname__}",
+                    call.lineno,
+                ))
+                continue
+            inner_q = _q_param_of_call(call, target, q_name)
+            sub_required, sub_unresolved = _analyze(target, inner_q, visited)
+            required.update(sub_required)
+            unresolved.extend(sub_unresolved)
+        return required, unresolved
+    finally:
+        visited.discard(key)
+
+
+def required_fields(fn: Callable) -> Set[str]:
+    """Config fields (``qw``/``qa``/``qdr``) a stage function consumes."""
+    required, _ = _analyze(fn, None, set())
+    return required
+
+
+def _stage_location(fn: Callable) -> Tuple[str, int]:
+    func, _ = _underlying_function(fn)
+    code = func.__code__
+    return code.co_filename, code.co_firstlineno
+
+
+def check_model(model: object) -> List[Finding]:
+    """QL001/QL002 findings for every stage of a staged model."""
+    stages = getattr(model, "stages", None)
+    if not callable(stages):
+        return []
+    findings: List[Finding] = []
+    for stage in stages():
+        required, unresolved = _analyze(stage.fn, None, set())
+        path, line = _stage_location(stage.fn)
+        missing = sorted(required - set(stage.fields))
+        if missing:
+            findings.append(Finding(
+                "QL001", path, line,
+                f"stage {stage.name!r} of {type(model).__name__} reads "
+                f"{missing} but declares fields={tuple(stage.fields)}; "
+                f"undeclared reads make the cache fingerprint incomplete "
+                f"(stale-activation hazard)",
+            ))
+        for entry in unresolved:
+            findings.append(Finding(
+                "QL002", path, entry.line or line, entry.description,
+            ))
+    return findings
+
+
+def check_models(models: Sequence[object]) -> List[Finding]:
+    """:func:`check_model` over a model collection."""
+    findings: List[Finding] = []
+    for model in models:
+        findings.extend(check_model(model))
+    return findings
+
+
+def model_zoo() -> List[object]:
+    """One instance of every staged model preset in the repo.
+
+    Imported lazily: the analyzer itself has no dependency on the model
+    zoo, only this convenience constructor does.
+    """
+    from repro.api.session import build_model
+    from repro.baselines.lenet import LeNet5
+
+    models: List[object] = [LeNet5()]
+    for name, dataset in (
+        ("shallow-small", "digits"),
+        ("shallow-tiny", "digits"),
+        ("shallow-paper", "digits"),
+        ("deep-small", "digits"),
+        ("deep-paper", "cifar"),
+    ):
+        models.append(build_model(name, dataset))
+    return models

@@ -27,6 +27,7 @@ from typing import Dict, Iterable, Optional, Tuple
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.lint.sanitizer import active_sanitizer
 from repro.quant.config import QuantizationConfig
 from repro.quant.fixed_point import FixedPointFormat
 from repro.quant.quantize import quantize
@@ -151,8 +152,14 @@ class FixedPointQuant(QuantContext):
     def _format(self, fractional_bits: int) -> FixedPointFormat:
         return FixedPointFormat(self.config.integer_bits, fractional_bits)
 
-    def _apply(self, data: np.ndarray, bits: int, scale: float) -> np.ndarray:
-        return scaled_quantize(data, self._format(bits), self.scheme, scale)
+    def _apply(
+        self, data: np.ndarray, bits: int, scale: float, label: str
+    ) -> np.ndarray:
+        sanitizer = active_sanitizer()
+        if sanitizer is None:
+            return scaled_quantize(data, self._format(bits), self.scheme, scale)
+        with sanitizer.layer(label):
+            return scaled_quantize(data, self._format(bits), self.scheme, scale)
 
     def weight(self, layer: str, name: str, tensor: Tensor) -> Tensor:
         bits = self.config[layer].qw
@@ -163,7 +170,7 @@ class FixedPointQuant(QuantContext):
         if cached is not None:
             return cached
         scale = power_of_two_scale(float(np.abs(tensor.data).max(initial=0.0)))
-        quantized = Tensor(self._apply(tensor.data, bits, scale))
+        quantized = Tensor(self._apply(tensor.data, bits, scale, layer))
         self._weight_cache[key] = quantized
         return quantized
 
@@ -172,14 +179,14 @@ class FixedPointQuant(QuantContext):
         if bits is None:
             return tensor
         scale = self.scales.get(act_scale_key(layer), 1.0)
-        return Tensor(self._apply(tensor.data, bits, scale))
+        return Tensor(self._apply(tensor.data, bits, scale, layer))
 
     def routing(self, layer: str, array: str, tensor: Tensor) -> Tensor:
         bits = self.config[layer].effective_qdr()
         if bits is None:
             return tensor
         scale = self.scales.get(routing_scale_key(layer, array), 1.0)
-        return Tensor(self._apply(tensor.data, bits, scale))
+        return Tensor(self._apply(tensor.data, bits, scale, layer))
 
     def clear_weight_cache(self) -> None:
         """Drop the pre-quantized weight tensors (keeps the RNG stream).

@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.lint.sanitizer import active_sanitizer
 from repro.quant.fixed_point import FixedPointFormat
 from repro.quant.rounding import RoundingScheme, RoundToNearest
 
@@ -44,6 +45,9 @@ def quantize_to_int(
     scheme = scheme if scheme is not None else RoundToNearest()
     scale = 2.0**fmt.fractional_bits
     codes = scheme._round_codes(np.asarray(values, dtype=np.float64) * scale)
+    sanitizer = active_sanitizer()
+    if sanitizer is not None:
+        sanitizer.record_rounding(codes, fmt.int_min, fmt.int_max)
     return np.clip(codes, fmt.int_min, fmt.int_max).astype(np.int64)
 
 

@@ -25,6 +25,7 @@ from typing import Dict, Optional, Type
 
 import numpy as np
 
+from repro.lint.sanitizer import active_sanitizer
 from repro.quant.fixed_point import FixedPointFormat
 
 
@@ -65,6 +66,10 @@ class RoundingScheme:
         scaled = values.astype(np.float64)  # private scratch copy
         scaled *= scale
         codes = self._round_codes(scaled)
+        sanitizer = active_sanitizer()
+        if sanitizer is not None:
+            # Reads the pre-clip codes only: outputs stay bit-identical.
+            sanitizer.record_rounding(codes, fmt.int_min, fmt.int_max)
         np.clip(codes, fmt.int_min, fmt.int_max, out=codes)
         codes /= scale
         return codes.astype(values.dtype, copy=False)

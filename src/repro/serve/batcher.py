@@ -93,7 +93,8 @@ class MicroBatcher:
         self._seq = count()
         self._thread: Optional[threading.Thread] = None
         self._closed = False
-        # Counters (worker-thread writes, reader races are benign).
+        # Counters: written by the worker thread, read by /healthz
+        # handler threads — every access holds self._cond.
         self.requests = 0
         self.batches = 0
         #: Requests that shared a forward with at least one other.
@@ -212,11 +213,12 @@ class MicroBatcher:
             for ticket in group:
                 ticket.future.set_exception(error)
             return
-        self.batches += 1
-        self.batched_samples += total
-        self.largest_batch = max(self.largest_batch, total)
-        if len(group) > 1:
-            self.coalesced_requests += len(group)
+        with self._cond:
+            self.batches += 1
+            self.batched_samples += total
+            self.largest_batch = max(self.largest_batch, total)
+            if len(group) > 1:
+                self.coalesced_requests += len(group)
         offset = 0
         for ticket in group:
             size = len(ticket.images)
@@ -225,12 +227,13 @@ class MicroBatcher:
             offset += size
 
     def stats(self) -> Dict[str, object]:
-        return {
-            "requests": self.requests,
-            "batches": self.batches,
-            "coalesced_requests": self.coalesced_requests,
-            "batched_samples": self.batched_samples,
-            "largest_batch": self.largest_batch,
-            "max_batch": self.max_batch,
-            "max_wait_ms": self.max_wait * 1000.0,
-        }
+        with self._cond:
+            return {
+                "requests": self.requests,
+                "batches": self.batches,
+                "coalesced_requests": self.coalesced_requests,
+                "batched_samples": self.batched_samples,
+                "largest_batch": self.largest_batch,
+                "max_batch": self.max_batch,
+                "max_wait_ms": self.max_wait * 1000.0,
+            }

@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 import urllib.error
 import urllib.request
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -26,7 +26,7 @@ import numpy as np
 class ServeError(RuntimeError):
     """A serving request failed (HTTP error or unreachable daemon)."""
 
-    def __init__(self, message: str, status: Optional[int] = None):
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
         super().__init__(message)
         #: HTTP status code, or None when the daemon was unreachable.
         self.status = status
@@ -35,11 +35,13 @@ class ServeError(RuntimeError):
 class Client:
     """Minimal JSON client for one serving daemon."""
 
-    def __init__(self, base_url: str, timeout: float = 300.0):
+    def __init__(self, base_url: str, timeout: float = 300.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
 
-    def _request(self, path: str, payload: Optional[dict] = None) -> dict:
+    def _request(
+        self, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
@@ -73,11 +75,12 @@ class Client:
 
     def models(self) -> List[Dict[str, object]]:
         """``GET /v1/models`` — one row per registered tenant."""
-        return self._request("/v1/models")["models"]
+        rows: List[Dict[str, object]] = self._request("/v1/models")["models"]
+        return rows
 
     def predict(
         self, model: str, images: np.ndarray, full_response: bool = False
-    ):
+    ) -> Union[np.ndarray, Dict[str, Any]]:
         """``POST /v1/predict`` — predicted labels for ``images``.
 
         ``images`` is a ``(batch, channels, height, width)`` float32

@@ -107,15 +107,25 @@ class ModelRegistry:
     batch_size:
         Inference batch size for every warm model (``None`` keeps each
         artifact's own ``spec.batch_size``).
+    sanitize:
+        Force the fixed-point sanitizer on (``True``) or off
+        (``False``) for every warm model; ``None`` keeps each
+        artifact's own ``spec.sanitize``.
     """
 
-    def __init__(self, max_warm: int = 4, batch_size: Optional[int] = None):
+    def __init__(
+        self,
+        max_warm: int = 4,
+        batch_size: Optional[int] = None,
+        sanitize: Optional[bool] = None,
+    ):
         if max_warm < 1:
             raise ValueError(f"max_warm must be >= 1, got {max_warm}")
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.max_warm = max_warm
         self.batch_size = batch_size
+        self.sanitize = sanitize
         #: Insertion order is LRU order: least recently used first.
         self._entries: "OrderedDict[str, RegisteredModel]" = OrderedDict()
         self._lock = threading.Lock()
@@ -214,9 +224,16 @@ class ModelRegistry:
             batch_size = (
                 entry.spec.batch_size if entry.spec is not None else 128
             )
-        return ServingModel(quantized, batch_size=batch_size)
+        sanitize = self.sanitize
+        if sanitize is None:
+            sanitize = (
+                entry.spec.sanitize if entry.spec is not None else False
+            )
+        return ServingModel(
+            quantized, batch_size=batch_size, sanitize=sanitize
+        )
 
-    def _evict_cold(self, keep: str) -> None:
+    def _evict_cold(self, keep: str) -> None:  # qlint: guarded-by(_lock)
         """Drop warm bindings beyond ``max_warm``, least recent first."""
         warm = [e for e in self._entries.values() if e.warm]
         excess = len(warm) - self.max_warm
@@ -252,3 +269,16 @@ class ModelRegistry:
                 "binds": sum(e.binds for e in self._entries.values()),
                 "requests": sum(e.requests for e in self._entries.values()),
             }
+
+    def sanitizer_reports(self) -> Dict[str, Dict[str, object]]:
+        """Per-tenant sanitizer counter snapshots (warm, sanitizing only)."""
+        with self._lock:
+            serving = {
+                e.name: e.serving
+                for e in self._entries.values()
+                if e.serving is not None and e.serving.sanitizing
+            }
+        return {
+            name: model.sanitizer_report()
+            for name, model in serving.items()
+        }

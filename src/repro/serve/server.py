@@ -149,6 +149,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "models": daemon.registry.names(),
                 "registry": daemon.registry.stats(),
                 "batcher": daemon.batcher.stats(),
+                "sanitizers": daemon.registry.sanitizer_reports(),
             })
         elif self.path == "/v1/models":
             self._reply(200, {"models": self.daemon.registry.describe()})
@@ -235,6 +236,9 @@ class ServingDaemon:
         )
         self._http = _HTTPServer((host, port), _Handler)
         self._http.serving_daemon = self  # type: ignore[attr-defined]
+        #: Guards the lifecycle state (_thread) against concurrent
+        #: start()/shutdown() callers.
+        self._lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
         self.started = time.monotonic()
 
@@ -253,13 +257,14 @@ class ServingDaemon:
     def start(self) -> "ServingDaemon":
         """Serve on a background thread (returns immediately)."""
         self.batcher.start()
-        if self._thread is None:
-            self._thread = threading.Thread(
-                target=self._http.serve_forever,
-                name="qcapsnets-http",
-                daemon=True,
-            )
-            self._thread.start()
+        with self._lock:
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._http.serve_forever,
+                    name="qcapsnets-http",
+                    daemon=True,
+                )
+                self._thread.start()
         return self
 
     def serve_forever(self) -> None:
@@ -276,9 +281,11 @@ class ServingDaemon:
         self._http.shutdown()
         self._http.server_close()
         self.batcher.close()
-        if self._thread is not None:
-            self._thread.join(timeout=10.0)
+        with self._lock:
+            thread = self._thread
             self._thread = None
+        if thread is not None:
+            thread.join(timeout=10.0)
 
     def __enter__(self) -> "ServingDaemon":
         return self.start()

@@ -1,0 +1,15 @@
+"""Known-bad runtime fixture: values overflow a tiny fixed-point format.
+
+Run via ``qcapsnets lint --runtime <this file>``.
+Expected: exactly one QL030 finding.
+"""
+
+import numpy as np
+
+from repro.quant.fixed_point import FixedPointFormat
+from repro.quant.quantize import quantize
+
+
+def main():
+    fmt = FixedPointFormat(2, 2)  # representable range is tiny
+    quantize(np.array([100.0, -100.0, 0.25]), fmt)

@@ -1,0 +1,10 @@
+"""Known-bad fixture: an SR draw stream advanced outside apply().
+
+Expected: exactly one QL012 finding.
+"""
+
+
+def peek_next_draw(scheme):
+    # Advancing the scheme's stream desynchronizes every resumed
+    # evaluation that fingerprinted the stream position.
+    return scheme.rng.random()

@@ -1,0 +1,17 @@
+"""Known-bad fixture: a stage reads ``qa`` but declares only ``qw``.
+
+Expected: exactly one QL001 finding.
+"""
+
+from repro.nn.module import ForwardStage, Module
+
+
+class LeakyStaged(Module):
+    """Declares fields=("qw",) while its compute calls q.act."""
+
+    def _compute(self, x, q):
+        x = q.weight("L1", "w", x)
+        return q.act("L1", x)  # undeclared qa read: the QL001 target
+
+    def stages(self):
+        return [ForwardStage("L1", ("qw",), self._compute)]

@@ -1,0 +1,19 @@
+"""Known-bad fixture: shared counter read outside the owning lock.
+
+Expected: exactly one QL020 finding.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+    def read(self):
+        return self.value  # unguarded read: the QL020 target

@@ -1,0 +1,12 @@
+"""Known-bad fixture: unseeded RNG construction.
+
+Expected: exactly one QL010 finding.
+"""
+
+import numpy as np
+
+RNG = np.random.default_rng()  # no seed: the QL010 target
+
+
+def draw(n):
+    return RNG.random(n)

@@ -1,0 +1,24 @@
+"""Known-good fixture: every shared access holds the lock or is
+annotated ``guarded-by``.
+
+Expected: zero findings.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def bump(self):
+        with self._lock:
+            self._bump_locked()
+
+    def _bump_locked(self):  # qlint: guarded-by(_lock)
+        self.value += 1
+
+    def read(self):
+        with self._lock:
+            return self.value

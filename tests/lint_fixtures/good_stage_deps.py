@@ -1,0 +1,17 @@
+"""Known-good fixture: every read the stage makes is declared.
+
+Expected: zero findings.
+"""
+
+from repro.nn.module import ForwardStage, Module
+
+
+class HonestStaged(Module):
+    """Declares fields=("qw", "qa") matching its q.weight + q.act reads."""
+
+    def _compute(self, x, q):
+        x = q.weight("L1", "w", x)
+        return q.act("L1", x)
+
+    def stages(self):
+        return [ForwardStage("L1", ("qw", "qa"), self._compute)]

@@ -19,7 +19,6 @@ import numpy as np
 import pytest
 
 from repro.api import (
-    ARTIFACT_FORMAT,
     ARTIFACT_VERSION,
     ArtifactError,
     ModelArtifact,

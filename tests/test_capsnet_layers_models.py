@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.autograd import Tensor, no_grad
+from repro.autograd import Tensor
 from repro.capsnet import (
     CapsFC,
     ConvCaps2d,

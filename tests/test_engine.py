@@ -7,7 +7,6 @@ ones — including under stochastic rounding.  These tests pin that
 contract on synthetic counts and on a real seeded ShallowCaps.
 """
 
-import numpy as np
 import pytest
 
 from repro.engine import (

@@ -7,7 +7,6 @@ in what order, and where the searches stop.
 
 from typing import Dict
 
-import numpy as np
 import pytest
 
 from repro.framework import (

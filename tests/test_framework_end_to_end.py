@@ -2,7 +2,6 @@
 
 run on a real trained tiny CapsNet (session fixture)."""
 
-import numpy as np
 import pytest
 
 from repro.framework import (

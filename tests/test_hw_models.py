@@ -1,12 +1,10 @@
 """Tests for the hardware cost models (technology, gates, MAC, squash,
 softmax, memory, accelerator)."""
 
-import numpy as np
 import pytest
 
 from repro.hw import (
     ArrayMultiplier,
-    EnergyBreakdown,
     GateCounts,
     InferenceEnergyModel,
     MacUnit,

@@ -1,0 +1,359 @@
+"""Tests for the qlint static analyzers (repro.lint).
+
+The analyzer acceptance criteria:
+
+* every known-bad fixture yields exactly one finding naming its rule,
+  file and a non-zero line; every known-good fixture yields zero;
+* the shipped tree is clean: ``qcapsnets lint src`` exits 0, and the
+  model zoo passes the stage-dependency checker;
+* ``# qlint: disable=`` and ``# qlint: guarded-by()`` annotations are
+  honored;
+* the analyzers catch the repo's actual historical bug classes
+  (undeclared stage reads, unseeded RNGs, unguarded counters) when
+  they are reintroduced.
+"""
+
+import os
+
+import pytest
+
+from repro.lint import RULES, concurrency, determinism, stagedeps
+from repro.lint.cli import run_lint
+from repro.lint.findings import (
+    Finding,
+    filter_suppressed,
+    parse_guards,
+    parse_suppressions,
+)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "lint_fixtures")
+
+
+def lint(paths, runtime=()):
+    """run_lint with captured output: ``(exit_code, lines)``."""
+    lines = []
+    code = run_lint(paths, runtime=runtime, emit=lines.append)
+    return code, lines
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+# ----------------------------------------------------------------------
+# Fixture matrix: each bad fixture -> exactly one finding of its rule
+# ----------------------------------------------------------------------
+class TestFixtureMatrix:
+    @pytest.mark.parametrize("name, rule", [
+        ("bad_stage_deps.py", "QL001"),
+        ("bad_unseeded.py", "QL010"),
+        ("bad_sr_escape.py", "QL012"),
+        ("bad_unguarded.py", "QL020"),
+    ])
+    def test_bad_fixture_yields_exactly_one_finding(self, name, rule):
+        code, lines = lint([fixture(name)])
+        assert code == 1
+        findings = [line for line in lines if f" {rule} " in line]
+        assert len(findings) == 1, lines
+        # The finding names the file and a real line number.
+        path_part, line_part, _ = findings[0].split(":", 2)
+        assert name in path_part
+        assert int(line_part) > 0
+
+    @pytest.mark.parametrize("name", [
+        "good_stage_deps.py",
+        "good_guarded.py",
+    ])
+    def test_good_fixture_is_clean(self, name):
+        code, lines = lint([fixture(name)])
+        assert code == 0
+        assert lines[-1].endswith("0 finding(s)")
+
+    def test_runtime_overflow_fixture_yields_ql030(self):
+        code, lines = lint(
+            [fixture("good_guarded.py")],
+            runtime=[fixture("bad_overflow.py")],
+        )
+        assert code == 1
+        findings = [line for line in lines if " QL030 " in line]
+        assert len(findings) == 1, lines
+        assert "overflow" in findings[0]
+
+    def test_missing_target_is_a_usage_error(self):
+        code, lines = lint([fixture("no_such_file.py")])
+        assert code == 2
+        assert "error" in lines[0]
+
+
+# ----------------------------------------------------------------------
+# Shipped tree is clean (the CI gate invariant)
+# ----------------------------------------------------------------------
+class TestShippedTree:
+    def test_model_zoo_stage_declarations_are_complete(self):
+        findings = stagedeps.check_models(stagedeps.model_zoo())
+        assert findings == []
+
+    def test_serve_layer_is_lock_clean(self):
+        serve_dir = os.path.join("src", "repro", "serve")
+        findings = []
+        for name in sorted(os.listdir(serve_dir)):
+            if name.endswith(".py"):
+                findings.extend(
+                    concurrency.check_file(os.path.join(serve_dir, name))
+                )
+        assert findings == [], [f.format() for f in findings]
+
+    def test_full_src_lint_exits_zero(self):
+        code, lines = lint(["src"])
+        assert code == 0, lines
+
+
+# ----------------------------------------------------------------------
+# Stage-dependency checker internals
+# ----------------------------------------------------------------------
+class TestStageDeps:
+    def test_required_fields_follow_q_forwarding(self):
+        from repro.api.session import build_model
+
+        model = build_model("shallow-small", "digits")
+        # L3 is the routed DigitCaps stage: weight + routed votes.
+        by_name = {stage.name: stage for stage in model.stages()}
+        required = stagedeps.required_fields(by_name["L3"].fn)
+        assert required == {"qw", "qa", "qdr"}
+
+    def test_activation_stage_requires_only_qa(self):
+        from repro.api.session import build_model
+
+        model = build_model("shallow-small", "digits")
+        act_stages = [s for s in model.stages() if s.tag == "act"]
+        assert act_stages
+        for stage in act_stages:
+            assert stagedeps.required_fields(stage.fn) == {"qa"}
+
+    def test_removed_declaration_is_detected(self):
+        """Reintroducing the historical bug class is caught."""
+        from repro.api.session import build_model
+        from repro.nn.module import ForwardStage
+
+        model = build_model("shallow-small", "digits")
+
+        class Stripped:
+            """The same model with every stage declaring only qw."""
+
+            def stages(self):
+                return [
+                    ForwardStage(s.layer, ("qw",), s.fn, s.tag)
+                    for s in model.stages()
+                ]
+
+        findings = stagedeps.check_model(Stripped())
+        assert findings  # the qa/qdr-consuming stages are all flagged
+        assert {f.rule for f in findings} == {"QL001"}
+
+    def test_deepcaps_skip_cell_declarations_audit(self):
+        """The DeepCaps routed skip cell needs qdr; plain cells do not."""
+        from repro.api.session import build_model
+
+        model = build_model("deep-small", "digits")
+        cell_stages = [
+            s for s in model.stages() if s.tag == "" and "L" in s.layer
+        ]
+        routed = [
+            s for s in cell_stages
+            if "qdr" in stagedeps.required_fields(s.fn)
+        ]
+        plain = [
+            s for s in cell_stages
+            if "qdr" not in stagedeps.required_fields(s.fn)
+        ]
+        assert routed and plain
+        for stage in routed:
+            assert "qdr" in stage.fields
+        for stage in plain:
+            # Over-declaration is allowed but the shipped tree is exact.
+            assert stagedeps.required_fields(stage.fn) <= set(stage.fields)
+
+
+# ----------------------------------------------------------------------
+# Determinism lint
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_global_numpy_draw_is_flagged(self):
+        source = "import numpy as np\nx = np.random.rand(3)\n"
+        findings = determinism.check_source(source, "f.py")
+        assert [f.rule for f in findings] == ["QL011"]
+        assert findings[0].line == 2
+
+    def test_global_stdlib_draw_is_flagged(self):
+        source = "import random\nx = random.random()\n"
+        findings = determinism.check_source(source, "f.py")
+        assert [f.rule for f in findings] == ["QL011"]
+
+    def test_seeded_constructions_pass(self):
+        source = (
+            "import numpy as np\nimport random\n"
+            "a = np.random.default_rng(7)\n"
+            "b = random.Random(7)\n"
+        )
+        assert determinism.check_source(source, "f.py") == []
+
+    def test_shadowed_name_is_not_flagged(self):
+        # A local variable named ``random`` is not the stdlib module.
+        source = "def f(random):\n    return random.random()\n"
+        assert determinism.check_source(source, "f.py") == []
+
+    def test_own_seeded_generator_draw_is_allowed(self):
+        # Trainer-style self.rng draws are not SR stream escapes.
+        source = (
+            "class Trainer:\n"
+            "    def shuffle(self, n):\n"
+            "        return self.rng.permutation(n)\n"
+        )
+        assert determinism.check_source(source, "f.py") == []
+
+    def test_scheme_self_draw_outside_round_codes_is_flagged(self):
+        source = (
+            "from repro.quant.rounding import StochasticRounding\n"
+            "class Leaky(StochasticRounding):\n"
+            "    def warmup(self):\n"
+            "        self.rng.random(8)\n"
+        )
+        findings = determinism.check_source(source, "f.py")
+        assert [f.rule for f in findings] == ["QL012"]
+
+    def test_scheme_draw_inside_round_codes_is_allowed(self):
+        source = (
+            "from repro.quant.rounding import RoundingScheme\n"
+            "class SR(RoundingScheme):\n"
+            "    def _round_codes(self, scaled):\n"
+            "        return scaled + self.rng.random(scaled.shape)\n"
+        )
+        assert determinism.check_source(source, "f.py") == []
+
+    def test_disable_comment_suppresses(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # qlint: disable=QL011\n"
+        )
+        assert determinism.check_source(source, "f.py") == []
+
+    def test_disable_comment_is_rule_specific(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.rand(3)  # qlint: disable=QL010\n"
+        )
+        findings = determinism.check_source(source, "f.py")
+        assert [f.rule for f in findings] == ["QL011"]
+
+
+# ----------------------------------------------------------------------
+# Concurrency audit
+# ----------------------------------------------------------------------
+class TestConcurrency:
+    LOCKED = (
+        "import threading\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.n = 0\n"
+    )
+
+    def test_unguarded_write_is_flagged(self):
+        source = self.LOCKED + (
+            "    def bump(self):\n"
+            "        self.n += 1\n"
+        )
+        findings = concurrency.check_source(source, "f.py")
+        assert [f.rule for f in findings] == ["QL020"]
+        assert "self.n" in findings[0].message
+
+    def test_guarded_access_passes(self):
+        source = self.LOCKED + (
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self.n += 1\n"
+        )
+        assert concurrency.check_source(source, "f.py") == []
+
+    def test_init_only_attributes_are_exempt(self):
+        source = self.LOCKED + (
+            "    def read_config(self):\n"
+            "        return self.n\n"
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self.m = 1\n"
+        )
+        # ``n`` is never stored outside __init__, so its bare read in
+        # read_config is configuration access, not a race.
+        assert concurrency.check_source(source, "f.py") == []
+
+    def test_method_level_guard_annotation(self):
+        source = self.LOCKED + (
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self._bump_locked()\n"
+            "    def _bump_locked(self):  # qlint: guarded-by(_lock)\n"
+            "        self.n += 1\n"
+        )
+        assert concurrency.check_source(source, "f.py") == []
+
+    def test_guard_annotation_must_name_a_real_lock(self):
+        source = self.LOCKED + (
+            "    def bump(self):  # qlint: guarded-by(_other)\n"
+            "        self.n += 1\n"
+        )
+        findings = concurrency.check_source(source, "f.py")
+        assert [f.rule for f in findings] == ["QL020"]
+
+    def test_lockless_classes_are_out_of_scope(self):
+        source = (
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.n = 0\n"
+            "    def bump(self):\n"
+            "        self.n += 1\n"
+        )
+        assert concurrency.check_source(source, "f.py") == []
+
+    def test_nested_function_does_not_inherit_the_lock(self):
+        source = self.LOCKED + (
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            def later():\n"
+            "                self.n += 1\n"
+            "            return later\n"
+        )
+        findings = concurrency.check_source(source, "f.py")
+        assert [f.rule for f in findings] == ["QL020"]
+
+
+# ----------------------------------------------------------------------
+# Findings / annotations plumbing
+# ----------------------------------------------------------------------
+class TestFindings:
+    def test_format_names_path_line_rule(self):
+        finding = Finding("QL001", "a/b.py", 12, "boom")
+        assert finding.format() == "a/b.py:12: QL001 boom"
+
+    def test_rule_table_covers_every_emitted_rule(self):
+        for rule in ("QL001", "QL002", "QL010", "QL011", "QL012",
+                     "QL020", "QL030", "QL031"):
+            assert rule in RULES
+
+    def test_bare_disable_suppresses_everything(self):
+        suppressions = parse_suppressions("x = 1  # qlint: disable\n")
+        findings = [Finding("QL011", "f.py", 1, "m")]
+        assert filter_suppressed(findings, suppressions) == []
+
+    def test_guard_parsing(self):
+        guards = parse_guards(
+            "def f():  # qlint: guarded-by(_cond)\n    pass\n"
+        )
+        assert guards == {1: "_cond"}
+
+    def test_cli_rules_listing(self):
+        from repro.lint.cli import list_rules
+
+        lines = []
+        assert list_rules(emit=lines.append) == 0
+        assert len(lines) == len(RULES)

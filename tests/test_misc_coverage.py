@@ -4,7 +4,7 @@ do not reach."""
 import numpy as np
 import pytest
 
-from repro.autograd import Tensor, no_grad
+from repro.autograd import Tensor
 from repro.capsnet import ReconstructionDecoder, ShallowCaps, presets
 from repro.data import Dataset, synth_cifar, synth_fashion
 from repro.framework import QCapsNets

@@ -13,7 +13,6 @@ Two contracts are pinned here:
   deterministic configs across seeds) is actually shared.
 """
 
-import numpy as np
 import pytest
 
 from repro.engine import (

@@ -7,7 +7,6 @@ from repro.analysis import deepcaps_stats, shallowcaps_stats
 from repro.capsnet import ShallowCaps, presets
 from repro.framework import Evaluator
 from repro.hw import CapsAccConfig, CapsAccModel
-from repro.nn.trainer import default_predictions, evaluate_accuracy
 from repro.quant import (
     QuantizationConfig,
     QuantizedCapsNet,
