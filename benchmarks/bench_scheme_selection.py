@@ -35,7 +35,7 @@ sys.path.insert(0, str(Path(__file__).parent))  # conftest/harness as a script
 from conftest import emit
 from harness import fp32_weight_mbit
 
-from repro.engine import config_signature, fork_available
+from repro.engine import config_signature, drain_stats, fork_available
 from repro.framework import QCapsNets, scheme_search
 
 TOLERANCE = 0.02
@@ -99,11 +99,23 @@ def run_sequential_shared(make_framework, schemes):
 
 
 def run_parallel(make_framework, schemes, workers):
+    drain_before = drain_stats()
     started = time.perf_counter()
     outcome = scheme_search(
         make_framework, schemes=schemes, workers=workers
     )
-    return outcome, time.perf_counter() - started
+    elapsed = time.perf_counter() - started
+    drain_after = drain_stats()
+    # Busy-wait guard: the ForkPool drain is a blocking Queue.get, so a
+    # healthy run sees (virtually) no liveness timeouts — a timeout per
+    # result would mean the drain regressed to a short-poll loop.
+    timeouts = drain_after["timeouts"] - drain_before["timeouts"]
+    results = drain_after["results"] - drain_before["results"]
+    assert timeouts <= 1 + results // 10, (
+        f"ForkPool drain hit {timeouts} liveness timeouts for {results} "
+        f"results — the blocking drain is busy-waiting"
+    )
+    return outcome, elapsed
 
 
 def compare(model, test, budget_mbit, workers, schemes=SCHEMES,

@@ -1,30 +1,33 @@
-"""Serving bench — micro-batched request queue vs per-request forwards.
+"""Serving soak — many concurrent clients vs the multi-worker daemon.
 
-The serving daemon coalesces queued ``/v1/predict`` requests for one
-tenant into a single model forward (up to ``--max-batch`` samples,
-waiting ``--max-wait-ms`` for stragglers).  This bench fires the same
-concurrent workload — many client threads, small per-request image
-chunks, two tenants — at two daemon configurations:
+The daemon's throughput story now has two axes: micro-batching (queued
+requests for one tenant coalesce into shared forwards) and **worker
+fan-out** (``workers=N`` forks N long-lived executor processes; the
+dispatcher routes coalesced batches across them).  This soak fires one
+fixed workload — many client threads, small per-request image chunks,
+four tenants covering every rounding scheme *including stochastic
+rounding* — at a sweep of worker counts and reports latency
+percentiles, throughput and tenant fairness for each arm.
 
-* **batched** — the default micro-batching queue;
-* **per-request** — ``max_batch=1``: every request runs its own forward
-  (the pre-daemon baseline, one ``ServingModel.predict`` per call).
-
-Hard assertions (both arms):
+Hard assertions (every arm):
 
 * every response is bit-identical to the offline ``Session.predict``
-  for its image slice — coalescing must be invisible in the results;
-* the batched arm actually coalesces (fewer forwards than requests).
+  for its image slice — for SR the offline reference is computed on
+  exactly the request's slice, since an SR forward's draw stream is a
+  function of the request images;
+* micro-batching still coalesces under the fan-out;
+* the registry's ``--max-warm`` (deliberately smaller than the tenant
+  count) forces eviction churn, and every tenant still completes all
+  of its requests correctly — eviction pressure may cost latency,
+  never answers.
 
-The report gives wall clock, images/s, requests/s and the batcher
-counters for both arms.  Speedup is reported, not asserted: the win
-comes from amortizing per-forward overhead (context construction,
-frozen-weight reconstruction) across requests, so it is largest for
-many small requests (the default workload) and fades as individual
-requests grow batch-sized themselves.  Run directly for CI smoke coverage::
+Scaling is reported, not asserted, by default — a 1-core box cannot
+promise parallel wins; ``--min-speedup`` turns the best-arm speedup
+over ``workers=1`` into an assertion for CI runners with real cores.
+Run directly for CI smoke coverage::
 
     PYTHONPATH=src python benchmarks/bench_serving.py --quick \
-        --json serving_quick.json
+        --workers 1 2 --json serving_quick.json
 """
 
 import argparse
@@ -49,12 +52,20 @@ from repro.quant import (
 )
 from repro.serve import Client, ModelRegistry, ServingDaemon
 
+#: (tenant, scheme, qw, qa) — all four schemes, SR non-coalescable.
+TENANTS = (
+    ("rtn", "RTN", 4, 5),
+    ("trn", "TRN", 5, 6),
+    ("rtne", "RTNE", 4, 5),
+    ("sr", "SR", 4, 5),
+)
+
 
 def make_artifacts(model, images, spec):
-    """Two tenants over one trained model: an RTN and a TRN freeze."""
+    """Four tenants over one trained model, one per rounding scheme."""
     scales = calibrate_scales(model, images[:64])
     artifacts = {}
-    for name, scheme, qw, qa in (("rtn", "RTN", 4, 5), ("trn", "TRN", 5, 6)):
+    for name, scheme, qw, qa in TENANTS:
         config = QuantizationConfig.uniform(
             list(model.quant_layers), qw=qw, qa=qa
         )
@@ -69,13 +80,33 @@ def make_artifacts(model, images, spec):
     return artifacts
 
 
-def offline_predictions(model, artifacts, images, batch_size):
-    return {
-        name: ServingModel(
-            artifact.bind(model), batch_size=batch_size
-        ).predict(images)
+def offline_references(model, artifacts, images, batch_size, jobs):
+    """Per-job offline predictions.
+
+    Deterministic tenants: one full-pool prediction, sliced per job
+    (per-sample independence).  SR: the draw stream restarts per
+    predict call, so each job's reference is computed on exactly that
+    job's slice.
+    """
+    serving = {
+        name: ServingModel(artifact.bind(model), batch_size=batch_size)
         for name, artifact in artifacts.items()
     }
+    full = {
+        name: model_.predict(images)
+        for name, model_ in serving.items()
+        if name != "sr"
+    }
+    expected = {}
+    for tenant, lo, hi in jobs:
+        key = (tenant, lo, hi)
+        if key in expected:
+            continue
+        if tenant == "sr":
+            expected[key] = serving["sr"].predict(images[lo:hi])
+        else:
+            expected[key] = full[tenant][lo:hi]
+    return expected
 
 
 def make_jobs(num_requests, chunk, tenants, total_images):
@@ -87,22 +118,28 @@ def make_jobs(num_requests, chunk, tenants, total_images):
     return jobs
 
 
-def run_arm(
-    label, model, artifacts, images, expected, jobs, threads,
-    max_batch, max_wait_ms, batch_size,
+def _percentile_ms(latencies, q):
+    return round(float(np.percentile(np.asarray(latencies), q)) * 1000.0, 3)
+
+
+def run_soak(
+    model, artifacts, images, expected, jobs, threads,
+    max_batch, max_wait_ms, batch_size, workers, max_warm,
 ):
-    """One daemon configuration under the concurrent client workload."""
-    registry = ModelRegistry(max_warm=len(artifacts), batch_size=batch_size)
+    """One daemon configuration under the concurrent client soak."""
+    registry = ModelRegistry(max_warm=max_warm, batch_size=batch_size)
     for name, artifact in artifacts.items():
         registry.register(name, artifact=artifact, model=model)
     daemon = ServingDaemon(
-        registry, port=0, max_batch=max_batch, max_wait_ms=max_wait_ms
+        registry, port=0, max_batch=max_batch, max_wait_ms=max_wait_ms,
+        workers=workers,
     )
     with daemon:
         client = Client(daemon.url, timeout=600.0)
         for name in artifacts:  # warm every tenant before timing
             client.predict(name, images[:1])
         results = [None] * len(jobs)
+        latencies = [None] * len(jobs)
         errors = []
         barrier = threading.Barrier(threads + 1)
 
@@ -111,7 +148,9 @@ def run_arm(
             for job_index in range(worker_index, len(jobs), threads):
                 tenant, lo, hi = jobs[job_index]
                 try:
+                    t0 = time.perf_counter()
                     results[job_index] = client.predict(tenant, images[lo:hi])
+                    latencies[job_index] = time.perf_counter() - t0
                 except Exception as error:  # pragma: no cover
                     errors.append((job_index, error))
 
@@ -127,77 +166,117 @@ def run_arm(
         elapsed = time.perf_counter() - started
         stats = daemon.batcher.stats()
         registry_stats = daemon.registry.stats()
+        pool_stats = daemon.pool.stats() if daemon.pool is not None else None
+        effective_workers = daemon.workers
     if errors:
-        raise AssertionError(f"{label}: {len(errors)} requests failed: "
-                             f"{errors[0]}")
+        raise AssertionError(
+            f"workers={workers}: {len(errors)} requests failed: {errors[0]}"
+        )
     for (tenant, lo, hi), result in zip(jobs, results):
-        assert np.array_equal(result, expected[tenant][lo:hi]), (
-            f"{label}: served predictions diverge from offline "
+        assert np.array_equal(result, expected[(tenant, lo, hi)]), (
+            f"workers={workers}: served predictions diverge from offline "
             f"Session.predict for {tenant}[{lo}:{hi}]"
         )
+    if max_wait_ms > 0 and threads > 1:
+        assert stats["coalesced_requests"] > 0, (
+            f"workers={workers}: micro-batching never coalesced under "
+            f"{threads} concurrent clients"
+        )
+    assert stats["worker_crashes"] == 0
+    per_tenant = {}
+    for name in artifacts:
+        tenant_lat = [
+            latency for (tenant, _, _), latency in zip(jobs, latencies)
+            if tenant == name
+        ]
+        per_tenant[name] = {
+            "requests": len(tenant_lat),
+            "p50_ms": _percentile_ms(tenant_lat, 50),
+            "p99_ms": _percentile_ms(tenant_lat, 99),
+        }
     samples = sum(hi - lo for _, lo, hi in jobs)
     return {
-        "label": label,
-        "max_batch": max_batch,
-        "max_wait_ms": max_wait_ms,
+        "workers": workers,
+        "effective_workers": effective_workers,
         "requests": len(jobs),
         "samples": samples,
         "seconds": round(elapsed, 4),
         "images_per_s": round(samples / elapsed, 2),
         "requests_per_s": round(len(jobs) / elapsed, 2),
+        "latency_ms": {
+            "p50": _percentile_ms(latencies, 50),
+            "p99": _percentile_ms(latencies, 99),
+            "max": _percentile_ms(latencies, 100),
+        },
+        "per_tenant": per_tenant,
         "batcher": stats,
         "registry": registry_stats,
+        "pool": pool_stats,
     }
 
 
-def compare(model, images, spec, num_requests, chunk, threads,
-            max_batch, max_wait_ms, batch_size):
+def soak_sweep(model, images, spec, num_requests, chunk, threads,
+               max_batch, max_wait_ms, batch_size, workers_list, max_warm):
     artifacts = make_artifacts(model, images, spec)
-    expected = offline_predictions(model, artifacts, images, batch_size)
     jobs = make_jobs(num_requests, chunk, sorted(artifacts), len(images))
-    batched = run_arm(
-        "batched", model, artifacts, images, expected, jobs, threads,
-        max_batch, max_wait_ms, batch_size,
+    expected = offline_references(model, artifacts, images, batch_size, jobs)
+    arms = [
+        run_soak(
+            model, artifacts, images, expected, jobs, threads,
+            max_batch, max_wait_ms, batch_size, workers, max_warm,
+        )
+        for workers in workers_list
+    ]
+    baseline = next(
+        (arm for arm in arms if arm["workers"] == 1), arms[0]
     )
-    per_request = run_arm(
-        "per-request", model, artifacts, images, expected, jobs, threads,
-        1, 0.0, batch_size,
-    )
-    # The timed workload (the post-warmup jobs) must have coalesced.
-    coalesced_forwards = (
-        batched["batcher"]["batches"] - len(artifacts)  # minus warmups
-    )
-    assert coalesced_forwards < num_requests, (
-        "micro-batching never coalesced: "
-        f"{coalesced_forwards} forwards for {num_requests} requests"
-    )
+    for arm in arms:
+        arm["speedup_vs_1"] = round(
+            arm["images_per_s"] / baseline["images_per_s"], 3
+        )
     return {
+        "tenants": sorted(artifacts),
         "threads": threads,
         "chunk": chunk,
-        "arms": [batched, per_request],
-        "speedup": round(
-            per_request["seconds"] / batched["seconds"], 3
-        ),
+        "requests": num_requests,
+        "max_warm": max_warm,
+        "max_batch": max_batch,
+        "max_wait_ms": max_wait_ms,
+        "identical": True,  # every arm asserted against offline refs
+        "arms": arms,
     }
 
 
 def format_report(report):
     lines = [
-        f"{'arm':>12} {'req':>5} {'samples':>8} {'s':>8} {'img/s':>9} "
-        f"{'req/s':>8} {'forwards':>9} {'coalesced':>10}"
+        f"soak: {report['requests']} requests x {report['chunk']} images, "
+        f"{report['threads']} client threads, tenants "
+        f"{report['tenants']} (max_warm={report['max_warm']})",
+        f"{'workers':>8} {'s':>8} {'img/s':>9} {'req/s':>8} "
+        f"{'p50 ms':>8} {'p99 ms':>8} {'forwards':>9} {'coalesced':>10} "
+        f"{'vs w=1':>7}",
     ]
     for arm in report["arms"]:
         lines.append(
-            f"{arm['label']:>12} {arm['requests']:>5} {arm['samples']:>8} "
-            f"{arm['seconds']:>8.3f} {arm['images_per_s']:>9.1f} "
-            f"{arm['requests_per_s']:>8.1f} {arm['batcher']['batches']:>9} "
-            f"{arm['batcher']['coalesced_requests']:>10}"
+            f"{arm['effective_workers']:>8} {arm['seconds']:>8.3f} "
+            f"{arm['images_per_s']:>9.1f} {arm['requests_per_s']:>8.1f} "
+            f"{arm['latency_ms']['p50']:>8.2f} "
+            f"{arm['latency_ms']['p99']:>8.2f} "
+            f"{arm['batcher']['batches']:>9} "
+            f"{arm['batcher']['coalesced_requests']:>10} "
+            f"{arm['speedup_vs_1']:>6.2f}x"
         )
+    slowest = max(
+        (
+            (tenant, row["p99_ms"])
+            for arm in report["arms"][-1:]
+            for tenant, row in arm["per_tenant"].items()
+        ),
+        key=lambda item: item[1],
+    )
     lines.append(
-        f"batched queue speedup over per-request forwards: "
-        f"{report['speedup']:.2f}x "
-        f"({report['threads']} client threads, "
-        f"{report['chunk']} images/request)"
+        f"fairness (last arm): slowest tenant p99 {slowest[0]}="
+        f"{slowest[1]:.2f}ms; every tenant bit-identical to offline"
     )
     return "\n".join(lines)
 
@@ -205,16 +284,17 @@ def format_report(report):
 # ----------------------------------------------------------------------
 # Pytest entry (runs on the cached trained ShallowCaps)
 # ----------------------------------------------------------------------
-def test_serving_throughput(shallow_digits, digits_data):
+def test_serving_soak(shallow_digits, digits_data):
     model, _ = shallow_digits
     _, test = digits_data
     spec = QuantSpec(model="shallow-small", dataset="digits", seed=0,
                      batch_size=64)
-    report = compare(
-        model, test.images[:192], spec, num_requests=16, chunk=8,
+    report = soak_sweep(
+        model, test.images[:192], spec, num_requests=16, chunk=6,
         threads=4, max_batch=64, max_wait_ms=10.0, batch_size=64,
+        workers_list=[1, 2], max_warm=3,
     )
-    emit("serving_throughput", format_report(report))
+    emit("serving_soak", format_report(report))
 
 
 # ----------------------------------------------------------------------
@@ -255,32 +335,51 @@ def main(argv=None):
                         help="write the report as JSON to this path")
     parser.add_argument("--requests", type=int, default=None,
                         help="total predict requests "
-                             "(default: 24 quick, 64 full)")
+                             "(default: 32 quick, 96 full)")
     parser.add_argument("--chunk", type=int, default=4,
                         help="images per request (default: 4 — micro-"
                              "batching pays off for small requests)")
     parser.add_argument("--threads", type=int, default=8,
                         help="concurrent client threads (default: 8)")
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
+                        help="daemon worker counts to sweep "
+                             "(default: 1 2 4)")
+    parser.add_argument("--max-warm", type=int, default=3,
+                        help="warm-tenant cap — below the 4 tenants, so "
+                             "the soak runs under eviction pressure "
+                             "(default: 3)")
     parser.add_argument("--max-batch", type=int, default=64)
     parser.add_argument("--max-wait-ms", type=float, default=4.0)
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="assert the best multi-worker arm is at least this much "
+             "faster than workers=1 (opt-in: needs real cores)",
+    )
     args = parser.parse_args(argv)
 
     model, test, spec = _train_model(args.quick)
     num_requests = (
         args.requests if args.requests is not None
-        else (24 if args.quick else 64)
+        else (32 if args.quick else 96)
     )
-    report = compare(
+    report = soak_sweep(
         model, test.images, spec, num_requests=num_requests,
         chunk=args.chunk, threads=args.threads,
         max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
-        batch_size=64,
+        batch_size=64, workers_list=args.workers, max_warm=args.max_warm,
     )
     report["quick"] = args.quick
     print(format_report(report))
     if args.json is not None:
         args.json.write_text(json.dumps(report, indent=2))
         print(f"wrote {args.json}")
+    if args.min_speedup is not None:
+        best = max(arm["speedup_vs_1"] for arm in report["arms"])
+        assert best >= args.min_speedup, (
+            f"expected >= {args.min_speedup:.2f}x soak speedup over "
+            f"workers=1, measured {best:.2f}x"
+        )
+    print("OK: all arms bit-identical to offline Session.predict")
     return 0
 
 

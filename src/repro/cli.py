@@ -93,6 +93,7 @@ _SPEC_ARG_FIELDS = {
     "budget_mbit": "budget_mbit",
     "budget_divisor": "budget_divisor",
     "workers": "workers",
+    "cache_bytes": "cache_bytes",
     "sanitize": "sanitize",
 }
 
@@ -156,7 +157,7 @@ def cmd_train(args) -> int:
 def cmd_quantize(args) -> int:
     spec = resolve_spec(args)
     _require_weights(spec, "quantize")
-    session = Session(spec)
+    session = Session(spec, shared_cache=getattr(args, "shared_cache", False))
     fp32_mbit = sum(session.model.layer_param_counts().values()) * 32 / 1e6
     print(f"FP32 accuracy {session.accuracy_fp32():.2f}%, "
           f"weights {fp32_mbit:.3f} Mbit, "
@@ -181,7 +182,7 @@ def cmd_select(args) -> int:
     """Sec. III-B rounding-scheme library search (parallel branches)."""
     spec = resolve_spec(args)
     _require_weights(spec, "select")
-    session = Session(spec)
+    session = Session(spec, shared_cache=getattr(args, "shared_cache", False))
     print(f"scheme library {list(spec.schemes)}, "
           f"budget {session.budget_mbit():.3f} Mbit, "
           f"accTOL {spec.tolerance}, workers {spec.workers}")
@@ -308,14 +309,16 @@ def cmd_serve(args) -> int:
             port=args.port,
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
+            workers=args.workers,
         )
     except OSError as error:  # e.g. port already in use
         raise SystemExit(
             f"error: cannot bind {args.host}:{args.port}: {error}"
         ) from error
     print(f"serving {len(registry)} model(s) on {daemon.url} "
-          f"(max-warm {args.max_warm}, max-batch {args.max_batch}, "
-          f"max-wait {args.max_wait_ms}ms); Ctrl-C to stop")
+          f"(workers {daemon.workers}, max-warm {args.max_warm}, "
+          f"max-batch {args.max_batch}, max-wait {args.max_wait_ms}ms); "
+          f"Ctrl-C to stop")
     daemon.serve_forever()
     return 0
 
@@ -401,6 +404,16 @@ def _add_search_options(p) -> None:
     group.add_argument("--workers", type=int, default=None,
                        help="forked workers for parallel branches/batches "
                             "(bit-identical results; default: 1)")
+    group.add_argument("--cache-bytes", type=int, default=None,
+                       help="prefix-cache byte budget (with "
+                            "--shared-cache: the global cross-process "
+                            "budget; default: 256 MiB)")
+    group.add_argument("--shared-cache", action="store_true",
+                       help="host a cross-process prefix-cache server so "
+                            "forked workers publish stage boundaries back "
+                            "instead of losing them at exit "
+                            "(--cache-bytes becomes the global budget; "
+                            "bit-identical results)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -491,6 +504,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: 64)")
     p_serve.add_argument("--max-wait-ms", type=float, default=2.0,
                          help="micro-batch gathering window (default: 2)")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="long-lived executor processes to fan "
+                              "batches across (1 = in-process; >1 "
+                              "requires fork and degrades to 1 without "
+                              "it; results are bit-identical either way)")
     p_serve.add_argument("--max-warm", type=int, default=4,
                          help="tenants kept warm at once; colder ones "
                               "re-bind on demand (default: 4)")

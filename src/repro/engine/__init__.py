@@ -42,10 +42,17 @@ from repro.engine.parallel import (
     ForkPool,
     batch_parallel_safe,
     default_workers,
+    drain_stats,
     fork_available,
     run_branches,
 )
 from repro.engine.plan import InferencePlan, config_signature
+from repro.engine.pool import ExecutorPool, WorkerCrash, WorkerError
+from repro.engine.shared_cache import (
+    SharedCacheServer,
+    SharedPrefixCache,
+    TieredPrefixCache,
+)
 from repro.engine.staged import (
     DEFAULT_PREFIX_CACHE_BYTES,
     PrefixCache,
@@ -62,14 +69,21 @@ from repro.engine.streaming import (
 
 __all__ = [
     "DEFAULT_PREFIX_CACHE_BYTES",
+    "ExecutorPool",
     "ForkPool",
     "InferencePlan",
     "PrefixCache",
+    "SharedCacheServer",
+    "SharedPrefixCache",
     "StagedExecutor",
     "StreamingEvaluator",
+    "TieredPrefixCache",
+    "WorkerCrash",
+    "WorkerError",
     "batch_parallel_safe",
     "config_signature",
     "default_workers",
+    "drain_stats",
     "floor_oracle",
     "floor_threshold",
     "fork_available",

@@ -73,8 +73,23 @@ from repro.quant.rounding import StochasticRounding
 
 T = TypeVar("T")
 
-#: Seconds between liveness checks while draining worker results.
-_POLL_INTERVAL_S = 0.25
+#: Seconds a result drain blocks before re-checking worker liveness.
+#: The drain is a *blocking* ``Queue.get`` — results wake it the moment
+#: they arrive, so this bounds only how long a silent worker death
+#: (hard kill, no reported failure) can go unnoticed; it is not a poll
+#: period and adds no idle tail to a healthy ``map``.
+_LIVENESS_TIMEOUT_S = 5.0
+
+#: Process-wide drain counters: results received vs. waits that hit
+#: the liveness timeout without one.  Timeouts should stay ~0 on a
+#: healthy run — ``bench_scheme_selection`` asserts that, guarding
+#: against a busy-wait (or short-poll) regression in the drain loop.
+_drain_stats = {"results": 0, "timeouts": 0}
+
+
+def drain_stats() -> Dict[str, int]:
+    """Snapshot of the process-wide result-drain counters."""
+    return dict(_drain_stats)
 
 
 def fork_available() -> bool:
@@ -202,9 +217,12 @@ class ForkPool:
             while len(received) < num_items:
                 try:
                     index, ok, payload = results_queue.get(
-                        timeout=_POLL_INTERVAL_S
+                        timeout=_LIVENESS_TIMEOUT_S
                     )
                 except queue_module.Empty:
+                    # Liveness check only on timeout: the blocking get
+                    # already returned every result the children sent.
+                    _drain_stats["timeouts"] += 1
                     dead = [p for p in processes if not p.is_alive()]
                     if len(dead) == len(processes) and results_queue.empty():
                         missing = sorted(
@@ -217,6 +235,7 @@ class ForkPool:
                             f"results for tasks {missing}"
                         )
                     continue
+                _drain_stats["results"] += 1
                 received[index] = (ok, payload)
                 if not ok:
                     failures[index] = str(payload)
@@ -367,6 +386,7 @@ __all__ = [
     "ForkPool",
     "batch_parallel_safe",
     "default_workers",
+    "drain_stats",
     "fork_available",
     "run_branches",
     "shard_batch_counts",

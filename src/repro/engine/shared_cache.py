@@ -1,0 +1,649 @@
+"""Cross-process prefix/result cache: one budget, many executors.
+
+The fork-per-call :class:`~repro.engine.parallel.ForkPool` gives every
+child the parent's warm :class:`~repro.engine.staged.PrefixCache` as
+copy-on-write memory — but the flow is one-way: a boundary activation a
+*child* computes dies with the child, so sibling branches (and every
+later ``map`` call) re-run work another process already did.  This
+module closes the loop with a small cache *server* plus per-process
+clients:
+
+* :class:`SharedCacheServer` owns the authoritative entry table and the
+  **global** byte budget, evicting by the same bytes-per-expected-hit
+  rule as the in-process cache (``nbytes / (1 + hits)``, ties
+  least-recently-used).  It runs entirely on daemon threads of the
+  process that created it — typically the search parent or the serving
+  daemon — and speaks a tiny tuple protocol over
+  :mod:`multiprocessing.connection` (AF_UNIX socket with an authkey).
+* :class:`SharedPrefixCache` is the picklable client handle.  It is
+  fork-safe by construction: the connection is re-established whenever
+  the client finds itself in a new pid, so an executor inherited by a
+  forked worker transparently talks to the same server as its parent.
+* Payloads travel through :mod:`multiprocessing.shared_memory` segments
+  when the platform has them (the producer writes the serialized entry
+  once; consumers attach and copy — the bytes never funnel through the
+  server), degrading to inline transfer over the socket otherwise.
+* :class:`TieredPrefixCache` presents the pair (process-local
+  :class:`~repro.engine.staged.PrefixCache` in front, shared server
+  behind) through the exact interface :class:`~repro.engine.staged.
+  StagedExecutor` already consumes — a shared-cache executor is just
+  ``StagedExecutor(model, shared=server.client())``.
+
+Exactness is inherited, not re-argued: entries are matched by the same
+prefix fingerprints as the in-process cache and carry the same resume
+state (activation, producer RNG stream position, quantized prefix
+weights), so a cross-process hit substitutes exactly what the consumer
+process would have computed — including under stochastic rounding.
+
+Two benign races are accepted and show up only as misses: an entry may
+be evicted between the server's reply and the consumer's attach (the
+attach fails, the lookup degrades to a miss), and two processes may
+publish the same key concurrently (last write wins, byte accounting
+stays consistent because replacement releases the loser's segment).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import tempfile
+import threading
+import uuid
+from collections import OrderedDict
+from itertools import islice
+from multiprocessing import connection as mp_connection
+from typing import Dict, Optional, Tuple
+
+from repro.autograd.tensor import Tensor
+from repro.engine.staged import (
+    DEFAULT_PREFIX_CACHE_BYTES,
+    CacheEntry,
+    PrefixCache,
+)
+
+try:  # pragma: no cover - import guard exercised on exotic platforms
+    from multiprocessing import resource_tracker, shared_memory
+
+    _HAVE_SHM = True
+except ImportError:  # pragma: no cover - no POSIX shared memory
+    resource_tracker = None  # type: ignore[assignment]
+    shared_memory = None  # type: ignore[assignment]
+    _HAVE_SHM = False
+
+#: Entries examined per eviction (mirrors PrefixCache.EVICTION_SCAN).
+_EVICTION_SCAN = 32
+
+
+def _untrack_shm(segment) -> None:
+    """Opt a segment out of the per-process resource tracker.
+
+    On 3.11 every ``SharedMemory()`` — attach as well as create —
+    registers the name with the tracker, which unlinks it at
+    interpreter shutdown.  Segment lifetime here is owned *explicitly*
+    (the cache server unlinks payload segments on eviction/close), so a
+    process that merely reads a segment, or creates one whose ownership
+    it hands to the server, must untrack it or the tracker would
+    double-unlink and warn.  A process about to call ``unlink()``
+    itself must NOT untrack first: ``unlink`` sends its own unregister,
+    balancing the register from ``__init__``.
+    """
+    if resource_tracker is None:  # pragma: no cover - no shm platform
+        return
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals moved
+        pass
+
+
+def _unlink_segment(name: str) -> None:
+    """Best-effort unlink of a named segment (already-gone is fine).
+
+    The attach registers with this process's tracker and ``unlink``
+    unregisters — balanced, so no explicit untrack here.
+    """
+    if shared_memory is None:  # pragma: no cover - no shm platform
+        return
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return
+    try:
+        segment.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover - raced
+        pass
+    segment.close()
+
+
+def _entry_to_blob(entry: CacheEntry) -> bytes:
+    """Serialize a :class:`CacheEntry` (activation + resume state)."""
+    payload = {
+        "activation": entry.activation,
+        "rng_state": entry.rng_state,
+        "weights": {
+            key: tensor.data for key, tensor in entry.weights.items()
+        },
+        "scheme": entry.scheme,
+    }
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _blob_to_entry(blob: bytes) -> CacheEntry:
+    payload = pickle.loads(blob)
+    weights = {
+        key: Tensor(data) for key, data in payload["weights"].items()
+    }
+    return CacheEntry(
+        payload["activation"], payload["rng_state"], weights,
+        scheme=payload["scheme"],
+    )
+
+
+class _ServerEntry:
+    """Server-side record: payload locator + eviction bookkeeping."""
+
+    __slots__ = ("shm_name", "blob", "nbytes", "hits", "producer_pid")
+
+    def __init__(
+        self,
+        shm_name: Optional[str],
+        blob: Optional[bytes],
+        nbytes: int,
+        producer_pid: int,
+    ):
+        self.shm_name = shm_name
+        self.blob = blob
+        self.nbytes = nbytes
+        self.hits = 0
+        self.producer_pid = producer_pid
+
+    def release(self) -> None:
+        if self.shm_name is not None:
+            _unlink_segment(self.shm_name)
+        self.blob = None
+
+
+class SharedCacheServer:
+    """The authoritative cross-process entry table and byte budget.
+
+    Parameters
+    ----------
+    max_bytes:
+        Global budget over every process's published entries — the
+        cross-process analogue of a single cache's ``max_bytes``.
+    use_shm:
+        Force payload transport: ``True`` requires shared memory,
+        ``False`` forces inline transfer, ``None`` auto-detects.
+
+    The server accepts connections on a daemon thread and serves each
+    client on its own daemon thread; all state mutations hold the
+    server lock, so the store is consistent whatever the clients do
+    concurrently.  :meth:`close` (also registered ``atexit``) unlinks
+    every live segment.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_PREFIX_CACHE_BYTES,
+        use_shm: Optional[bool] = None,
+    ):
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        if use_shm is None:
+            use_shm = _HAVE_SHM
+        if use_shm and not _HAVE_SHM:
+            raise RuntimeError(
+                "shared memory transport requested but "
+                "multiprocessing.shared_memory is unavailable"
+            )
+        self.use_shm = use_shm
+        self._entries: "OrderedDict[Tuple, _ServerEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        # Counters (guarded by _lock; stats() snapshots under it).
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.rejected = 0
+        self.current_bytes = 0
+        #: Hits served to a different pid than the producer's.
+        self.cross_process_hits = 0
+        self._closed = False
+
+        address = os.path.join(
+            tempfile.gettempdir(), f"qcaps-cache-{uuid.uuid4().hex[:12]}"
+        )
+        self.authkey = os.urandom(16)
+        try:
+            self._listener = mp_connection.Listener(
+                address, family="AF_UNIX", authkey=self.authkey
+            )
+            self.address: object = address
+        except (OSError, ValueError, AttributeError):
+            # Platforms without AF_UNIX: loopback TCP with the same
+            # authkey challenge.
+            self._listener = mp_connection.Listener(
+                ("127.0.0.1", 0), family="AF_INET", authkey=self.authkey
+            )
+            self.address = self._listener.address
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="qcaps-cache-server", daemon=True
+        )
+        self._accept_thread.start()
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------
+    # Client plumbing
+    # ------------------------------------------------------------------
+    def client(self) -> "SharedPrefixCache":
+        """A fresh (picklable, fork-safe) client handle."""
+        return SharedPrefixCache(self.address, self.authkey, self.use_shm)
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn = self._listener.accept()
+            except (OSError, EOFError, mp_connection.AuthenticationError):
+                return  # listener closed (or a client failed the challenge)
+            threading.Thread(
+                target=self._serve_client, args=(conn,),
+                name="qcaps-cache-client", daemon=True,
+            ).start()
+
+    def _serve_client(self, conn) -> None:
+        try:
+            while True:
+                try:
+                    request = conn.recv()
+                except (EOFError, OSError):
+                    return
+                try:
+                    conn.send(self._dispatch(request))
+                except (BrokenPipeError, OSError):
+                    return
+        finally:
+            conn.close()
+
+    def _dispatch(self, request: Tuple):
+        op = request[0]
+        if op == "peek":
+            return self._peek(request[1])
+        if op == "get":
+            return self._get(request[1], request[2])
+        if op == "put":
+            return self._put(*request[1:])
+        if op == "clear":
+            return self.clear()
+        if op == "stats":
+            return self.stats()
+        return ("err", f"unknown cache op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Store operations (each takes the lock)
+    # ------------------------------------------------------------------
+    def _peek(self, key: Tuple) -> bool:
+        """Counter-neutral membership probe (no LRU touch)."""
+        with self._lock:
+            return key in self._entries
+
+    def _get(self, key: Tuple, pid: int):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            entry.hits += 1
+            if entry.producer_pid != pid:
+                self.cross_process_hits += 1
+            if entry.shm_name is not None:
+                locator: Tuple = ("shm", entry.shm_name, entry.nbytes)
+            else:
+                locator = ("inline", entry.blob)
+            return (locator, entry.producer_pid)
+
+    def _put(self, key: Tuple, locator: Tuple, pid: int) -> bool:
+        kind = locator[0]
+        if kind == "shm":
+            stored = _ServerEntry(locator[1], None, locator[2], pid)
+        else:
+            stored = _ServerEntry(None, locator[1], len(locator[1]), pid)
+        with self._lock:
+            if self._closed or stored.nbytes > self.max_bytes:
+                self.rejected += 1
+                stored.release()
+                return False
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self.current_bytes -= previous.nbytes
+                previous.release()
+            self._entries[key] = stored
+            self.current_bytes += stored.nbytes
+            self.stores += 1
+            while (
+                self.current_bytes > self.max_bytes and len(self._entries) > 1
+            ):
+                self._evict_worst(exclude=key)
+            if self.current_bytes > self.max_bytes and len(self._entries) == 1:
+                self._evict_worst(exclude=None)
+        return True
+
+    def _evict_worst(self, exclude: Optional[Tuple]) -> None:  # qlint: guarded-by(_lock)
+        """Drop the worst bytes-per-expected-hit entry (caller holds
+        the lock); identical policy to ``PrefixCache._evict_worst``."""
+        victim_key = None
+        victim_score = -1.0
+        for key, entry in islice(self._entries.items(), _EVICTION_SCAN):
+            if key == exclude:
+                continue
+            score = entry.nbytes / (1.0 + entry.hits)
+            if score > victim_score:
+                victim_key, victim_score = key, score
+        if victim_key is None:  # only the excluded entry remains
+            victim_key = exclude
+        victim = self._entries.pop(victim_key)
+        self.current_bytes -= victim.nbytes
+        victim.release()
+        self.evictions += 1
+
+    def clear(self) -> bool:
+        with self._lock:
+            for entry in self._entries.values():
+                entry.release()
+            self._entries.clear()
+            self.current_bytes = 0
+        return True
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_bytes": self.max_bytes,
+                "current_bytes": self.current_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "cross_process_hits": self.cross_process_hits,
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "rejected": self.rejected,
+                "transport": "shm" if self.use_shm else "inline",
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def close(self) -> None:
+        """Stop accepting clients and unlink every live segment."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if isinstance(self.address, str) and os.path.exists(self.address):
+            try:
+                os.unlink(self.address)
+            except OSError:  # pragma: no cover - raced with shutdown
+                pass
+        self.clear()
+
+
+class SharedPrefixCache:
+    """Per-process client of a :class:`SharedCacheServer`.
+
+    Picklable and fork-safe: only the server address, the authkey and
+    the transport flag cross process boundaries; the socket connection
+    itself is (re)established lazily in whichever pid ends up using the
+    handle.  All methods are thread-safe (one in-flight request per
+    handle) and degrade to cache-miss behaviour when the server is
+    unreachable — a dead server makes things slower, never wrong.
+    """
+
+    def __init__(self, address, authkey: bytes, use_shm: bool):
+        self.address = address
+        self.authkey = authkey
+        self.use_shm = use_shm
+        self._lock = threading.Lock()
+        self._conn = None
+        self._conn_pid: Optional[int] = None
+        #: Lookups served by the server to this handle.
+        self.fetches = 0
+        #: Entries this handle published.
+        self.publishes = 0
+        #: Fetched entries produced by a different process.
+        self.cross_process_hits = 0
+        #: Requests abandoned because the server was unreachable.
+        self.failures = 0
+
+    # -- pickling / fork support ---------------------------------------
+    def __getstate__(self):
+        return (self.address, self.authkey, self.use_shm)
+
+    def __setstate__(self, state) -> None:
+        self.__init__(*state)
+
+    def _connection(self):  # qlint: guarded-by(_lock)
+        if self._conn is None or self._conn_pid != os.getpid():
+            # A forked child inherits the parent's socket object; using
+            # it would interleave two processes' streams, so each pid
+            # opens its own connection.
+            self._conn = mp_connection.Client(
+                self.address, authkey=self.authkey
+            )
+            self._conn_pid = os.getpid()
+        return self._conn
+
+    def _call(self, request: Tuple):
+        with self._lock:
+            try:
+                conn = self._connection()
+                conn.send(request)
+                return conn.recv()
+            except (
+                OSError, EOFError, BrokenPipeError,
+                mp_connection.AuthenticationError,
+            ):
+                self._conn = None
+                self.failures += 1
+                return None
+
+    # ------------------------------------------------------------------
+    # Cache interface
+    # ------------------------------------------------------------------
+    def peek(self, key: Tuple) -> bool:
+        """Counter-neutral membership probe."""
+        return bool(self._call(("peek", key)))
+
+    def get(self, key: Tuple) -> Optional[Tuple[CacheEntry, int]]:
+        """``(entry, producer_pid)`` for ``key``, or None on a miss."""
+        reply = self._call(("get", key, os.getpid()))
+        if reply is None:
+            return None
+        locator, producer_pid = reply
+        blob = self._read_payload(locator)
+        if blob is None:
+            return None  # evicted between the reply and the attach
+        with self._lock:
+            self.fetches += 1
+            if producer_pid != os.getpid():
+                self.cross_process_hits += 1
+        return _blob_to_entry(blob), producer_pid
+
+    def _read_payload(self, locator: Tuple) -> Optional[bytes]:
+        if locator[0] == "inline":
+            return locator[1]
+        _, name, nbytes = locator
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except (FileNotFoundError, OSError):
+            return None
+        _untrack_shm(segment)
+        try:
+            return bytes(segment.buf[:nbytes])
+        finally:
+            segment.close()
+
+    def put(self, key: Tuple, entry: CacheEntry) -> bool:
+        """Publish ``entry`` under ``key`` (skips if already present)."""
+        if self._call(("peek", key)):
+            return False  # already published by some process
+        blob = _entry_to_blob(entry)
+        if self.use_shm:
+            try:
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(1, len(blob))
+                )
+            except OSError:  # pragma: no cover - /dev/shm exhausted
+                locator: Tuple = ("inline", blob)
+            else:
+                _untrack_shm(segment)
+                segment.buf[: len(blob)] = blob
+                name = segment.name
+                segment.close()
+                locator = ("shm", name, len(blob))
+        else:
+            locator = ("inline", blob)
+        accepted = self._call(("put", key, locator, os.getpid()))
+        if accepted:
+            with self._lock:
+                self.publishes += 1
+        elif locator[0] == "shm":
+            _unlink_segment(locator[1])  # server rejected: reclaim
+        return bool(accepted)
+
+    def clear(self) -> None:
+        self._call(("clear",))
+
+    def stats(self) -> Dict[str, object]:
+        """Server-side counter snapshot plus this handle's counters."""
+        stats = self._call(("stats",)) or {}
+        with self._lock:
+            stats["client"] = {
+                "pid": os.getpid(),
+                "fetches": self.fetches,
+                "publishes": self.publishes,
+                "cross_process_hits": self.cross_process_hits,
+                "failures": self.failures,
+            }
+        return stats
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None and self._conn_pid == os.getpid():
+                self._conn.close()
+            self._conn = None
+            self._conn_pid = None
+
+
+class TieredPrefixCache:
+    """A process-local :class:`PrefixCache` backed by the shared server.
+
+    Lookups hit the local cache first; local misses consult the server
+    and materialize remote entries locally (so a boundary fetched once
+    stays a zero-round-trip hit).  Stores land in both tiers — which is
+    exactly what lets a *child* process's computation outlive it.
+
+    Exposes the duck-typed surface :class:`StagedExecutor` consumes
+    (``peek``/``get``/``put``/``count_miss``/``clear`` plus the counter
+    attributes), with combined counters: a lookup served by either tier
+    is one hit, and ``cross_process_hits`` counts hits whose entry was
+    produced in a different process.
+    """
+
+    def __init__(self, local: PrefixCache, shared: SharedPrefixCache):
+        self.local = local
+        self.shared = shared
+        #: Lookups the local tier missed but the server served.
+        self.shared_hits = 0
+        #: Shared-served hits produced under a different scheme.
+        self._shared_cross_scheme = 0
+
+    # -- combined counters (duck-typing PrefixCache) -------------------
+    @property
+    def hits(self) -> int:
+        return self.local.hits + self.shared_hits
+
+    @property
+    def misses(self) -> int:
+        # A shared-served lookup first missed locally; undo that count.
+        return self.local.misses - self.shared_hits
+
+    @property
+    def cross_scheme_hits(self) -> int:
+        return self.local.cross_scheme_hits + self._shared_cross_scheme
+
+    @property
+    def cross_process_hits(self) -> int:
+        return self.shared.cross_process_hits
+
+    @property
+    def stores(self) -> int:
+        return self.local.stores
+
+    @property
+    def evictions(self) -> int:
+        return self.local.evictions
+
+    @property
+    def rejected(self) -> int:
+        return self.local.rejected
+
+    @property
+    def current_bytes(self) -> int:
+        return self.local.current_bytes
+
+    @property
+    def max_bytes(self) -> int:
+        return self.local.max_bytes
+
+    def __len__(self) -> int:
+        return len(self.local)
+
+    # -- cache interface -----------------------------------------------
+    def peek(self, key: Tuple) -> Optional[object]:
+        entry = self.local.peek(key)
+        if entry is not None:
+            return entry
+        return True if self.shared.peek(key) else None
+
+    def get(self, key: Tuple, scheme: Optional[str] = None) -> Optional[CacheEntry]:
+        entry = self.local.get(key, scheme=scheme)
+        if entry is not None:
+            return entry
+        fetched = self.shared.get(key)
+        if fetched is None:
+            return None
+        entry, _producer = fetched
+        self.shared_hits += 1
+        if scheme is not None and entry.scheme and entry.scheme != scheme:
+            self._shared_cross_scheme += 1
+        # Materialize locally: the next lookup is a zero-round-trip hit.
+        self.local.put(key, entry)
+        return entry
+
+    def count_miss(self) -> None:
+        self.local.count_miss()
+
+    def put(self, key: Tuple, entry: CacheEntry) -> None:
+        self.local.put(key, entry)
+        self.shared.put(key, entry)
+
+    def clear(self) -> None:
+        self.local.clear()
+        self.shared.clear()
+
+    def shared_stats(self) -> Dict[str, object]:
+        """Server + client counters (one round trip)."""
+        return self.shared.stats()
+
+
+__all__ = [
+    "SharedCacheServer",
+    "SharedPrefixCache",
+    "TieredPrefixCache",
+]

@@ -431,9 +431,23 @@ class StagedExecutor:
     activations.  Note this covers the executor only: evaluators keep
     their own weight-derived memos, which the session layer invalidates
     on the same token.
+
+    ``shared`` accepts a :class:`~repro.engine.shared_cache.
+    SharedPrefixCache` client handle: the executor then fronts the
+    cross-process cache server with its local cache (a
+    :class:`~repro.engine.shared_cache.TieredPrefixCache`), so boundary
+    activations computed in *other* processes — pool workers, forked
+    search branches — are hits here and vice versa.  The handle is
+    fork-safe, so an executor built in a parent works unchanged in its
+    forked children.
     """
 
-    def __init__(self, model, max_bytes: int = DEFAULT_PREFIX_CACHE_BYTES):
+    def __init__(
+        self,
+        model,
+        max_bytes: int = DEFAULT_PREFIX_CACHE_BYTES,
+        shared=None,
+    ):
         stages = getattr(model, "stages", None)
         if not callable(stages):
             raise TypeError(
@@ -452,6 +466,13 @@ class StagedExecutor:
             seen.add(stage.layer)
             self._prefix_layers.append(frozenset(seen))
         self.cache = PrefixCache(max_bytes)
+        if shared is not None:
+            # Imported here to keep the base module dependency-free of
+            # the multiprocessing plumbing (circular-import safe: the
+            # shared_cache module imports *this* one at its top level).
+            from repro.engine.shared_cache import TieredPrefixCache
+
+            self.cache = TieredPrefixCache(self.cache, shared)
         #: Model weight version the cache contents were produced under.
         self._weight_version = getattr(model, "weight_version", 0)
         #: Cache clears forced by an observed parameter mutation.
@@ -605,6 +626,9 @@ class StagedExecutor:
             "cache_hits": self.cache.hits,
             "cache_misses": self.cache.misses,
             "cache_cross_scheme_hits": self.cache.cross_scheme_hits,
+            "cache_cross_process_hits": getattr(
+                self.cache, "cross_process_hits", 0
+            ),
             "cache_entries": len(self.cache),
             "cache_bytes": self.cache.current_bytes,
             "cache_evictions": self.cache.evictions,

@@ -13,9 +13,18 @@ Request handling is deliberately two-stage: handler threads (the
 JSON, unknown tenants, empty batches, non-float32 payloads and shape
 mismatches all turn into 4xx responses without ever touching a model —
 then enqueue onto the :class:`~repro.serve.batcher.MicroBatcher`,
-whose single worker owns all model execution.  Validation failures
+whose dispatchers own all model execution.  Validation failures
 therefore cannot poison the queue, and a crashed forward surfaces as a
 500 on exactly the requests that shared its batch.
+
+``workers > 1`` adds the multi-process execution tier: the daemon
+forks an :class:`~repro.engine.pool.ExecutorPool` of long-lived
+executor processes **before** any service thread starts (forking a
+threaded parent could capture another thread's held locks), and the
+batcher becomes a dispatcher fanning coalesced batches across them —
+see :mod:`repro.serve.batcher` for the routing/exactness rules.  When
+``fork`` is unavailable the daemon silently degrades to the
+single-thread in-process path, which is bit-identical by construction.
 """
 
 from __future__ import annotations
@@ -29,6 +38,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.engine.parallel import fork_available
+from repro.engine.pool import ExecutorPool
 from repro.serve.batcher import MicroBatcher
 from repro.serve.registry import ModelRegistry, RegistryError
 
@@ -143,14 +154,18 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         if self.path in ("/healthz", "/health"):
             daemon = self.daemon
-            self._reply(200, {
+            payload: Dict[str, object] = {
                 "status": "ok",
                 "uptime_s": round(time.monotonic() - daemon.started, 3),
                 "models": daemon.registry.names(),
                 "registry": daemon.registry.stats(),
                 "batcher": daemon.batcher.stats(),
                 "sanitizers": daemon.registry.sanitizer_reports(),
-            })
+                "workers": daemon.workers,
+            }
+            if daemon.pool is not None:
+                payload["pool"] = daemon.pool.stats()
+            self._reply(200, payload)
         elif self.path == "/v1/models":
             self._reply(200, {"models": self.daemon.registry.describe()})
         else:
@@ -214,12 +229,19 @@ class _HTTPServer(ThreadingHTTPServer):
 class ServingDaemon:
     """One warm multi-tenant serving process.
 
-    Composes the three serving pieces — :class:`ModelRegistry` (warm
-    sessions + LRU eviction), :class:`MicroBatcher` (request
-    coalescing) and a threading HTTP server — and owns their lifecycle.
-    ``port=0`` binds an ephemeral port (tests); :meth:`start` runs the
-    daemon on a background thread, :meth:`serve_forever` in the
-    foreground (the CLI).
+    Composes the serving pieces — :class:`ModelRegistry` (warm sessions
+    + LRU eviction), an optional :class:`~repro.engine.pool.
+    ExecutorPool` (``workers`` long-lived executor processes),
+    :class:`MicroBatcher` (request coalescing + dispatch) and a
+    threading HTTP server — and owns their lifecycle.  ``port=0`` binds
+    an ephemeral port (tests); :meth:`start` runs the daemon on a
+    background thread, :meth:`serve_forever` in the foreground (the
+    CLI).
+
+    ``workers > 1`` requires the ``fork`` start method; without it (or
+    at ``workers=1``) the daemon runs the in-process single-dispatcher
+    path, whose outputs are identical — ``workers`` is a pure
+    throughput knob.
     """
 
     def __init__(
@@ -229,10 +251,32 @@ class ServingDaemon:
         port: int = 8080,
         max_batch: int = 64,
         max_wait_ms: float = 2.0,
+        workers: int = 1,
     ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.registry = registry
+        #: Worker processes actually forked (1 = in-process path).
+        self.workers = workers if fork_available() else 1
+        self.pool: Optional[ExecutorPool] = None
+        if self.workers > 1:
+            # Forked before the batcher/HTTP threads exist: a child
+            # must never inherit a lock some service thread holds.
+            def pool_predict(tenant: str, images: np.ndarray) -> np.ndarray:
+                return registry.get(tenant).predict(images)
+
+            self.pool = ExecutorPool(
+                pool_predict,
+                self.workers,
+                child_init=registry.fork_child_reset,
+                child_stats=lambda: {"warm": registry.warm_names()},
+                fork_guard=registry.fork_guard,
+            )
         self.batcher = MicroBatcher(
-            registry, max_batch=max_batch, max_wait_ms=max_wait_ms
+            registry,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            pool=self.pool,
         )
         self._http = _HTTPServer((host, port), _Handler)
         self._http.serving_daemon = self  # type: ignore[attr-defined]
@@ -281,6 +325,8 @@ class ServingDaemon:
         self._http.shutdown()
         self._http.server_close()
         self.batcher.close()
+        if self.pool is not None:
+            self.pool.close()
         with self._lock:
             thread = self._thread
             self._thread = None

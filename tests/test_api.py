@@ -258,6 +258,34 @@ class TestSession:
         assert stats["resumes"] > 0
         assert stats["stages_skipped"] > 0
 
+    def test_shared_cache_quantize_bit_identical(
+        self, tiny_spec, trained_tiny, tiny_data
+    ):
+        """``shared_cache=True`` tiers the session executor over a
+        cross-process cache server: same search result bit-for-bit,
+        with the server actually holding published boundaries."""
+        from repro.engine import TieredPrefixCache, config_signature
+
+        _, test = tiny_data
+        data = (test.images[:128], test.labels[:128])
+        spec = tiny_spec.with_overrides(batch_size=32, workers=2)
+        plain = Session(spec, model=trained_tiny, test_data=data).quantize()
+        shared_session = Session(
+            spec, model=trained_tiny, test_data=data, shared_cache=True
+        )
+        shared = shared_session.quantize()
+        assert isinstance(shared_session.executor.cache, TieredPrefixCache)
+        assert plain.models().keys() == shared.models().keys()
+        for label, model in plain.models().items():
+            other = shared.models()[label]
+            assert other.accuracy == model.accuracy
+            assert config_signature(other.config) == config_signature(
+                model.config
+            )
+        stats = shared_session.executor.cache.shared_stats()
+        assert stats["stores"] > 0
+        assert stats["current_bytes"] <= stats["max_bytes"]
+
     def test_quantize_matches_deprecated_surface(self, session, trained_tiny):
         """The session path returns exactly what the old surface did."""
         result = session.quantize()

@@ -13,13 +13,16 @@ The serving acceptance criteria:
 """
 
 import json
+import os
 import threading
+import time
 import urllib.request
 
 import numpy as np
 import pytest
 
 from repro.api import ModelArtifact, QuantSpec, Session
+from repro.engine import ExecutorPool, fork_available
 from repro.quant import (
     QuantizationConfig,
     QuantizedCapsNet,
@@ -451,3 +454,324 @@ class TestClientErrors:
         with pytest.raises(ServeError, match="cannot reach") as excinfo:
             client.health()
         assert excinfo.value.status is None
+
+
+# ----------------------------------------------------------------------
+# Multi-worker daemon (persistent executor pool fan-out)
+# ----------------------------------------------------------------------
+MULTI_TENANTS = (
+    ("rtn", "RTN", 4),
+    ("trn", "TRN", 3),
+    ("rtne", "RTNE", 4),
+    ("sr", "SR", 4),
+)
+
+
+@pytest.fixture(scope="module")
+def four_tenant_registry(trained_tiny, tiny_data):
+    """All four rounding schemes, including non-coalescable SR."""
+    registry = ModelRegistry(max_warm=4, batch_size=32)
+    for name, scheme, qw in MULTI_TENANTS:
+        registry.register(
+            name,
+            artifact=_artifact(trained_tiny, tiny_data, scheme, qw=qw),
+            model=trained_tiny,
+        )
+    return registry
+
+
+@pytest.fixture(scope="module")
+def multi_daemon(four_tenant_registry):
+    daemon = ServingDaemon(
+        four_tenant_registry, port=0, max_batch=48, max_wait_ms=5.0,
+        workers=2,
+    )
+    with daemon:
+        yield daemon
+
+
+@pytest.fixture(scope="module")
+def multi_client(multi_daemon):
+    return Client(multi_daemon.url, timeout=300.0)
+
+
+@pytest.fixture(scope="module")
+def multi_offline(trained_tiny, tiny_data):
+    """Offline references for the four tenants.
+
+    Deterministic tenants are referenced by slicing one full-batch
+    prediction (per-sample independence).  The SR tenant's serving
+    model is returned instead: its draw stream restarts per predict
+    call, so the reference for a request must be computed on exactly
+    that request's slice.
+    """
+    _, test = tiny_data
+    images = test.images[:64]
+    spec = QuantSpec(model="shallow-tiny", dataset="digits", seed=1,
+                     batch_size=32)
+    session = Session(spec, model=trained_tiny,
+                      test_data=(images, test.labels[:64]))
+    refs = {"images": images}
+    for name, scheme, qw in MULTI_TENANTS:
+        serving = session.serve(
+            _artifact(trained_tiny, tiny_data, scheme, qw=qw)
+        )
+        refs[name] = serving if name == "sr" else serving.predict(images)
+    return refs
+
+
+def _multi_reference(multi_offline, name, lo, hi):
+    if name == "sr":
+        return multi_offline["sr"].predict(multi_offline["images"][lo:hi])
+    return multi_offline[name][lo:hi]
+
+
+class TestMultiWorkerDaemon:
+    def test_health_reports_pool(self, multi_daemon, multi_client):
+        health = multi_client.health()
+        assert health["workers"] == multi_daemon.workers
+        if multi_daemon.pool is not None:
+            rows = health["pool"]["rows"]
+            assert len(rows) == 2
+            assert all(row["alive"] for row in rows)
+
+    def test_concurrent_four_tenants_bit_identical(
+        self, multi_client, multi_offline
+    ):
+        """24 concurrent clients across all four schemes: every served
+        response must match the offline prediction bit-for-bit."""
+        images = multi_offline["images"]
+        results, errors = {}, []
+
+        def worker(index):
+            name = MULTI_TENANTS[index % 4][0]
+            lo = (index * 4) % 48
+            hi = lo + 8
+            try:
+                results[index] = (
+                    name, lo, hi, multi_client.predict(name, images[lo:hi])
+                )
+            except Exception as error:  # pragma: no cover - fails below
+                errors.append((index, error))
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(24)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        assert not errors, errors
+        assert len(results) == 24
+        for name, lo, hi, served in results.values():
+            assert np.array_equal(
+                served, _multi_reference(multi_offline, name, lo, hi)
+            ), (name, lo, hi)
+
+    def test_sr_requests_never_coalesce_under_pool(
+        self, multi_client, multi_offline
+    ):
+        response = multi_client.predict(
+            "sr", multi_offline["images"][:6], full_response=True
+        )
+        assert response["batched_with"] == 6  # its own samples only
+        served = np.asarray(response["predictions"], dtype=np.int64)
+        assert np.array_equal(
+            served, _multi_reference(multi_offline, "sr", 0, 6)
+        )
+
+    def test_workers_one_equals_pooled(
+        self, four_tenant_registry, multi_client, multi_offline
+    ):
+        """The pinned-degradation regression: workers=1 (no pool) must
+        produce exactly the pooled daemon's outputs."""
+        images = multi_offline["images"]
+        single = ServingDaemon(
+            four_tenant_registry, port=0, max_batch=48, max_wait_ms=5.0,
+            workers=1,
+        )
+        assert single.pool is None
+        with single:
+            client = Client(single.url, timeout=300.0)
+            for name, _, _ in MULTI_TENANTS:
+                pooled = multi_client.predict(name, images[8:16])
+                unpooled = client.predict(name, images[8:16])
+                assert np.array_equal(pooled, unpooled), name
+
+    def test_degrades_when_fork_unavailable(
+        self, four_tenant_registry, multi_offline, monkeypatch
+    ):
+        monkeypatch.setattr(
+            "repro.serve.server.fork_available", lambda: False
+        )
+        daemon = ServingDaemon(
+            four_tenant_registry, port=0, max_batch=48, max_wait_ms=5.0,
+            workers=4,
+        )
+        assert daemon.workers == 1
+        assert daemon.pool is None
+        with daemon:
+            client = Client(daemon.url, timeout=300.0)
+            served = client.predict("rtn", multi_offline["images"][:16])
+        assert np.array_equal(
+            served, _multi_reference(multi_offline, "rtn", 0, 16)
+        )
+
+    def test_validates_workers(self, four_tenant_registry):
+        with pytest.raises(ValueError, match="workers"):
+            ServingDaemon(four_tenant_registry, port=0, workers=0)
+
+
+# ----------------------------------------------------------------------
+# Batcher shutdown edges
+# ----------------------------------------------------------------------
+class TestBatcherShutdown:
+    def test_close_releases_inflight_lonely_head(
+        self, two_tenant_registry, offline
+    ):
+        """close() must cut a lonely head's companion wait short — the
+        ticket resolves and close returns well before max_wait_ms."""
+        batcher = MicroBatcher(
+            two_tenant_registry, max_batch=48, max_wait_ms=10_000.0
+        )
+        ticket = batcher.submit("rtn", offline["images"][:4])
+        time.sleep(0.3)  # dispatcher is now in the lonely-head wait
+        started = time.monotonic()
+        batcher.close(timeout=30.0)
+        elapsed = time.monotonic() - started
+        assert elapsed < 5.0
+        result = ticket.future.result(timeout=1.0)
+        assert np.array_equal(result, offline["rtn"][:4])
+
+    def test_submit_and_start_after_close_raise(self, two_tenant_registry):
+        batcher = MicroBatcher(two_tenant_registry).start()
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(
+                "rtn", np.zeros((1, 1, 14, 14), np.float32)
+            )
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.start()
+
+    @pytest.mark.skipif(
+        not fork_available(), reason="requires the fork start method"
+    )
+    def test_worker_crash_fails_only_that_batch(
+        self, trained_tiny, tiny_data, offline
+    ):
+        """A worker death surfaces on exactly the tickets of its batch;
+        the dispatcher respawns the slot and keeps serving."""
+        registry = ModelRegistry(max_warm=4, batch_size=32)
+        registry.register(
+            "rtn", artifact=_artifact(trained_tiny, tiny_data, "RTN"),
+            model=trained_tiny,
+        )
+
+        def predict_fn(tenant, images):
+            if float(images[0, 0, 0, 0]) == -1234.0:
+                os._exit(5)
+            return registry.get(tenant).predict(images)
+
+        pool = ExecutorPool(
+            predict_fn, workers=1,
+            child_init=registry.fork_child_reset,
+            fork_guard=registry.fork_guard,
+        )
+        batcher = MicroBatcher(
+            registry, max_batch=48, max_wait_ms=0.0, pool=pool
+        )
+        try:
+            poison = np.zeros((1, 1, 14, 14), np.float32)
+            poison[0, 0, 0, 0] = -1234.0
+            ticket = batcher.submit("rtn", poison)
+            with pytest.raises(RuntimeError, match="died mid-batch"):
+                ticket.future.result(timeout=60)
+            good = batcher.submit("rtn", offline["images"][:4])
+            assert np.array_equal(
+                good.future.result(timeout=120), offline["rtn"][:4]
+            )
+            stats = batcher.stats()
+            assert stats["worker_crashes"] == 1
+            assert pool.stats()["rows"][0]["restarts"] == 1
+        finally:
+            batcher.close()
+            pool.close()
+
+
+# ----------------------------------------------------------------------
+# Cross-tenant FIFO (arrival-order heaps)
+# ----------------------------------------------------------------------
+class TestBatcherFairness:
+    def test_fifo_across_many_tenants(self):
+        """Regression for the O(tenants) oldest-tenant scan: with many
+        tenants queued, batches must come out in arrival order of each
+        queue head — no tenant is skipped or starved."""
+        registry = ModelRegistry()  # unknown tenants: non-coalescable
+        batcher = MicroBatcher(registry, max_batch=4, max_wait_ms=0.0)
+        batcher.start = lambda: batcher  # drive _take_batch directly
+        images = np.zeros((1, 1, 2, 2), np.float32)
+        names = [f"t{index}" for index in range(8)]
+        submitted = []
+        for _ in range(2):
+            for name in names:
+                submitted.append(batcher.submit(name, images))
+        order = []
+        for _ in submitted:
+            group = batcher._take_batch(0)
+            assert len(group) == 1
+            order.append(group[0].seq)
+        assert order == [ticket.seq for ticket in submitted]
+
+    def test_head_order_with_coalescing(self, two_tenant_registry, offline):
+        """The oldest head wins across tenants, and serving a tenant
+        drains its whole queue into one forward."""
+        batcher = MicroBatcher(
+            two_tenant_registry, max_batch=64, max_wait_ms=0.0
+        )
+        batcher.start = lambda: batcher
+        images = offline["images"]
+        first = batcher.submit("rtn", images[:2])
+        second = batcher.submit("trn", images[2:4])
+        third = batcher.submit("rtn", images[4:6])
+        group = batcher._take_batch(0)
+        assert [ticket.seq for ticket in group] == [first.seq, third.seq]
+        group = batcher._take_batch(0)
+        assert [ticket.seq for ticket in group] == [second.seq]
+
+
+class TestRegistryForkHelpers:
+    def test_touch_counts_and_validates(self, trained_tiny, tiny_data):
+        registry = ModelRegistry(max_warm=4, batch_size=32)
+        registry.register(
+            "rtn", artifact=_artifact(trained_tiny, tiny_data, "RTN"),
+            model=trained_tiny,
+        )
+        registry.touch("rtn", requests=3)
+        assert registry.entry("rtn").requests == 3
+        with pytest.raises(RegistryError, match="unknown"):
+            registry.touch("nope")
+
+    def test_touch_refreshes_lru_recency(self, trained_tiny, tiny_data):
+        registry = ModelRegistry(max_warm=1, batch_size=32)
+        for name in ("a", "b"):
+            registry.register(
+                name,
+                artifact=_artifact(trained_tiny, tiny_data, "RTN"),
+                model=trained_tiny,
+            )
+        registry.get("a")  # a is warm
+        registry.touch("a")  # parent-side routing keeps it recent
+        registry.get("b")  # binding b evicts the LRU tenant...
+        assert registry.entry("b").warm
+        assert not registry.entry("a").warm  # ...which is still a (cold)
+
+    def test_fork_child_reset_rearms_lock(self):
+        registry = ModelRegistry()
+        guard = registry.fork_guard()
+        guard.acquire()  # simulate forking while held
+        registry.fork_child_reset()
+        assert registry.fork_guard() is not guard
+        with registry.fork_guard():  # the re-armed lock is usable
+            pass
+        guard.release()
