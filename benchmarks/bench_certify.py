@@ -1,0 +1,176 @@
+"""qprove certification bench — static range analysis vs runtime cost.
+
+The range certifier walks every forward stage symbolically, so its cost
+must stay negligible next to the quantized forwards it certifies —
+otherwise "certify on every export" is not a defensible default.  This
+bench times :func:`repro.analysis.certify_artifact` across the model
+zoo and all four rounding schemes and compares it against one sanitized
+quantized forward over a small batch.
+
+Hard assertions (every model x scheme arm):
+
+* the certificate PASSes at the default 32-bit accumulator;
+* cross-validation: the static per-layer code ranges contain every
+  pre-clip value the runtime :class:`FixedPointSanitizer` observes on
+  random inputs (zero violations);
+* provisioning detection: certifying at one bit below the tightest
+  layer's ``min_safe_bits`` FAILs and names at least one layer.
+
+The report lists per-arm certification time, forward time, the widest
+accumulator any layer needs, and the PASS margin against 32 bits.
+Run directly for CI smoke coverage::
+
+    PYTHONPATH=src python benchmarks/bench_certify.py --quick \
+        --json certify_quick.json
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))  # conftest/harness as a script
+
+import numpy as np
+
+from conftest import emit
+
+from repro.analysis import certify_artifact
+from repro.api import ModelArtifact
+from repro.autograd import Tensor, no_grad
+from repro.baselines import LeNet5
+from repro.lint.sanitizer import FixedPointSanitizer
+from repro.quant import (
+    QuantizationConfig,
+    QuantizedCapsNet,
+    calibrate_scales,
+    get_rounding_scheme,
+)
+
+SCHEMES = ("TRN", "RTN", "RTNE", "SR")
+BITS = {"qw": 6, "qa": 6, "qdr": 8}
+
+
+def make_artifact(model, scheme, scales, seed=0):
+    config = QuantizationConfig.uniform(list(model.quant_layers), **BITS)
+    quantized = QuantizedCapsNet(
+        model, config, get_rounding_scheme(scheme, seed=seed),
+        act_scales=scales, seed=seed,
+    )
+    return ModelArtifact.from_quantized(quantized)
+
+
+def certify_sweep(models, batch=8, seed=12345):
+    """(model x scheme) arms: timings, margins, zero-violation checks."""
+    rng = np.random.default_rng(seed)
+    arms = []
+    for name, model, side in models:
+        images = rng.random((batch, 1, side, side), dtype=np.float32)
+        scales = calibrate_scales(model, images)
+        for scheme in SCHEMES:
+            artifact = make_artifact(model, scheme, scales)
+
+            start = time.perf_counter()
+            certificate = certify_artifact(artifact, model=model)
+            certify_s = time.perf_counter() - start
+            assert certificate.passed, certificate.report()
+
+            bound = artifact.bind(model)
+            model.eval()
+            start = time.perf_counter()
+            with FixedPointSanitizer() as sanitizer, no_grad():
+                model.forward(Tensor(images), q=bound.context())
+            forward_s = time.perf_counter() - start
+            ranges = sanitizer.report().get("ranges", {})
+            violations = certificate.check_observed(ranges)
+            assert violations == [], violations
+
+            needed = max(c.min_safe_bits for c in certificate.layers)
+            tight = certify_artifact(
+                artifact, model=model, accumulator_bits=needed - 1
+            )
+            assert not tight.passed and tight.failures
+
+            arms.append({
+                "model": name,
+                "scheme": scheme,
+                "certify_ms": certify_s * 1e3,
+                "forward_ms": forward_s * 1e3,
+                "layers": len(certificate.layers),
+                "needed_bits": needed,
+                "margin_bits": certificate.accumulator_bits - needed,
+            })
+    return {"batch": batch, "arms": arms}
+
+
+def format_report(report):
+    lines = [
+        f"{'model':<14} {'scheme':<6} {'certify':>10} {'forward':>10} "
+        f"{'needs':>6} {'margin':>7}"
+    ]
+    for arm in report["arms"]:
+        lines.append(
+            f"{arm['model']:<14} {arm['scheme']:<6} "
+            f"{arm['certify_ms']:>8.1f}ms {arm['forward_ms']:>8.1f}ms "
+            f"{arm['needed_bits']:>4}b {arm['margin_bits']:>5}b"
+        )
+    lines.append(
+        "all arms: PASS @32b, zero cross-validation violations, "
+        "FAIL detected at needs-1 bits"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Pytest entry (runs on the cached trained ShallowCaps)
+# ----------------------------------------------------------------------
+def test_certify_bench(shallow_digits):
+    model, _ = shallow_digits
+    report = certify_sweep([("shallow-small", model, 28)], batch=8)
+    emit("certify", format_report(report))
+
+
+# ----------------------------------------------------------------------
+# Script entry (self-contained; used by the CI smoke job)
+# ----------------------------------------------------------------------
+def _zoo(quick):
+    from repro.api.session import build_model
+    from repro.capsnet import ShallowCaps, presets
+
+    if quick:
+        return [
+            ("shallow-tiny", ShallowCaps(presets.shallowcaps_tiny()), 14),
+            ("lenet5", LeNet5(seed=0), 28),
+        ]
+    return [
+        ("shallow-small", build_model("shallow-small", "digits"), 28),
+        ("deep-small", build_model("deep-small", "digits"), 28),
+        ("lenet5", LeNet5(seed=0), 28),
+    ]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny models only (CI smoke mode)",
+    )
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write the report as JSON to this path")
+    parser.add_argument("--batch", type=int, default=8,
+                        help="images per sanitized forward (default: 8)")
+    args = parser.parse_args(argv)
+
+    report = certify_sweep(_zoo(args.quick), batch=args.batch)
+    report["quick"] = args.quick
+    print(format_report(report))
+    if args.json is not None:
+        args.json.write_text(json.dumps(report, indent=2))
+        print(f"wrote {args.json}")
+    print("OK: static ranges contain every observed pre-clip value")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

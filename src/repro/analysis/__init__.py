@@ -1,8 +1,15 @@
-"""Architecture analysis: parameter, MAC and activation statistics.
+"""Architecture analysis and static range certification.
 
-Provides the analytic per-layer statistics behind the paper's Fig. 1
-(memory and MACs/memory comparison of ShallowCaps vs AlexNet vs LeNet)
-and the operation counts consumed by the hardware energy estimator.
+Two sub-packages share this namespace:
+
+* :mod:`repro.analysis.arch_stats` / :mod:`repro.analysis.comparison` —
+  the analytic per-layer statistics behind the paper's Fig. 1 (memory
+  and MACs/memory comparison of ShallowCaps vs AlexNet vs LeNet) and
+  the operation counts consumed by the hardware energy estimator;
+* :mod:`repro.analysis.interval` / :mod:`repro.analysis.qprove` — the
+  qprove abstract interpreter that propagates interval value ranges
+  through a bound model and certifies per-layer pre-clip code ranges
+  and minimum safe accumulator widths for a quantized artifact.
 """
 
 from repro.analysis.arch_stats import (
@@ -12,6 +19,14 @@ from repro.analysis.arch_stats import (
     shallowcaps_stats,
 )
 from repro.analysis.comparison import fig1_comparison
+from repro.analysis.interval import Interval
+from repro.analysis.qprove import (
+    Certificate,
+    CertificationError,
+    LayerCertificate,
+    certify_artifact,
+    certify_model,
+)
 
 __all__ = [
     "LayerStats",
@@ -19,4 +34,10 @@ __all__ = [
     "shallowcaps_stats",
     "deepcaps_stats",
     "fig1_comparison",
+    "Interval",
+    "Certificate",
+    "CertificationError",
+    "LayerCertificate",
+    "certify_artifact",
+    "certify_model",
 ]

@@ -1,0 +1,272 @@
+"""Interval arithmetic for the qprove range certifier.
+
+Everything here is *sound over-approximation*: each transfer function
+maps an interval enclosing every possible input element to an interval
+enclosing every possible output element of the corresponding concrete
+layer operation.  Tightness varies (the conv/matmul transfer assumes
+every input element can independently take any value in the interval —
+the classic positive/negative weight split), but containment is what
+the certifier proves and what the runtime
+:class:`~repro.lint.sanitizer.FixedPointSanitizer` cross-validates.
+
+Two families live here:
+
+* value-domain transfers (:func:`conv_interval`,
+  :func:`linear_interval`, :func:`relu_interval`,
+  :func:`squash_interval`, :func:`batchnorm_interval`, ...), operating
+  on :class:`Interval` objects in real arithmetic;
+* the fixed-point boundary (:func:`preclip_code_bounds`,
+  :func:`min_safe_bits`), which maps a value interval through a
+  rounding scheme to the integer codes the datapath accumulates
+  *before* clipping — the quantity an accumulator must hold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.quant.fixed_point import FixedPointFormat
+
+#: Relative / absolute widening applied to a value interval before code
+#: bounds are taken.  The interval transfers are exact over the reals,
+#: but the runtime forward accumulates in float32 — this margin absorbs
+#: that roundoff so real-arithmetic bounds stay sound for the float32
+#: datapath.
+FLOAT32_REL_SLACK = 1e-5
+FLOAT32_ABS_SLACK = 1e-7
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` over the reals."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise ValueError(f"interval bounds must not be NaN: {self}")
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval: lo={self.lo} > hi={self.hi}")
+
+    @classmethod
+    def point(cls, value: float) -> "Interval":
+        return cls(float(value), float(value))
+
+    @property
+    def max_abs(self) -> float:
+        return max(abs(self.lo), abs(self.hi))
+
+    def hull(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def hull_zero(self) -> "Interval":
+        """The hull with ``{0}`` (used for zero-padded convolutions)."""
+        return Interval(min(self.lo, 0.0), max(self.hi, 0.0))
+
+    def contains(self, lo: float, hi: float) -> bool:
+        return self.lo <= lo and hi <= self.hi
+
+    def widen(
+        self,
+        rel: float = FLOAT32_REL_SLACK,
+        abs_: float = FLOAT32_ABS_SLACK,
+    ) -> "Interval":
+        """Outward widening by a relative + absolute float32 margin."""
+        return Interval(
+            self.lo - rel * abs(self.lo) - abs_,
+            self.hi + rel * abs(self.hi) + abs_,
+        )
+
+
+def add_interval(a: Interval, b: Interval) -> Interval:
+    return Interval(a.lo + b.lo, a.hi + b.hi)
+
+
+def mul_interval(a: Interval, b: Interval) -> Interval:
+    """Interval product (hull of the four corner products)."""
+    corners = (a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi)
+    return Interval(min(corners), max(corners))
+
+
+def sum_of_terms(term: Interval, count: int) -> Interval:
+    """Interval of a sum of ``count`` values each drawn from ``term``."""
+    return Interval(term.lo * count, term.hi * count)
+
+
+def relu_interval(x: Interval) -> Interval:
+    return Interval(max(0.0, x.lo), max(0.0, x.hi))
+
+
+def softmax_interval() -> Interval:
+    """Softmax outputs lie in ``[0, 1]`` regardless of the logits."""
+    return Interval(0.0, 1.0)
+
+
+def squash_interval(x: Interval) -> Interval:
+    """Per-component bound for ``squash(s) = ‖s‖²/(1+‖s‖²) · s/‖s‖``.
+
+    Two facts give the bound: the output norm is < 1 for any input, and
+    the per-component scale factor ``‖s‖/(1+‖s‖²)`` never exceeds 1/2,
+    so ``|v_i| ≤ min(1, |s_i|/2)``.  Signs are preserved (the scale is
+    nonnegative), so one-sided inputs stay one-sided.
+    """
+    bound = min(1.0, 0.5 * x.max_abs)
+    lo = -bound if x.lo < 0.0 else 0.0
+    hi = bound if x.hi > 0.0 else 0.0
+    return Interval(lo, hi)
+
+
+def linear_interval(
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    x: Interval,
+) -> Interval:
+    """Bounds of ``W x (+ b)`` rows when every ``x`` element is in ``x``.
+
+    ``weight`` is interpreted as ``(units, fan_in)`` after flattening all
+    trailing axes; the result is the hull over units of the classic
+    positive/negative-weight split::
+
+        hi_u = x.hi · Σ max(w_u, 0) + x.lo · Σ min(w_u, 0) + b_u
+        lo_u = x.lo · Σ max(w_u, 0) + x.hi · Σ min(w_u, 0) + b_u
+    """
+    w = np.asarray(weight, dtype=np.float64).reshape(weight.shape[0], -1)
+    pos = np.clip(w, 0.0, None).sum(axis=1)
+    neg = np.clip(w, None, 0.0).sum(axis=1)
+    hi = x.hi * pos + x.lo * neg
+    lo = x.lo * pos + x.hi * neg
+    if bias is not None:
+        b = np.asarray(bias, dtype=np.float64).reshape(-1)
+        hi = hi + b
+        lo = lo + b
+    return Interval(float(lo.min()), float(hi.max()))
+
+
+def conv_interval(
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    x: Interval,
+    padding: Tuple[int, int] = (0, 0),
+) -> Interval:
+    """Bounds of a 2-D convolution output with a uniform input interval.
+
+    ``weight`` is ``(out_channels, in_channels, kh, kw)``.  Every output
+    position sees at most one weight tap per ``(in_channel, kh, kw)``
+    slot; with zero padding some taps read the zero-extended border, so
+    the input interval is first hulled with ``{0}`` — each tap's operand
+    then lies in the hull whether it is a real pixel or padding.
+    """
+    if padding[0] > 0 or padding[1] > 0:
+        x = x.hull_zero()
+    return linear_interval(weight, bias, x)
+
+
+def batchnorm_interval(
+    x: Interval,
+    mean: np.ndarray,
+    var: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    eps: float,
+) -> Interval:
+    """Per-channel affine ``(x - μ)/σ · γ + β`` hulled over channels."""
+    std = np.sqrt(np.asarray(var, dtype=np.float64) + eps)
+    a = np.asarray(gamma, dtype=np.float64).reshape(-1) / std.reshape(-1)
+    b = (
+        np.asarray(beta, dtype=np.float64).reshape(-1)
+        - np.asarray(mean, dtype=np.float64).reshape(-1) * a
+    )
+    lo_c = np.minimum(a * x.lo + b, a * x.hi + b)
+    hi_c = np.maximum(a * x.lo + b, a * x.hi + b)
+    return Interval(float(lo_c.min()), float(hi_c.max()))
+
+
+def array_interval(values: np.ndarray) -> Interval:
+    """The exact interval of a concrete array (e.g. frozen weights)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return Interval.point(0.0)
+    return Interval(float(values.min()), float(values.max()))
+
+
+# ----------------------------------------------------------------------
+# Fixed-point boundary: value intervals -> pre-clip integer code bounds
+# ----------------------------------------------------------------------
+def preclip_code_bounds(
+    x: Interval,
+    fmt: FixedPointFormat,
+    scale: float,
+    scheme: str,
+) -> Tuple[float, float]:
+    """Pre-clip integer-code bounds of quantizing values in ``x``.
+
+    Mirrors :meth:`repro.quant.rounding.RoundingScheme.apply`: values
+    are divided by ``scale``, multiplied by ``2^QF`` and rounded by the
+    scheme; the result is what the sanitizer observes *before* the clip
+    to the representable range — i.e. what an integer accumulator must
+    be able to hold.  Per-scheme envelopes:
+
+    * ``TRN``   — ``[⌊s_lo⌋, ⌊s_hi⌋]``
+    * ``RTN``   — ``[⌊s_lo + ½⌋, ⌊s_hi + ½⌋]``
+    * ``RTNE``  — ``[⌈s_lo − ½⌉, ⌊s_hi + ½⌋]`` (round-half-even is
+      within half a ULP of both round-half-up and round-half-down)
+    * ``SR``    — ``[⌊s_lo⌋, ⌈s_hi⌉]`` (the stochastic carry can round
+      any non-integer value up)
+
+    Bounds are returned as floats (they can exceed int64 for absurd
+    configurations); :func:`min_safe_bits` consumes them directly.
+    """
+    factor = 2.0 ** fmt.fractional_bits
+    s_lo = x.lo / scale * factor
+    s_hi = x.hi / scale * factor
+    if scheme == "TRN":
+        return math.floor(s_lo), math.floor(s_hi)
+    if scheme == "RTN":
+        return math.floor(s_lo + 0.5), math.floor(s_hi + 0.5)
+    if scheme == "RTNE":
+        return math.ceil(s_lo - 0.5), math.floor(s_hi + 0.5)
+    if scheme == "SR":
+        return math.floor(s_lo), math.ceil(s_hi)
+    raise ValueError(f"unknown rounding scheme '{scheme}'")
+
+
+#: Cap for :func:`min_safe_bits` — configurations needing more than this
+#: are unconditionally rejected (and float bounds lose integer precision
+#: far below it anyway).
+MAX_ACCUMULATOR_BITS = 128
+
+
+def min_safe_bits(code_lo: float, code_hi: float) -> int:
+    """Smallest two's-complement width holding ``[code_lo, code_hi]``.
+
+    The width ``n`` must satisfy ``-2^(n-1) <= code_lo`` and
+    ``code_hi <= 2^(n-1) - 1``.  Returns
+    :data:`MAX_ACCUMULATOR_BITS` when no width up to the cap fits.
+    """
+    for bits in range(1, MAX_ACCUMULATOR_BITS):
+        span = 2.0 ** (bits - 1)
+        if -span <= code_lo and code_hi <= span - 1.0:
+            return bits
+    return MAX_ACCUMULATOR_BITS
+
+
+def clip_codes_to_value_interval(
+    code_lo: float,
+    code_hi: float,
+    fmt: FixedPointFormat,
+    scale: float,
+) -> Interval:
+    """Value interval after clipping codes to ``fmt``'s range.
+
+    This is the post-hook interval: codes are clipped to
+    ``[int_min, int_max]`` and dequantized by ``2^-QF · scale``.
+    """
+    lo = max(code_lo, float(fmt.int_min))
+    hi = min(code_hi, float(fmt.int_max))
+    step = fmt.eps * scale
+    return Interval(lo * step, hi * step)

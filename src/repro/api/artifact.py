@@ -82,6 +82,10 @@ class ModelArtifact:
     report: Dict[str, object] = field(default_factory=dict)
     #: ``QuantSpec.to_dict()`` provenance (None for hand-built artifacts).
     spec: Optional[Dict[str, object]] = None
+    #: qprove range certificate (``Certificate.to_dict()``; None when
+    #: the artifact was never certified).  Embedded in the meta block on
+    #: save, so a loaded artifact carries its proof with it.
+    certificate: Optional[Dict[str, object]] = None
     version: int = ARTIFACT_VERSION
 
     # ------------------------------------------------------------------
@@ -186,6 +190,17 @@ class ModelArtifact:
         ]
         if self.accuracy is not None:
             lines.append(f"  search-time accuracy: {self.accuracy:.2f}%")
+        if self.certificate is not None:
+            verdict = "PASS" if self.certificate.get("passed") else "FAIL"
+            accumulator = self.certificate.get("accumulator_bits")
+            line = (
+                f"  range certificate: {verdict} "
+                f"(accumulator {accumulator} bits"
+            )
+            failures = self.certificate.get("failures") or []
+            if failures:
+                line += f"; under-provisioned: {', '.join(failures)}"
+            lines.append(line + ")")
         if self.spec is not None:
             lines.append(
                 f"  provenance: model={self.spec.get('model')} "
@@ -194,6 +209,41 @@ class ModelArtifact:
             )
         lines.append(self.config.describe())
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Certification
+    # ------------------------------------------------------------------
+    @property
+    def certified(self) -> bool:
+        """Whether the artifact carries a *passing* range certificate."""
+        return bool(self.certificate) and bool(self.certificate.get("passed"))
+
+    def certify(
+        self,
+        model: Optional[Module] = None,
+        accumulator_bits: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Run qprove on this artifact and embed the certificate.
+
+        Returns the certificate dict (also stored in
+        :attr:`certificate`, so a following :meth:`save` persists it).
+        With ``model=None`` the spec provenance rebuilds the model.
+        """
+        from repro.analysis.qprove import (
+            DEFAULT_ACCUMULATOR_BITS,
+            certify_artifact,
+        )
+
+        bits = (
+            accumulator_bits
+            if accumulator_bits is not None
+            else DEFAULT_ACCUMULATOR_BITS
+        )
+        certificate = certify_artifact(
+            self, model=model, accumulator_bits=bits
+        )
+        self.certificate = certificate.to_dict()
+        return self.certificate
 
     # ------------------------------------------------------------------
     # Serving
@@ -235,6 +285,7 @@ class ModelArtifact:
             "config": self.config.to_dict(),
             "act_scales": dict(self.act_scales),
             "report": self.report,
+            "certificate": self.certificate,
             "weight_meta": {
                 key: {
                     "integer_bits": fmt.integer_bits,
@@ -354,5 +405,6 @@ class ModelArtifact:
                 act_scales=dict(meta["act_scales"]),
                 report=dict(meta.get("report", {})),
                 spec=meta.get("spec"),
+                certificate=meta.get("certificate"),
                 version=version,
             )

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.api.artifact import ModelArtifact
+from repro.api.artifact import ArtifactError, ModelArtifact
 from repro.api.spec import MODEL_CHOICES, QuantSpec, SpecError
 from repro.capsnet import DeepCaps, ShallowCaps, presets
 from repro.data import Dataset, synth_cifar, synth_digits, synth_fashion
@@ -506,8 +506,9 @@ class Session:
 
         Accepts a full :class:`QCapsNetsResult` (packages its deployment
         pick, or ``chosen``) or a single :class:`QuantizedModelResult`.
-        The artifact embeds this session's spec as provenance; ``path``
-        additionally saves it.
+        The artifact embeds this session's spec as provenance and a
+        qprove range certificate when the model family is supported;
+        ``path`` additionally saves it.
         """
         if isinstance(result, QuantizedModelResult):
             quantized = QuantizedCapsNet(
@@ -542,18 +543,30 @@ class Session:
                 f"cannot export a {type(result).__name__}; expected "
                 "QCapsNetsResult or QuantizedModelResult"
             )
+        from repro.analysis.qprove import CertificationError
+
+        try:
+            artifact.certify(model=self.model)
+        except CertificationError:
+            # Model families without an abstract walker ship without a
+            # certificate; serve(require_certified=True) rejects them.
+            pass
         if path is not None:
             artifact.save(path)
         return artifact
 
     def serve(
-        self, artifact: Union[ModelArtifact, str, os.PathLike]
+        self,
+        artifact: Union[ModelArtifact, str, os.PathLike],
+        require_certified: bool = False,
     ) -> ServingModel:
         """Bind an artifact (or artifact path) for batched inference.
 
         No search work runs — the frozen codes are attached to the
         session's model and every query streams through in
-        ``spec.batch_size`` batches.
+        ``spec.batch_size`` batches.  ``require_certified`` refuses
+        artifacts that do not carry a *passing* qprove range
+        certificate.
         """
         if isinstance(artifact, (str, os.PathLike)):
             artifact = ModelArtifact.load(artifact)
@@ -561,6 +574,17 @@ class Session:
             raise TypeError(
                 f"cannot serve a {type(artifact).__name__}; expected a "
                 "ModelArtifact or a path to one"
+            )
+        if require_certified and not artifact.certified:
+            verdict = (
+                "a FAILED certificate"
+                if artifact.certificate
+                else "no certificate"
+            )
+            raise ArtifactError(
+                f"require_certified: artifact carries {verdict}; run "
+                "ModelArtifact.certify() (or 'qcapsnets certify "
+                "--artifact PATH --update') first"
             )
         return ServingModel(
             artifact.bind(self.model),

@@ -42,6 +42,11 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import deepcaps_stats, shallowcaps_stats
+from repro.analysis.qprove import (
+    DEFAULT_ACCUMULATOR_BITS,
+    CertificationError,
+    certify_artifact,
+)
 from repro.api import (
     DATASET_CHOICES,
     MODEL_CHOICES,
@@ -271,6 +276,36 @@ def cmd_predict(args) -> int:
     return 0
 
 
+def cmd_certify(args) -> int:
+    """Static range certification of a saved artifact (qprove).
+
+    Exit status: 0 when every layer's pre-clip code range fits the
+    accumulator width, 1 on a FAIL verdict.
+    """
+    artifact = ModelArtifact.load(args.artifact)
+    base = QuantSpec.from_dict(artifact.spec) if artifact.spec else None
+    spec = resolve_spec(args, base=base)
+    session = Session(spec)
+    try:
+        certificate = certify_artifact(
+            artifact,
+            model=session.model,
+            accumulator_bits=args.accumulator_bits,
+        )
+    except CertificationError as error:
+        raise SystemExit(f"error: {error}") from error
+    print(certificate.report())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(certificate.to_dict(), handle, indent=2)
+        print(f"wrote certificate to {args.out}")
+    if args.update:
+        artifact.certificate = certificate.to_dict()
+        artifact.save(args.artifact)
+        print(f"embedded certificate in {args.artifact}")
+    return 0 if certificate.passed else 1
+
+
 def parse_tenant(spec: str) -> tuple:
     """``[NAME=]PATH`` -> ``(name, path)``; the default name is the file
     stem with the ``.npz`` / ``.qcn`` suffixes stripped."""
@@ -292,6 +327,7 @@ def cmd_serve(args) -> int:
         max_warm=args.max_warm,
         batch_size=args.batch_size,
         sanitize=args.sanitize,
+        require_certified=args.require_certified,
     )
     for spec in args.artifact:
         name, path = parse_tenant(spec)
@@ -329,7 +365,13 @@ def cmd_lint(args) -> int:
 
     if args.rules:
         return list_rules()
-    return run_lint(args.paths, runtime=args.runtime or ())
+    return run_lint(
+        args.paths,
+        runtime=args.runtime or (),
+        select=args.select,
+        ignore=args.ignore,
+        json_output=args.json,
+    )
 
 
 def cmd_hw_report(args) -> int:
@@ -486,6 +528,26 @@ def build_parser() -> argparse.ArgumentParser:
                              "(needs --sanitize)")
     p_pred.set_defaults(fn=cmd_predict)
 
+    p_cert = sub.add_parser(
+        "certify",
+        help="qprove: statically certify an artifact's pre-clip code "
+             "ranges and accumulator widths (exit 1 on FAIL)",
+    )
+    _add_common_options(p_cert)
+    p_cert.add_argument("--artifact", required=True)
+    p_cert.add_argument("--weights", default=None,
+                        help="override the provenance weights path")
+    p_cert.add_argument("--accumulator-bits", type=int,
+                        default=DEFAULT_ACCUMULATOR_BITS,
+                        help="accumulator width the verdict is issued "
+                             f"against (default: {DEFAULT_ACCUMULATOR_BITS})")
+    p_cert.add_argument("--out", default=None, metavar="PATH",
+                        help="write the certificate as JSON")
+    p_cert.add_argument("--update", action="store_true",
+                        help="embed the certificate back into the "
+                             "artifact file")
+    p_cert.set_defaults(fn=cmd_certify)
+
     p_serve = sub.add_parser(
         "serve",
         help="serve saved artifacts over HTTP (warm sessions, "
@@ -518,13 +580,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--sanitize", action="store_true", default=None,
                          help="run every tenant under the fixed-point "
                               "sanitizer; counters appear in /healthz")
+    p_serve.add_argument("--require-certified", action="store_true",
+                         help="refuse artifacts without a passing qprove "
+                              "range certificate (see 'qcapsnets certify')")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_lint = sub.add_parser(
         "lint",
         help="quantization-aware static analysis "
-             "(stage deps, determinism, serve locking; non-zero exit "
-             "on findings)",
+             "(stage deps, determinism, serve locking; exit 0 clean, "
+             "1 on findings, 2 on usage errors)",
     )
     p_lint.add_argument(
         "paths", nargs="*", default=["src"], metavar="PATH",
@@ -537,6 +602,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument("--rules", action="store_true",
                         help="list the rule ids and exit")
+    p_lint.add_argument("--select", nargs="+", default=None, metavar="QLxxx",
+                        help="only report these rule ids "
+                             "(unknown ids exit 2)")
+    p_lint.add_argument("--ignore", nargs="+", default=None, metavar="QLxxx",
+                        help="drop these rule ids (wins over --select)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit one JSON document instead of text "
+                             "(findings + rule ids; no trailer line)")
     p_lint.set_defaults(fn=cmd_lint)
 
     p_hw = sub.add_parser("hw-report", help="hardware energy/latency report")

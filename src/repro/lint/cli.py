@@ -8,16 +8,26 @@ executes ``--runtime`` modules under a strict-origin
 :class:`~repro.lint.sanitizer.FixedPointSanitizer` to convert runtime
 overflow/NaN events into findings.
 
-Exit status is 0 when no findings survive suppression, 1 otherwise —
-the CI gate contract.
+Exit codes (the CI gate contract, also documented under ``qcapsnets
+lint --help``):
+
+* ``0`` — no findings survived suppression and rule filters;
+* ``1`` — at least one finding;
+* ``2`` — usage error (bad path, unknown rule id in
+  ``--select``/``--ignore``).
+
+``--select``/``--ignore`` restrict which rule ids can produce
+findings; ``--json`` replaces the text output with one machine-
+readable JSON document so CI can gate on exact rule sets.
 """
 
 from __future__ import annotations
 
 import importlib.util
+import json
 import os
 import sys
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Set
 
 from repro.lint import concurrency, determinism, stagedeps
 from repro.lint.findings import RULES, Finding
@@ -153,34 +163,97 @@ def _runtime_findings(runtime: Sequence[str]) -> List[Finding]:
     return findings
 
 
+def _validate_rules(
+    rules: Optional[Sequence[str]], flag: str,
+    emit: Callable[[str], None],
+) -> Optional[Set[str]]:
+    """Normalized rule-id set for a filter flag; None on bad input."""
+    if rules is None:
+        return set()
+    selected = {rule.strip().upper() for rule in rules if rule.strip()}
+    unknown = sorted(selected - set(RULES))
+    if unknown:
+        emit(
+            f"error: unknown rule id(s) for {flag}: {', '.join(unknown)} "
+            f"(see 'qcapsnets lint --rules')"
+        )
+        return None
+    return selected
+
+
 def run_lint(
     paths: Sequence[str],
     runtime: Sequence[str] = (),
     emit: Optional[Callable[[str], None]] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    json_output: bool = False,
 ) -> int:
-    """Run every analyzer; print findings; return the exit status."""
+    """Run every analyzer; print findings; return the exit status.
+
+    ``select`` keeps only the named rule ids, ``ignore`` drops them
+    (ignore wins on overlap); unknown ids exit 2.  ``json_output``
+    emits one JSON document instead of the line-per-finding text.
+    """
     emit = emit if emit is not None else lambda line: print(line)
+    selected = _validate_rules(select, "--select", emit)
+    ignored = _validate_rules(ignore, "--ignore", emit)
+    if selected is None or ignored is None:
+        return 2
     try:
         files = _iter_python_files(paths)
     except FileNotFoundError as error:
         emit(f"error: {error}")
         return 2
 
+    # Lock ownership is a run-level property: collect every lock-owning
+    # class first so cross-class acquisition (``with worker.lock:``)
+    # resolves across module boundaries.
+    sources = {}
+    cross_locks: Set[str] = set()
+    for path in files:
+        with open(path, "r", encoding="utf-8") as handle:
+            sources[path] = handle.read()
+        for attrs in concurrency.lock_owner_attrs(sources[path]).values():
+            cross_locks |= attrs
+
     findings: List[Finding] = []
     for path in files:
         findings.extend(determinism.check_file(path))
-        findings.extend(concurrency.check_file(path))
+        findings.extend(concurrency.check_source(
+            sources[path], path, cross_locks=cross_locks
+        ))
     findings.extend(_stage_findings(files))
     findings.extend(_runtime_findings(runtime))
 
+    if selected:
+        findings = [f for f in findings if f.rule in selected]
+    if ignored:
+        findings = [f for f in findings if f.rule not in ignored]
+
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    for finding in findings:
-        emit(finding.format())
     rules = sorted({f.rule for f in findings})
-    emit(
-        f"qlint: {len(files)} file(s), {len(findings)} finding(s)"
-        + (f" [{', '.join(rules)}]" if rules else "")
-    )
+    if json_output:
+        emit(json.dumps({
+            "files": len(files),
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+            "rules": rules,
+        }, indent=2))
+    else:
+        for finding in findings:
+            emit(finding.format())
+        emit(
+            f"qlint: {len(files)} file(s), {len(findings)} finding(s)"
+            + (f" [{', '.join(rules)}]" if rules else "")
+        )
     return 1 if findings else 0
 
 

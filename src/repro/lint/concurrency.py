@@ -1,4 +1,4 @@
-"""Serve concurrency audit (rule QL020).
+"""Serve concurrency audit (rules QL020/QL021).
 
 The serving daemon shares state across threads: HTTP handler threads
 (the ``ThreadingHTTPServer`` pool) submit requests and read ``/healthz``
@@ -16,8 +16,28 @@ checkable:
   ``__init__`` must be lexically inside ``with self.<lock>:`` for one
   of the class's locks, or be covered by a
   ``# qlint: guarded-by(<lock>)`` annotation — on the access line, or
-  on the method's ``def`` line to assert the whole method is only
-  called with the lock held.
+  on the method's ``def`` line (or a decorator line of a decorated
+  ``def``) to assert the whole method is only called with the lock
+  held.
+
+Lock ownership is collected **across the whole lint run**
+(:func:`lock_owner_attrs`), so holding *another* object's lock counts:
+``with worker.lock:`` is recognized whenever ``lock`` is a lock
+attribute of some lock-owning class anywhere in the analyzed tree (the
+multiprocess pool's ``_Worker`` slots, the registry, ...).  A method
+that acquires ``<name>.<lock>`` takes responsibility for ``<name>``:
+every *rebind* of that receiver's attributes in the same method must
+also be under the lock (or carry a ``guarded-by`` naming a known lock,
+own or cross-class).
+
+Rule QL021 audits the fork boundary: a class that spawns
+``multiprocessing.Process(target=self.<method>)`` hands that method an
+inherited copy of every lock and shared attribute.  If the child entry
+acquires a known lock or mutates ``self`` state, the class must opt in
+to the fork protocol — reference ``fork_guard`` (quiesce before
+forking), ``child_init``, or ``fork_child_reset`` (re-arm inherited
+state in the child) somewhere in its body — or the spawn is flagged: a
+lock captured mid-acquisition by ``fork`` deadlocks the child.
 
 Known limitation (documented, deliberate): mutating a container bound
 once in ``__init__`` (``self._queues.setdefault(...)``) is a *read* of
@@ -39,6 +59,12 @@ from repro.lint.findings import (
 )
 
 _LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+
+#: Identifiers whose presence in a class body registers it with the
+#: fork protocol (see module docstring and :mod:`repro.engine.pool`).
+_FORK_PROTOCOL_NAMES = frozenset(
+    {"child_init", "fork_guard", "fork_child_reset"}
+)
 
 
 def _is_lock_construction(node: ast.AST, threading_names: Set[str]) -> bool:
@@ -66,26 +92,96 @@ def _threading_aliases(tree: ast.Module) -> Set[str]:
     return names
 
 
+def _class_methods(classdef: ast.ClassDef) -> List[ast.FunctionDef]:
+    return [
+        node for node in classdef.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _class_lock_attrs(
+    classdef: ast.ClassDef, threading_names: Set[str]
+) -> Set[str]:
+    """Lock attributes bound in the class's ``__init__``."""
+    init = next(
+        (m for m in _class_methods(classdef) if m.name == "__init__"), None
+    )
+    if init is None:
+        return set()
+    init_self = _self_name(init)
+    if init_self is None:
+        return set()
+    lock_attrs: Set[str] = set()
+    for node in ast.walk(init):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == init_self
+                    and _is_lock_construction(node.value, threading_names)
+                ):
+                    lock_attrs.add(target.attr)
+    return lock_attrs
+
+
+def lock_owner_attrs(source: str) -> Dict[str, Set[str]]:
+    """``{class name: lock attributes}`` for every lock-owning class.
+
+    The lint runner unions these over *all* analyzed files before
+    checking any of them, so cross-class lock acquisition
+    (``with worker.lock:``) resolves across module boundaries.
+    Unparseable sources contribute nothing (the parse error itself is
+    reported by :func:`check_source`).
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return {}
+    threading_names = _threading_aliases(tree)
+    owners: Dict[str, Set[str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            attrs = _class_lock_attrs(node, threading_names)
+            if attrs:
+                owners[node.name] = attrs
+    return owners
+
+
 class _Access:
-    __slots__ = ("attr", "line", "store", "method", "held")
+    __slots__ = ("attr", "line", "store", "method", "held", "receiver")
 
     def __init__(self, attr: str, line: int, store: bool, method: str,
-                 held: Tuple[str, ...]):
+                 held: Tuple[str, ...], receiver: Optional[str] = None):
         self.attr = attr
         self.line = line
         self.store = store
         self.method = method
         self.held = held
+        #: None for ``self.<attr>``; the variable name for accesses
+        #: through another lock-owning object (``worker.<attr>``).
+        self.receiver = receiver
 
 
 class _MethodWalker:
-    """Collects ``self.X`` accesses with the lock set held at each."""
+    """Collects attribute accesses with the lock set held at each.
 
-    def __init__(self, self_name: str, lock_attrs: Set[str], method: str):
+    ``held`` entries are the bare attribute name for the class's own
+    locks (``with self._lock:``) and ``"<receiver>.<attr>"`` for
+    cross-class locks (``with worker.lock:``).  Receivers whose lock
+    the method acquires anywhere are recorded in ``assoc`` — only those
+    receivers' rebinds are audited (a method that never takes
+    ``entry``'s lock makes no claim about ``entry``).
+    """
+
+    def __init__(self, self_name: str, lock_attrs: Set[str],
+                 cross_locks: Set[str], method: str):
         self.self_name = self_name
         self.lock_attrs = lock_attrs
+        self.cross_locks = cross_locks
         self.method = method
         self.accesses: List[_Access] = []
+        self.assoc: Set[str] = set()
 
     def walk(self, stmts: List[ast.stmt], held: Tuple[str, ...]) -> None:
         for stmt in stmts:
@@ -126,26 +222,46 @@ class _MethodWalker:
         if (
             isinstance(expr, ast.Attribute)
             and isinstance(expr.value, ast.Name)
-            and expr.value.id == self.self_name
-            and expr.attr in self.lock_attrs
         ):
-            return expr.attr
+            if (
+                expr.value.id == self.self_name
+                and expr.attr in self.lock_attrs
+            ):
+                return expr.attr
+            if (
+                expr.value.id != self.self_name
+                and expr.attr in self.cross_locks
+            ):
+                self.assoc.add(expr.value.id)
+                return f"{expr.value.id}.{expr.attr}"
         return None
 
     def _collect(self, expr: ast.AST, held: Tuple[str, ...]) -> None:
         for node in ast.walk(expr):
-            if (
+            if not (
                 isinstance(node, ast.Attribute)
                 and isinstance(node.value, ast.Name)
-                and node.value.id == self.self_name
-                and node.attr not in self.lock_attrs
             ):
+                continue
+            receiver = node.value.id
+            if receiver == self.self_name:
+                if node.attr in self.lock_attrs:
+                    continue
                 self.accesses.append(_Access(
                     node.attr,
                     node.lineno,
                     isinstance(node.ctx, (ast.Store, ast.Del)),
                     self.method,
                     held,
+                ))
+            elif node.attr not in self.cross_locks:
+                self.accesses.append(_Access(
+                    node.attr,
+                    node.lineno,
+                    isinstance(node.ctx, (ast.Store, ast.Del)),
+                    self.method,
+                    held,
+                    receiver=receiver,
                 ))
 
 
@@ -155,79 +271,255 @@ def _self_name(fdef: ast.FunctionDef) -> Optional[str]:
     return None
 
 
+def _method_guard(
+    method: ast.FunctionDef, guards: Dict[int, str]
+) -> Optional[str]:
+    """A ``guarded-by`` annotation covering the whole method body.
+
+    Recognized on the ``def`` line itself and — for decorated functions,
+    where the visual anchor is ambiguous — on any decorator line.
+    """
+    guard = guards.get(method.lineno)
+    if guard is not None:
+        return guard
+    for decorator in method.decorator_list:
+        guard = guards.get(decorator.lineno)
+        if guard is not None:
+            return guard
+    return None
+
+
 def _check_class(
     classdef: ast.ClassDef,
     threading_names: Set[str],
     guards: Dict[int, str],
     path: str,
+    cross_locks: Set[str],
 ) -> List[Finding]:
-    methods = [
-        node for node in classdef.body
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-    ]
-    init = next((m for m in methods if m.name == "__init__"), None)
-    if init is None:
+    lock_attrs = _class_lock_attrs(classdef, threading_names)
+    if not lock_attrs and not cross_locks:
         return []
-    init_self = _self_name(init)
-    if init_self is None:
-        return []
+    known_locks = lock_attrs | cross_locks
 
-    lock_attrs: Set[str] = set()
-    for node in ast.walk(init):
-        if isinstance(node, ast.Assign):
-            for target in node.targets:
-                if (
-                    isinstance(target, ast.Attribute)
-                    and isinstance(target.value, ast.Name)
-                    and target.value.id == init_self
-                    and _is_lock_construction(node.value, threading_names)
-                ):
-                    lock_attrs.add(target.attr)
-    if not lock_attrs:
-        return []
-
-    accesses: List[_Access] = []
+    walkers: List[_MethodWalker] = []
     method_guards: Dict[str, str] = {}
-    for method in methods:
+    for method in _class_methods(classdef):
         if method.name == "__init__":
             continue
         self_name = _self_name(method)
         if self_name is None:
             continue
-        guard = guards.get(method.lineno)
+        guard = _method_guard(method, guards)
         if guard is not None:
             method_guards[method.name] = guard
-        walker = _MethodWalker(self_name, lock_attrs, method.name)
+        walker = _MethodWalker(self_name, lock_attrs, cross_locks, method.name)
         walker.walk(method.body, ())
-        accesses.extend(walker.accesses)
+        walkers.append(walker)
 
-    shared = {access.attr for access in accesses if access.store}
-    findings: List[Finding] = []
-    for access in accesses:
-        if access.attr not in shared:
-            continue
-        if access.held:
-            continue
+    def guarded(access: _Access) -> bool:
         method_guard = method_guards.get(access.method)
-        if method_guard is not None and method_guard in lock_attrs:
-            continue
+        if method_guard is not None and method_guard in known_locks:
+            return True
         line_guard = guards.get(access.line)
-        if line_guard is not None and line_guard in lock_attrs:
+        return line_guard is not None and line_guard in known_locks
+
+    findings: List[Finding] = []
+
+    # Own-lock rule: shared self attributes of a lock-owning class.
+    if lock_attrs:
+        self_accesses = [
+            a for w in walkers for a in w.accesses if a.receiver is None
+        ]
+        shared = {a.attr for a in self_accesses if a.store}
+        for access in self_accesses:
+            if access.attr not in shared:
+                continue
+            if access.held:
+                continue
+            if guarded(access):
+                continue
+            locks = "/".join(sorted(lock_attrs))
+            kind = "write to" if access.store else "read of"
+            findings.append(Finding(
+                "QL020", path, access.line,
+                f"unguarded {kind} shared attribute "
+                f"'self.{access.attr}' in {classdef.name}.{access.method}: "
+                f"hold 'with self.{locks}:' or annotate the line/method "
+                f"with # qlint: guarded-by(<lock>)",
+            ))
+
+    # Cross-class rule: a method that takes some receiver's lock must
+    # keep that receiver's rebinds under it.
+    for walker in walkers:
+        for access in walker.accesses:
+            if access.receiver is None or not access.store:
+                continue
+            if access.receiver not in walker.assoc:
+                continue
+            if any(
+                h.startswith(access.receiver + ".") for h in access.held
+            ):
+                continue
+            if guarded(access):
+                continue
+            findings.append(Finding(
+                "QL020", path, access.line,
+                f"unguarded write to '{access.receiver}.{access.attr}' in "
+                f"{classdef.name}.{access.method}: the method acquires "
+                f"'{access.receiver}'s lock elsewhere, so every rebind of "
+                f"its attributes must hold it (or carry "
+                f"# qlint: guarded-by(<lock>))",
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# QL021: fork-child entry points vs inherited locks/state
+# ----------------------------------------------------------------------
+def _mentions_fork_protocol(classdef: ast.ClassDef) -> bool:
+    for node in ast.walk(classdef):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in _FORK_PROTOCOL_NAMES
+        ):
+            return True
+        if isinstance(node, ast.Name) and node.id in _FORK_PROTOCOL_NAMES:
+            return True
+        if isinstance(node, ast.arg) and node.arg in _FORK_PROTOCOL_NAMES:
+            return True
+        if (
+            isinstance(node, ast.keyword)
+            and node.arg in _FORK_PROTOCOL_NAMES
+        ):
+            return True
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and node.value in _FORK_PROTOCOL_NAMES
+        ):
+            return True
+    return False
+
+
+def _fork_spawns(classdef: ast.ClassDef) -> List[Tuple[ast.Call, str]]:
+    """``(call, entry method name)`` for ``Process(target=self.m)``."""
+    spawns: List[Tuple[ast.Call, str]] = []
+    for method in _class_methods(classdef):
+        self_name = _self_name(method)
+        if self_name is None:
             continue
-        locks = "/".join(sorted(lock_attrs))
-        kind = "write to" if access.store else "read of"
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                callee = func.attr
+            elif isinstance(func, ast.Name):
+                callee = func.id
+            else:
+                continue
+            if callee != "Process":
+                continue
+            for keyword in node.keywords:
+                if (
+                    keyword.arg == "target"
+                    and isinstance(keyword.value, ast.Attribute)
+                    and isinstance(keyword.value.value, ast.Name)
+                    and keyword.value.value.id == self_name
+                ):
+                    spawns.append((node, keyword.value.attr))
+    return spawns
+
+
+def _child_entry_hazards(
+    entry: ast.FunctionDef, known_locks: Set[str]
+) -> List[str]:
+    """Lock acquisitions / shared-state mutations in a fork child entry."""
+    self_name = _self_name(entry)
+    if self_name is None:
+        return []
+    hazards: List[str] = []
+    for node in ast.walk(entry):
+        if isinstance(node, ast.With):
+            for item in node.items:
+                expr = item.context_expr
+                if (
+                    isinstance(expr, ast.Attribute)
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == self_name
+                    and expr.attr in known_locks
+                ):
+                    hazards.append(
+                        f"acquires inherited lock 'self.{expr.attr}'"
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "acquire"
+                and isinstance(func.value, ast.Attribute)
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id == self_name
+                and func.value.attr in known_locks
+            ):
+                hazards.append(
+                    f"acquires inherited lock 'self.{func.value.attr}'"
+                )
+        elif (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.ctx, (ast.Store, ast.Del))
+            and isinstance(node.value, ast.Name)
+            and node.value.id == self_name
+        ):
+            hazards.append(f"mutates shared attribute 'self.{node.attr}'")
+    return hazards
+
+
+def _check_fork_children(
+    classdef: ast.ClassDef,
+    threading_names: Set[str],
+    path: str,
+    cross_locks: Set[str],
+) -> List[Finding]:
+    spawns = _fork_spawns(classdef)
+    if not spawns:
+        return []
+    if _mentions_fork_protocol(classdef):
+        return []
+    known_locks = _class_lock_attrs(classdef, threading_names) | cross_locks
+    methods = {m.name: m for m in _class_methods(classdef)}
+    findings: List[Finding] = []
+    for call, entry_name in spawns:
+        entry = methods.get(entry_name)
+        if entry is None:
+            continue  # target defined elsewhere: out of scope
+        hazards = _child_entry_hazards(entry, known_locks)
+        if not hazards:
+            continue
+        extra = (
+            f" (+{len(hazards) - 1} more hazard(s))"
+            if len(hazards) > 1 else ""
+        )
         findings.append(Finding(
-            "QL020", path, access.line,
-            f"unguarded {kind} shared attribute "
-            f"'self.{access.attr}' in {classdef.name}.{access.method}: "
-            f"hold 'with self.{locks}:' or annotate the line/method "
-            f"with # qlint: guarded-by(<lock>)",
+            "QL021", path, call.lineno,
+            f"fork child entry {classdef.name}.{entry_name} "
+            f"{hazards[0]}{extra} but the class registers no fork "
+            f"protocol: bracket forks with fork_guard and re-arm "
+            f"inherited state via child_init/fork_child_reset",
         ))
     return findings
 
 
-def check_source(source: str, path: str) -> List[Finding]:
-    """QL020 findings for one file's source text."""
+def check_source(
+    source: str, path: str, cross_locks: Optional[Set[str]] = None
+) -> List[Finding]:
+    """QL020/QL021 findings for one file's source text.
+
+    ``cross_locks`` is the run-wide union of lock attribute names from
+    every lock-owning class (:func:`lock_owner_attrs`); this file's own
+    classes are always included, so single-file checks see their local
+    cross-class locks without a registry.
+    """
     try:
         tree = ast.parse(source)
     except SyntaxError as error:
@@ -236,15 +528,23 @@ def check_source(source: str, path: str) -> List[Finding]:
         )]
     threading_names = _threading_aliases(tree)
     guards = parse_guards(source)
+    all_cross: Set[str] = set(cross_locks) if cross_locks else set()
+    for attrs in lock_owner_attrs(source).values():
+        all_cross |= attrs
     findings: List[Finding] = []
     for node in ast.walk(tree):
         if isinstance(node, ast.ClassDef):
             findings.extend(
-                _check_class(node, threading_names, guards, path)
+                _check_class(node, threading_names, guards, path, all_cross)
+            )
+            findings.extend(
+                _check_fork_children(node, threading_names, path, all_cross)
             )
     return filter_suppressed(findings, parse_suppressions(source))
 
 
-def check_file(path: str) -> List[Finding]:
+def check_file(
+    path: str, cross_locks: Optional[Set[str]] = None
+) -> List[Finding]:
     with open(path, "r", encoding="utf-8") as handle:
-        return check_source(handle.read(), path)
+        return check_source(handle.read(), path, cross_locks=cross_locks)

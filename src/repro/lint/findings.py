@@ -29,6 +29,9 @@ RULES: Dict[str, str] = {
              "RoundingScheme.apply / executor-managed resume state",
     "QL020": "shared attribute of a lock-owning class accessed outside "
              "its lock (annotate # qlint: guarded-by(<lock>))",
+    "QL021": "fork-child entry method acquires inherited locks or "
+             "mutates shared state without a fork_guard/child_init/"
+             "fork_child_reset protocol registration",
     "QL030": "runtime sanitizer: fixed-point overflow/saturation events",
     "QL031": "runtime sanitizer: NaN values reached a quantization hook",
 }

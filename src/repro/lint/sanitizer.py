@@ -102,6 +102,11 @@ class FixedPointSanitizer:
         self.counters: Dict[str, Dict[str, int]] = {}
         #: ``(layer, kind) -> (path, line)`` of the first event.
         self.origins: Dict[Tuple[str, str], Tuple[str, int]] = {}
+        #: Per-layer observed *pre-clip* code extrema ``[lo, hi]``
+        #: (NaN-free).  This is the runtime trace the qprove static
+        #: certificate must over-approximate — the cross-validation
+        #: oracle of ``tests/test_qprove.py``.
+        self.ranges: Dict[str, List[float]] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -147,12 +152,25 @@ class FixedPointSanitizer:
         nan = int(np.isnan(codes).sum())
         overflow = int((codes < int_min).sum() + (codes > int_max).sum())
         label = _current_label()
+        lo = hi = None
+        if codes.size and nan < codes.size:
+            # NaN-safe pre-clip extrema (ignores poison values, which
+            # are counted separately and fail strict mode anyway).
+            lo = float(np.nanmin(codes))
+            hi = float(np.nanmax(codes))
         with self._lock:
             counters = self.counters.setdefault(label, _new_counters())
             counters["calls"] += 1
             counters["elements"] += int(codes.size)
             counters["overflow"] += overflow
             counters["nan"] += nan
+            if lo is not None:
+                observed = self.ranges.get(label)
+                if observed is None:
+                    self.ranges[label] = [lo, hi]
+                else:
+                    observed[0] = min(observed[0], lo)
+                    observed[1] = max(observed[1], hi)
         if overflow and self.capture_origin:
             self._capture_origin(label, "overflow")
         if nan:
@@ -222,11 +240,17 @@ class FixedPointSanitizer:
                 f"{label}:{kind}": [path, line]
                 for (label, kind), (path, line) in sorted(self.origins.items())
             }
+            ranges = {
+                label: list(bounds)
+                for label, bounds in sorted(self.ranges.items())
+            }
         totals = _new_counters()
         for counters in layers.values():
             for key in totals:
                 totals[key] += counters[key]
         result: Dict[str, object] = {"layers": layers, "totals": totals}
+        if ranges:
+            result["ranges"] = ranges
         if origins:
             result["origins"] = origins
         return result

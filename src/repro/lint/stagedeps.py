@@ -308,9 +308,25 @@ def required_fields(fn: Callable) -> Set[str]:
 
 
 def _stage_location(fn: Callable) -> Tuple[str, int]:
+    """``(path, line)`` of the stage function's ``def`` statement.
+
+    ``co_firstlineno`` points at the *first decorator* of a decorated
+    function; findings should anchor on the ``def`` line (where
+    reviewers look and where ``# qlint:`` annotations live), so the
+    decorator prefix length is re-derived from the parsed source.
+    """
     func, _ = _underlying_function(fn)
     code = func.__code__
-    return code.co_filename, code.co_firstlineno
+    fdef = _function_def(func)
+    if fdef is None:
+        return code.co_filename, code.co_firstlineno
+    try:
+        _, start = inspect.getsourcelines(func)
+    except (OSError, TypeError):
+        return code.co_filename, code.co_firstlineno
+    # ``start`` is the snippet's first line (decorators included);
+    # ``fdef.lineno`` is the 1-based ``def`` line within the snippet.
+    return code.co_filename, start + fdef.lineno - 1
 
 
 def check_model(model: object) -> List[Finding]:

@@ -111,6 +111,10 @@ class ModelRegistry:
         Force the fixed-point sanitizer on (``True``) or off
         (``False``) for every warm model; ``None`` keeps each
         artifact's own ``spec.sanitize``.
+    require_certified:
+        Refuse to register artifacts that do not carry a *passing*
+        qprove range certificate (static proof that no layer's
+        pre-clip codes can exceed the provisioned accumulator width).
     """
 
     def __init__(
@@ -118,6 +122,7 @@ class ModelRegistry:
         max_warm: int = 4,
         batch_size: Optional[int] = None,
         sanitize: Optional[bool] = None,
+        require_certified: bool = False,
     ):
         if max_warm < 1:
             raise ValueError(f"max_warm must be >= 1, got {max_warm}")
@@ -126,6 +131,7 @@ class ModelRegistry:
         self.max_warm = max_warm
         self.batch_size = batch_size
         self.sanitize = sanitize
+        self.require_certified = require_certified
         #: Insertion order is LRU order: least recently used first.
         self._entries: "OrderedDict[str, RegisteredModel]" = OrderedDict()
         self._lock = threading.Lock()
@@ -157,6 +163,17 @@ class ModelRegistry:
             raise ArtifactError(
                 f"artifact {name!r} carries no spec provenance; pass "
                 "model= to serve it"
+            )
+        if self.require_certified and not artifact.certified:
+            verdict = (
+                "a FAILED certificate"
+                if artifact.certificate
+                else "no certificate"
+            )
+            raise RegistryError(
+                f"artifact {name!r} carries {verdict} but this registry "
+                "requires certified artifacts; run 'qcapsnets certify "
+                "--artifact PATH --update' first"
             )
         with self._lock:
             if name in self._entries:

@@ -1,0 +1,26 @@
+"""Cross-class QL020 fixture: a slot rebound outside its own lock.
+
+``Pool.tick`` acquires ``slot.lock`` — taking responsibility for the
+slot's attributes — but rebinds ``slot.calls`` again after releasing
+it.  ``lock`` is a lock attribute of the lock-owning ``Slot`` class,
+which the analyzer resolves across classes (and, in a full lint run,
+across modules).
+"""
+
+import threading
+
+
+class Slot:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.calls = 0
+
+
+class Pool:
+    def __init__(self):
+        self.slots = [Slot()]
+
+    def tick(self, slot):
+        with slot.lock:
+            slot.calls += 1
+        slot.calls += 1

@@ -1,0 +1,27 @@
+"""QL021 fixture: fork child entry touches inherited state, no protocol.
+
+``_child_main`` runs in a forked process but acquires the lock (and
+rebinds an attribute) inherited from the parent; the class never
+references ``fork_guard``/``child_init``/``fork_child_reset``, so a
+lock captured mid-acquisition by the fork deadlocks the child.
+"""
+
+import multiprocessing
+import threading
+
+
+class Runner:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.started = 0
+
+    def start(self):
+        process = multiprocessing.get_context("fork").Process(
+            target=self._child_main, daemon=True
+        )
+        process.start()
+        return process
+
+    def _child_main(self):
+        with self._lock:
+            self.started = 1

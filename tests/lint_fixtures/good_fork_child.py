@@ -1,0 +1,35 @@
+"""Fork child entry with the fork protocol registered: no findings.
+
+Mirrors the shipped pool/registry pattern: forks are bracketed by
+``fork_guard`` (the child's inherited state is never mid-mutation) and
+the child re-arms inherited locks via ``fork_child_reset`` before
+touching shared attributes.
+"""
+
+import multiprocessing
+import threading
+
+
+class GuardedRunner:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.child_generation = 0
+
+    def fork_guard(self):
+        return self._lock
+
+    def fork_child_reset(self):
+        self._lock = threading.Lock()
+
+    def start(self):
+        with self.fork_guard():
+            process = multiprocessing.get_context("fork").Process(
+                target=self._child_main, daemon=True
+            )
+            process.start()
+        return process
+
+    def _child_main(self):
+        self.fork_child_reset()
+        with self._lock:
+            self.child_generation += 1

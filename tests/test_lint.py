@@ -13,6 +13,8 @@ The analyzer acceptance criteria:
   they are reintroduced.
 """
 
+import inspect
+import json
 import os
 
 import pytest
@@ -29,10 +31,10 @@ from repro.lint.findings import (
 FIXTURES = os.path.join(os.path.dirname(__file__), "lint_fixtures")
 
 
-def lint(paths, runtime=()):
+def lint(paths, runtime=(), **kwargs):
     """run_lint with captured output: ``(exit_code, lines)``."""
     lines = []
-    code = run_lint(paths, runtime=runtime, emit=lines.append)
+    code = run_lint(paths, runtime=runtime, emit=lines.append, **kwargs)
     return code, lines
 
 
@@ -49,6 +51,8 @@ class TestFixtureMatrix:
         ("bad_unseeded.py", "QL010"),
         ("bad_sr_escape.py", "QL012"),
         ("bad_unguarded.py", "QL020"),
+        ("bad_cross_lock.py", "QL020"),
+        ("bad_fork_child.py", "QL021"),
     ])
     def test_bad_fixture_yields_exactly_one_finding(self, name, rule):
         code, lines = lint([fixture(name)])
@@ -63,6 +67,7 @@ class TestFixtureMatrix:
     @pytest.mark.parametrize("name", [
         "good_stage_deps.py",
         "good_guarded.py",
+        "good_fork_child.py",
     ])
     def test_good_fixture_is_clean(self, name):
         code, lines = lint([fixture(name)])
@@ -83,6 +88,57 @@ class TestFixtureMatrix:
         code, lines = lint([fixture("no_such_file.py")])
         assert code == 2
         assert "error" in lines[0]
+
+
+# ----------------------------------------------------------------------
+# Rule filters and machine-readable output (--select/--ignore/--json)
+# ----------------------------------------------------------------------
+class TestRuleFilters:
+    def test_select_keeps_only_named_rules(self):
+        # bad_unseeded.py emits QL010; selecting QL020 filters it out.
+        code, lines = lint([fixture("bad_unseeded.py")], select=["QL020"])
+        assert code == 0
+        assert lines[-1].endswith("0 finding(s)")
+        code, lines = lint([fixture("bad_unseeded.py")], select=["QL010"])
+        assert code == 1
+
+    def test_ignore_drops_named_rules(self):
+        code, lines = lint([fixture("bad_unseeded.py")], ignore=["QL010"])
+        assert code == 0
+
+    def test_ignore_wins_over_select(self):
+        code, lines = lint(
+            [fixture("bad_unseeded.py")],
+            select=["QL010"], ignore=["QL010"],
+        )
+        assert code == 0
+
+    def test_rule_ids_are_case_insensitive(self):
+        code, _ = lint([fixture("bad_unseeded.py")], ignore=["ql010"])
+        assert code == 0
+
+    def test_unknown_rule_id_is_a_usage_error(self):
+        code, lines = lint([fixture("bad_unseeded.py")], select=["QL999"])
+        assert code == 2
+        assert "QL999" in lines[0]
+
+    def test_json_output_is_one_parseable_document(self):
+        code, lines = lint([fixture("bad_unseeded.py")], json_output=True)
+        assert code == 1
+        doc = json.loads("\n".join(lines))
+        assert doc["files"] == 1
+        assert doc["rules"] == ["QL010"]
+        (finding,) = doc["findings"]
+        assert finding["rule"] == "QL010"
+        assert finding["path"].endswith("bad_unseeded.py")
+        assert finding["line"] > 0
+        assert finding["message"]
+
+    def test_json_output_clean_run(self):
+        code, lines = lint([fixture("good_guarded.py")], json_output=True)
+        assert code == 0
+        doc = json.loads("\n".join(lines))
+        assert doc["findings"] == [] and doc["rules"] == []
 
 
 # ----------------------------------------------------------------------
@@ -172,6 +228,22 @@ class TestStageDeps:
         for stage in plain:
             # Over-declaration is allowed but the shipped tree is exact.
             assert stagedeps.required_fields(stage.fn) <= set(stage.fields)
+
+    def test_decorated_stage_location_is_the_def_line(self):
+        # co_firstlineno points at the first decorator; findings must
+        # anchor on the ``def`` line instead.
+        def passthrough(fn):
+            return fn
+
+        @passthrough
+        def staged(x, q):
+            return x
+
+        lines, start = inspect.getsourcelines(staged)
+        path, line = stagedeps._stage_location(staged)
+        assert path.endswith("test_lint.py")
+        assert line > start  # past the decorator line
+        assert lines[line - start].lstrip().startswith("def staged")
 
 
 # ----------------------------------------------------------------------
@@ -326,6 +398,167 @@ class TestConcurrency:
         findings = concurrency.check_source(source, "f.py")
         assert [f.rule for f in findings] == ["QL020"]
 
+    def test_guard_annotation_on_decorator_line(self):
+        source = self.LOCKED + (
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self.n += 1\n"
+            "    @property  # qlint: guarded-by(_lock)\n"
+            "    def snapshot(self):\n"
+            "        return self.n\n"
+        )
+        assert concurrency.check_source(source, "f.py") == []
+
+    def test_guard_annotation_on_decorated_def_line(self):
+        source = self.LOCKED + (
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self.n += 1\n"
+            "    @property\n"
+            "    def snapshot(self):  # qlint: guarded-by(_lock)\n"
+            "        return self.n\n"
+        )
+        assert concurrency.check_source(source, "f.py") == []
+
+
+# ----------------------------------------------------------------------
+# Cross-class / cross-module lock acquisition
+# ----------------------------------------------------------------------
+class TestCrossClassLocks:
+    SLOTTED = (
+        "import threading\n"
+        "class Slot:\n"
+        "    def __init__(self):\n"
+        "        self.lock = threading.Lock()\n"
+        "        self.calls = 0\n"
+    )
+
+    def test_store_outside_the_acquired_lock_is_flagged(self):
+        source = self.SLOTTED + (
+            "class Pool:\n"
+            "    def tick(self, slot):\n"
+            "        with slot.lock:\n"
+            "            slot.calls += 1\n"
+            "        slot.calls += 1\n"
+        )
+        findings = concurrency.check_source(source, "f.py")
+        assert [f.rule for f in findings] == ["QL020"]
+        assert "slot.calls" in findings[0].message
+
+    def test_store_under_the_lock_passes(self):
+        source = self.SLOTTED + (
+            "class Pool:\n"
+            "    def tick(self, slot):\n"
+            "        with slot.lock:\n"
+            "            slot.calls += 1\n"
+        )
+        assert concurrency.check_source(source, "f.py") == []
+
+    def test_unassociated_receiver_is_out_of_scope(self):
+        # A method that never acquires the receiver's lock makes no
+        # claim about it; flagging every duck-typed store would drown
+        # the signal.
+        source = self.SLOTTED + (
+            "class Pool:\n"
+            "    def tick(self, slot):\n"
+            "        slot.calls += 1\n"
+        )
+        assert concurrency.check_source(source, "f.py") == []
+
+    def test_guard_annotation_may_name_a_cross_class_lock(self):
+        source = self.SLOTTED + (
+            "class Pool:\n"
+            "    def tick(self, slot):\n"
+            "        with slot.lock:\n"
+            "            slot.calls += 1\n"
+            "        slot.calls += 1  # qlint: guarded-by(lock)\n"
+        )
+        assert concurrency.check_source(source, "f.py") == []
+
+    def test_lock_owner_attrs_registry(self):
+        owners = concurrency.lock_owner_attrs(self.SLOTTED)
+        assert owners == {"Slot": {"lock"}}
+        assert concurrency.lock_owner_attrs("def f(:\n") == {}
+
+    def test_lock_registry_spans_modules(self, tmp_path):
+        owner = tmp_path / "slotmod.py"
+        owner.write_text(self.SLOTTED, encoding="utf-8")
+        user = tmp_path / "poolmod.py"
+        user.write_text(
+            "class Pool:\n"
+            "    def tick(self, slot):\n"
+            "        with slot.lock:\n"
+            "            slot.calls += 1\n"
+            "        slot.calls += 1\n",
+            encoding="utf-8",
+        )
+        code, lines = lint([str(owner), str(user)])
+        assert code == 1
+        findings = [line for line in lines if " QL020 " in line]
+        assert len(findings) == 1, lines
+        assert "poolmod.py" in findings[0]
+
+
+# ----------------------------------------------------------------------
+# Fork-boundary audit (QL021)
+# ----------------------------------------------------------------------
+class TestForkChildRule:
+    RUNNER = (
+        "import multiprocessing\n"
+        "import threading\n"
+        "class Runner:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.done = 0\n"
+        "    def start(self):\n"
+        "        multiprocessing.Process(target=self._run).start()\n"
+    )
+
+    def test_child_lock_acquisition_without_protocol_is_flagged(self):
+        source = self.RUNNER + (
+            "    def _run(self):\n"
+            "        with self._lock:\n"
+            "            self.done = 1\n"
+        )
+        findings = concurrency.check_source(source, "f.py")
+        assert [f.rule for f in findings] == ["QL021"]
+        assert "Runner._run" in findings[0].message
+        assert "fork_guard" in findings[0].message
+
+    def test_protocol_registration_exempts(self):
+        source = self.RUNNER + (
+            "    def fork_child_reset(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def _run(self):\n"
+            "        self.fork_child_reset()\n"
+            "        with self._lock:\n"
+            "            self.done = 1\n"
+        )
+        assert concurrency.check_source(source, "f.py") == []
+
+    def test_module_level_target_is_out_of_scope(self):
+        source = (
+            "import multiprocessing\n"
+            "def _run():\n"
+            "    pass\n"
+            "class Runner:\n"
+            "    def start(self):\n"
+            "        multiprocessing.Process(target=_run).start()\n"
+        )
+        assert concurrency.check_source(source, "f.py") == []
+
+    def test_hazard_free_child_entry_passes(self):
+        source = (
+            "import multiprocessing\n"
+            "class Runner:\n"
+            "    def start(self):\n"
+            "        multiprocessing.Process(target=self._run).start()\n"
+            "    def _run(self):\n"
+            "        total = sum(range(10))\n"
+            "        print(total)\n"
+        )
+        assert concurrency.check_source(source, "f.py") == []
+
 
 # ----------------------------------------------------------------------
 # Findings / annotations plumbing
@@ -337,7 +570,7 @@ class TestFindings:
 
     def test_rule_table_covers_every_emitted_rule(self):
         for rule in ("QL001", "QL002", "QL010", "QL011", "QL012",
-                     "QL020", "QL030", "QL031"):
+                     "QL020", "QL021", "QL030", "QL031"):
             assert rule in RULES
 
     def test_bare_disable_suppresses_everything(self):

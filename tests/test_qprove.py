@@ -1,0 +1,250 @@
+"""qprove range certification vs the runtime sanitizer oracle.
+
+The central soundness property: the static abstract interpreter's
+per-layer pre-clip code ranges must contain **every** pre-clip value the
+runtime :class:`~repro.lint.sanitizer.FixedPointSanitizer` observes —
+across random inputs, all four rounding schemes and every model family
+in the zoo.  The satellites: under-provisioned accumulators FAIL naming
+the offending layers, certificates survive dict/save-load round-trips,
+and serving can be gated on a passing certificate end to end
+(``Session.serve`` / ``ModelRegistry`` / the ``certify`` CLI verb).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import Certificate, CertificationError, certify_artifact
+from repro.api import QuantSpec
+from repro.api.artifact import ArtifactError, ModelArtifact
+from repro.api.session import Session, build_model
+from repro.autograd import Tensor, no_grad
+from repro.baselines import LeNet5
+from repro.lint.sanitizer import FixedPointSanitizer
+from repro.quant import (
+    QuantizationConfig,
+    QuantizedCapsNet,
+    get_rounding_scheme,
+)
+from repro.serve.registry import ModelRegistry, RegistryError
+
+SCHEMES = ("TRN", "RTN", "RTNE", "SR")
+
+
+@pytest.fixture(scope="module")
+def deep_model():
+    return build_model("deep-small", "digits", seed=0)
+
+
+@pytest.fixture(scope="module")
+def lenet_model():
+    return LeNet5(seed=0)
+
+
+def zoo(trained_tiny, deep_model, lenet_model):
+    """(model, input side) triples — trained ShallowCaps, DeepCaps, CNN."""
+    return [
+        ("shallow", trained_tiny, 14),
+        ("deep", deep_model, 28),
+        ("lenet", lenet_model, 28),
+    ]
+
+
+def make_artifact(model, scheme_name, seed=0, qw=6, qa=6, qdr=8):
+    config = QuantizationConfig.uniform(
+        model.quant_layers, qw=qw, qa=qa, qdr=qdr
+    )
+    quantized = QuantizedCapsNet(
+        model, config, get_rounding_scheme(scheme_name, seed=seed), seed=seed
+    )
+    return ModelArtifact.from_quantized(quantized)
+
+
+def observed_ranges(model, artifact, images):
+    """Pre-clip extrema the sanitizer records for one quantized forward."""
+    bound = artifact.bind(model)
+    model.eval()
+    with FixedPointSanitizer() as sanitizer, no_grad():
+        model.forward(Tensor(images), q=bound.context())
+    return sanitizer.report().get("ranges", {})
+
+
+# ----------------------------------------------------------------------
+# The soundness property: static ranges contain every observed value
+# ----------------------------------------------------------------------
+class TestContainment:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("model_key", ["shallow", "deep", "lenet"])
+    def test_certificate_contains_observed_preclip_values(
+        self, model_key, scheme, trained_tiny, deep_model, lenet_model, rng
+    ):
+        (model, side), = [
+            (m, s) for key, m, s in zoo(trained_tiny, deep_model, lenet_model)
+            if key == model_key
+        ]
+        artifact = make_artifact(model, scheme, seed=7)
+        certificate = certify_artifact(artifact, model=model)
+        assert certificate.passed, certificate.report()
+
+        images = rng.random((8, 1, side, side), dtype=np.float32)
+        ranges = observed_ranges(model, artifact, images)
+        assert ranges  # the oracle saw rounding events
+        violations = certificate.check_observed(ranges)
+        assert violations == [], violations
+
+    def test_certified_layers_cover_the_config(self, trained_tiny):
+        artifact = make_artifact(trained_tiny, "RTN")
+        certificate = certify_artifact(artifact, model=trained_tiny)
+        assert {c.layer for c in certificate.layers} == set(
+            trained_tiny.quant_layers
+        )
+
+    def test_violation_is_reported_with_its_label(self, trained_tiny):
+        artifact = make_artifact(trained_tiny, "RTN")
+        certificate = certify_artifact(artifact, model=trained_tiny)
+        layer = certificate.layers[0]
+        escaped = {layer.layer: [layer.code_lo - 10.0, layer.code_hi + 10.0]}
+        violations = certificate.check_observed(escaped)
+        assert violations and layer.layer in violations[0]
+        unknown = certificate.check_observed({"nope": [0.0, 1.0]})
+        assert unknown and "unknown layer" in unknown[0]
+
+
+# ----------------------------------------------------------------------
+# Accumulator provisioning verdicts
+# ----------------------------------------------------------------------
+class TestProvisioning:
+    def test_under_provisioned_deepcaps_fails_naming_layers(self, deep_model):
+        artifact = make_artifact(deep_model, "RTN")
+        certificate = certify_artifact(
+            artifact, model=deep_model, accumulator_bits=12
+        )
+        assert not certificate.passed
+        assert certificate.failures  # the report names the culprits
+        for name in certificate.failures:
+            assert name in deep_model.quant_layers
+            assert certificate.layer(name).min_safe_bits > 12
+        assert "under-provisioned" in certificate.report()
+
+    def test_small_cnn_fits_a_narrow_accumulator(self, lenet_model):
+        artifact = make_artifact(lenet_model, "RTN")
+        certificate = certify_artifact(
+            artifact, model=lenet_model, accumulator_bits=12
+        )
+        assert certificate.passed, certificate.report()
+
+    def test_invalid_accumulator_width_is_rejected(self, trained_tiny):
+        artifact = make_artifact(trained_tiny, "RTN")
+        with pytest.raises(CertificationError):
+            certify_artifact(artifact, model=trained_tiny,
+                             accumulator_bits=0)
+
+
+# ----------------------------------------------------------------------
+# Serialization round-trips
+# ----------------------------------------------------------------------
+class TestPersistence:
+    def test_certificate_dict_roundtrip(self, trained_tiny):
+        artifact = make_artifact(trained_tiny, "SR", seed=3)
+        certificate = certify_artifact(artifact, model=trained_tiny)
+        clone = Certificate.from_dict(
+            json.loads(json.dumps(certificate.to_dict()))
+        )
+        assert clone.passed == certificate.passed
+        assert clone.report() == certificate.report()
+
+    def test_artifact_embeds_and_persists_certificate(
+        self, trained_tiny, tmp_path
+    ):
+        artifact = make_artifact(trained_tiny, "RTN")
+        assert artifact.certificate is None and not artifact.certified
+        artifact.certify(model=trained_tiny)
+        assert artifact.certified
+        assert "range certificate: PASS" in artifact.summary()
+
+        path = tmp_path / "m.qcn.npz"
+        artifact.save(path)
+        loaded = ModelArtifact.load(path)
+        assert loaded.certified
+        assert loaded.certificate == artifact.certificate
+
+    def test_failed_certificate_summary_names_layers(self, deep_model):
+        artifact = make_artifact(deep_model, "RTN")
+        artifact.certify(model=deep_model, accumulator_bits=12)
+        assert not artifact.certified
+        summary = artifact.summary()
+        assert "FAIL" in summary and "under-provisioned" in summary
+
+
+# ----------------------------------------------------------------------
+# Serving gates
+# ----------------------------------------------------------------------
+class TestServingGates:
+    def test_session_serve_requires_a_passing_certificate(self, trained_tiny):
+        session = Session(
+            QuantSpec(model="shallow-tiny", dataset="digits"),
+            model=trained_tiny,
+        )
+        artifact = make_artifact(trained_tiny, "RTN")
+        with pytest.raises(ArtifactError, match="no certificate"):
+            session.serve(artifact, require_certified=True)
+        artifact.certify(model=trained_tiny, accumulator_bits=4)
+        with pytest.raises(ArtifactError, match="FAILED"):
+            session.serve(artifact, require_certified=True)
+        artifact.certify(model=trained_tiny)
+        assert session.serve(artifact, require_certified=True) is not None
+        # The default stays permissive (uncertified artifacts serve).
+        assert session.serve(
+            make_artifact(trained_tiny, "TRN")
+        ) is not None
+
+    def test_registry_requires_certified_artifacts(self, trained_tiny):
+        registry = ModelRegistry(require_certified=True)
+        artifact = make_artifact(trained_tiny, "RTN")
+        with pytest.raises(RegistryError, match="no certificate"):
+            registry.register("m", artifact=artifact, model=trained_tiny)
+        artifact.certify(model=trained_tiny)
+        registry.register("m", artifact=artifact, model=trained_tiny)
+        assert "m" in registry
+
+
+# ----------------------------------------------------------------------
+# CLI verb
+# ----------------------------------------------------------------------
+class TestCertifyCli:
+    @pytest.fixture()
+    def artifact_path(self, trained_tiny, tmp_path):
+        artifact = make_artifact(trained_tiny, "RTN")
+        artifact.spec = QuantSpec(
+            model="shallow-tiny", dataset="digits"
+        ).to_dict()
+        path = tmp_path / "artifact.npz"
+        artifact.save(path)
+        return path
+
+    def test_certify_pass_exit_zero(self, artifact_path, capsys, tmp_path):
+        from repro.cli import main
+
+        out_json = tmp_path / "cert.json"
+        assert main([
+            "certify", "--artifact", str(artifact_path),
+            "--out", str(out_json), "--update",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "qprove certificate: PASS" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["passed"] is True
+        # --update embedded the certificate in the saved artifact.
+        assert ModelArtifact.load(artifact_path).certified
+
+    def test_certify_fail_exit_one(self, artifact_path, capsys):
+        from repro.cli import main
+
+        assert main([
+            "certify", "--artifact", str(artifact_path),
+            "--accumulator-bits", "4",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "qprove certificate: FAIL" in out
+        assert "under-provisioned" in out
