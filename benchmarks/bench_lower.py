@@ -1,0 +1,190 @@
+"""qlower bench — static integer-lowering analysis vs runtime cost.
+
+The lowering analyzer re-walks the forward graph symbolically (on top
+of a qprove certificate), so its cost must stay negligible next to the
+quantized forward it replaces with shifts and LUTs — otherwise "lower
+on every export" is not a defensible default.  This bench times
+:func:`repro.analysis.lower_artifact` across the model zoo and all four
+rounding schemes and compares it against one quantized forward over a
+small batch.
+
+Hard assertions (every model x scheme arm):
+
+* the plan is LOWERABLE at the default 32-bit accumulator;
+* soundness: replaying every certified shift schedule with integer
+  shift-and-round matches the float fixed-point path bit for bit, and
+  every LUT/iterative approximation stays within its proven error
+  bound (zero replay violations);
+* blocking detection: doctoring one activation scale to a
+  non-power-of-two flips the verdict to BLOCKED with a QL041 finding.
+
+The report lists per-arm analysis time, forward time, per-kind op
+counts and the widest approximation error bound.  Run directly for CI
+smoke coverage::
+
+    PYTHONPATH=src python benchmarks/bench_lower.py --quick \
+        --json lower_quick.json
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))  # conftest/harness as a script
+
+import numpy as np
+
+from conftest import emit
+
+from repro.analysis import lower_artifact, replay_plan
+from repro.api import ModelArtifact
+from repro.autograd import Tensor, no_grad
+from repro.baselines import LeNet5
+from repro.quant import (
+    QuantizationConfig,
+    QuantizedCapsNet,
+    calibrate_scales,
+    get_rounding_scheme,
+)
+
+SCHEMES = ("TRN", "RTN", "RTNE", "SR")
+BITS = {"qw": 6, "qa": 6, "qdr": 8}
+
+
+def make_artifact(model, scheme, scales, seed=0):
+    config = QuantizationConfig.uniform(list(model.quant_layers), **BITS)
+    quantized = QuantizedCapsNet(
+        model, config, get_rounding_scheme(scheme, seed=seed),
+        act_scales=scales, seed=seed,
+    )
+    return ModelArtifact.from_quantized(quantized)
+
+
+def lower_sweep(models, batch=8, samples=96, seed=12345):
+    """(model x scheme) arms: timings, op kinds, replay soundness."""
+    rng = np.random.default_rng(seed)
+    arms = []
+    for name, model, side in models:
+        images = rng.random((batch, 1, side, side), dtype=np.float32)
+        scales = calibrate_scales(model, images)
+        for scheme in SCHEMES:
+            artifact = make_artifact(model, scheme, scales)
+
+            start = time.perf_counter()
+            plan = lower_artifact(artifact, model=model)
+            lower_s = time.perf_counter() - start
+            assert plan.lowerable, plan.report()
+
+            violations, stats = replay_plan(plan, seed=7, samples=samples)
+            assert violations == [], violations
+
+            bound = artifact.bind(model)
+            model.eval()
+            start = time.perf_counter()
+            with no_grad():
+                model.forward(Tensor(images), q=bound.context())
+            forward_s = time.perf_counter() - start
+
+            blocked = make_artifact(model, scheme, scales)
+            blocked.act_scales[f"a:{model.quant_layers[0]}"] = 1.5
+            doctored = lower_artifact(blocked, model=model)
+            assert not doctored.lowerable
+            assert any(f.rule == "QL041" for f in doctored.findings)
+
+            counts = plan.kind_counts()
+            arms.append({
+                "model": name,
+                "scheme": scheme,
+                "lower_ms": lower_s * 1e3,
+                "forward_ms": forward_s * 1e3,
+                "kinds": counts,
+                "rescale_ops": stats["rescale_ops"],
+                "approx_ops": len(stats["approx_ops"]),
+                "max_bound": max(
+                    (entry["bound"] for entry in stats["approx_ops"]),
+                    default=0.0,
+                ),
+            })
+    return {"batch": batch, "samples": samples, "arms": arms}
+
+
+def format_report(report):
+    lines = [
+        f"{'model':<14} {'scheme':<6} {'lower':>10} {'forward':>10} "
+        f"{'ops':>24} {'bound':>10}"
+    ]
+    for arm in report["arms"]:
+        kinds = " ".join(
+            f"{kind.split('-')[-1]}={count}"
+            for kind, count in sorted(arm["kinds"].items())
+        )
+        lines.append(
+            f"{arm['model']:<14} {arm['scheme']:<6} "
+            f"{arm['lower_ms']:>8.1f}ms {arm['forward_ms']:>8.1f}ms "
+            f"{kinds:>24} {arm['max_bound']:>10.2e}"
+        )
+    lines.append(
+        "all arms: LOWERABLE @32b, bit-identical shift replay, "
+        "LUT error within proven bounds, QL041 detected when doctored"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Pytest entry (runs on the cached trained ShallowCaps)
+# ----------------------------------------------------------------------
+def test_lower_bench(shallow_digits):
+    model, _ = shallow_digits
+    report = lower_sweep([("shallow-small", model, 28)], batch=8)
+    emit("lower", format_report(report))
+
+
+# ----------------------------------------------------------------------
+# Script entry (self-contained; used by the CI smoke job)
+# ----------------------------------------------------------------------
+def _zoo(quick):
+    from repro.api.session import build_model
+    from repro.capsnet import ShallowCaps, presets
+
+    if quick:
+        return [
+            ("shallow-tiny", ShallowCaps(presets.shallowcaps_tiny()), 14),
+            ("lenet5", LeNet5(seed=0), 28),
+        ]
+    return [
+        ("shallow-small", build_model("shallow-small", "digits"), 28),
+        ("deep-small", build_model("deep-small", "digits"), 28),
+        ("lenet5", LeNet5(seed=0), 28),
+    ]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny models only (CI smoke mode)",
+    )
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write the report as JSON to this path")
+    parser.add_argument("--batch", type=int, default=8,
+                        help="images per quantized forward (default: 8)")
+    parser.add_argument("--samples", type=int, default=96,
+                        help="replay samples per rescale op (default: 96)")
+    args = parser.parse_args(argv)
+
+    report = lower_sweep(
+        _zoo(args.quick), batch=args.batch, samples=args.samples
+    )
+    report["quick"] = args.quick
+    print(format_report(report))
+    if args.json is not None:
+        args.json.write_text(json.dumps(report, indent=2))
+        print(f"wrote {args.json}")
+    print("OK: every plan replays bit-identically within proven bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

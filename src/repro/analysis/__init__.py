@@ -9,7 +9,10 @@ Two sub-packages share this namespace:
 * :mod:`repro.analysis.interval` / :mod:`repro.analysis.qprove` — the
   qprove abstract interpreter that propagates interval value ranges
   through a bound model and certifies per-layer pre-clip code ranges
-  and minimum safe accumulator widths for a quantized artifact.
+  and minimum safe accumulator widths for a quantized artifact;
+* :mod:`repro.analysis.lowering` / :mod:`repro.analysis.qlower` — the
+  qlower static integer-lowering analyzer that proves the forward
+  graph float-free and emits certified shift/LUT execution plans.
 """
 
 from repro.analysis.arch_stats import (
@@ -19,7 +22,20 @@ from repro.analysis.arch_stats import (
     shallowcaps_stats,
 )
 from repro.analysis.comparison import fig1_comparison
-from repro.analysis.interval import Interval
+from repro.analysis.interval import Interval, is_power_of_two, pow2_exponent
+from repro.analysis.lowering import (
+    ApproxPlan,
+    LayerPlan,
+    LoweringPlan,
+    OpPlan,
+    RescalePlan,
+)
+from repro.analysis.qlower import (
+    LoweringError,
+    lower_artifact,
+    lower_model,
+    replay_plan,
+)
 from repro.analysis.qprove import (
     Certificate,
     CertificationError,
@@ -35,9 +51,20 @@ __all__ = [
     "deepcaps_stats",
     "fig1_comparison",
     "Interval",
+    "is_power_of_two",
+    "pow2_exponent",
     "Certificate",
     "CertificationError",
     "LayerCertificate",
     "certify_artifact",
     "certify_model",
+    "LoweringPlan",
+    "LayerPlan",
+    "OpPlan",
+    "RescalePlan",
+    "ApproxPlan",
+    "LoweringError",
+    "lower_artifact",
+    "lower_model",
+    "replay_plan",
 ]

@@ -195,6 +195,32 @@ def array_interval(values: np.ndarray) -> Interval:
 
 
 # ----------------------------------------------------------------------
+# Power-of-two detection (the rescale-schedule prover's primitive)
+# ----------------------------------------------------------------------
+def pow2_exponent(value: float) -> Optional[int]:
+    """``log2(value)`` when ``value`` is an exact power of two, else None.
+
+    Exact over the whole positive float range, subnormals included:
+    ``math.frexp`` decomposes ``value = m · 2^e`` with ``m ∈ [0.5, 1)``,
+    and a float is a power of two iff ``m == 0.5`` exactly.  Zero,
+    negatives, infinities and NaN all return ``None`` — a scale ratio
+    must be a *finite positive* power of two to lower to a shift.
+    """
+    value = float(value)
+    if not math.isfinite(value) or value <= 0.0:
+        return None
+    mantissa, exponent = math.frexp(value)
+    if mantissa != 0.5:
+        return None
+    return exponent - 1
+
+
+def is_power_of_two(value: float) -> bool:
+    """Whether ``value`` is an exact (finite, positive) power of two."""
+    return pow2_exponent(value) is not None
+
+
+# ----------------------------------------------------------------------
 # Fixed-point boundary: value intervals -> pre-clip integer code bounds
 # ----------------------------------------------------------------------
 def preclip_code_bounds(

@@ -1,0 +1,388 @@
+"""Lowering-plan IR — the certified integer execution plan of qlower.
+
+A :class:`LoweringPlan` is the machine-checked answer to "can this
+artifact's forward pass run in pure integer arithmetic, and how": per
+layer, an ordered list of :class:`OpPlan` records classifying every
+structural op of the stage mirror as
+
+* ``int-exact``     — exact integer arithmetic on a power-of-two value
+  grid (MACs over frozen codes, ReLU, pooling sums, alignments whose
+  scale ratio is a left shift);
+* ``int-rescale``   — exact up to the artifact's own rounding scheme: a
+  right shift whose rounding (TRN/RTN/RTNE/SR) reproduces the float
+  fixed-point path bit for bit;
+* ``int-approx``    — integer plans with a *proven* max-error bound
+  (LUT softmax, iterative squash, quantized batch-norm multipliers,
+  input grid rounding);
+* ``float``         — float-contaminated, blocks lowering (QL040-series
+  findings name the origin op and why).
+
+Ops that rescale carry a :class:`RescalePlan` (grid exponents, shift
+amount, rounding mode); approximated ops carry an :class:`ApproxPlan`
+(method, operand format, certified domain, the proven bound, and any
+coefficient tables).  Findings reuse the qlint
+:class:`~repro.lint.findings.Finding` machinery under the QL040-series
+rules; a plan with no blocking finding is ``lowerable``.
+
+Serialization follows the qprove certificate idiom: ``to_dict`` /
+``from_dict`` round-trip losslessly through JSON so plans persist inside
+``ModelArtifact`` metadata and ``qcapsnets lower --out`` files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.lint.findings import Finding
+
+#: Plan document version (bumped on incompatible schema changes).
+PLAN_VERSION = 1
+
+KIND_EXACT = "int-exact"
+KIND_RESCALE = "int-rescale"
+KIND_APPROX = "int-approx"
+KIND_FLOAT = "float"
+
+#: Findings with any of these rules block lowering (exit 1).
+BLOCKING_RULES = frozenset({"QL040", "QL041", "QL042", "QL043"})
+
+
+@dataclass(frozen=True)
+class RescalePlan:
+    """One quantization hook lowered to a shift with scheme rounding.
+
+    Codes on the incoming grid ``2^in_exp`` move to the hook's output
+    grid ``2^out_exp = scale·2^-bits`` by ``shift = out_exp - in_exp``:
+    a right shift rounded by the artifact's scheme when positive, an
+    exact left shift (``rounding == "exact"``) otherwise, followed by
+    saturation to the hook format.  ``value_lo/hi`` are the certified
+    (widened) pre-hook values the replay oracle samples from.
+    """
+
+    site: str
+    bits: int
+    scale: float
+    in_exp: int
+    out_exp: int
+    shift: int
+    rounding: str
+    value_lo: float
+    value_hi: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "site": self.site,
+            "bits": self.bits,
+            "scale": self.scale,
+            "in_exp": self.in_exp,
+            "out_exp": self.out_exp,
+            "shift": self.shift,
+            "rounding": self.rounding,
+            "value_range": [self.value_lo, self.value_hi],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RescalePlan":
+        return cls(
+            site=str(data["site"]),
+            bits=int(data["bits"]),
+            scale=float(data["scale"]),
+            in_exp=int(data["in_exp"]),
+            out_exp=int(data["out_exp"]),
+            shift=int(data["shift"]),
+            rounding=str(data["rounding"]),
+            value_lo=float(data["value_range"][0]),
+            value_hi=float(data["value_range"][1]),
+        )
+
+
+@dataclass(frozen=True)
+class ApproxPlan:
+    """A certified integer approximation of a non-linear op.
+
+    ``method`` names the integer algorithm (``"nr-squash"``,
+    ``"lut-softmax"``, ``"affine-bn"``, ``"grid-round"``), the operand
+    format ``⟨integer_bits.operand_bits⟩`` reinterprets codes on grid
+    ``2^operand_exp``, ``domain_lo/hi`` is the certified input interval
+    the bound is proven over, and ``error_bound`` is that proven
+    per-element bound (value domain).  ``tables`` carries any integer
+    coefficient arrays (batch-norm multipliers etc.).
+    """
+
+    method: str
+    domain_lo: float
+    domain_hi: float
+    error_bound: float
+    operand_exp: int
+    operand_bits: int
+    integer_bits: int
+    lut_entries: int = 0
+    detail: str = ""
+    tables: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "method": self.method,
+            "domain": [self.domain_lo, self.domain_hi],
+            "error_bound": self.error_bound,
+            "operand_exp": self.operand_exp,
+            "operand_bits": self.operand_bits,
+            "integer_bits": self.integer_bits,
+            "lut_entries": self.lut_entries,
+            "detail": self.detail,
+        }
+        if self.tables:
+            doc["tables"] = dict(self.tables)
+        return doc
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ApproxPlan":
+        return cls(
+            method=str(data["method"]),
+            domain_lo=float(data["domain"][0]),
+            domain_hi=float(data["domain"][1]),
+            error_bound=float(data["error_bound"]),
+            operand_exp=int(data["operand_exp"]),
+            operand_bits=int(data["operand_bits"]),
+            integer_bits=int(data["integer_bits"]),
+            lut_entries=int(data.get("lut_entries", 0)),
+            detail=str(data.get("detail", "")),
+            tables=dict(data.get("tables", {})),
+        )
+
+
+@dataclass(frozen=True)
+class OpPlan:
+    """One structural op of a layer's stage mirror, classified."""
+
+    layer: str
+    op: str
+    kind: str
+    note: str = ""
+    in_exp: Optional[int] = None
+    out_exp: Optional[int] = None
+    accumulator_bits: Optional[int] = None
+    rescale: Optional[RescalePlan] = None
+    approx: Optional[ApproxPlan] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "layer": self.layer,
+            "op": self.op,
+            "kind": self.kind,
+        }
+        if self.note:
+            doc["note"] = self.note
+        if self.in_exp is not None:
+            doc["in_exp"] = self.in_exp
+        if self.out_exp is not None:
+            doc["out_exp"] = self.out_exp
+        if self.accumulator_bits is not None:
+            doc["accumulator_bits"] = self.accumulator_bits
+        if self.rescale is not None:
+            doc["rescale"] = self.rescale.to_dict()
+        if self.approx is not None:
+            doc["approx"] = self.approx.to_dict()
+        return doc
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "OpPlan":
+        rescale = data.get("rescale")
+        approx = data.get("approx")
+        return cls(
+            layer=str(data["layer"]),
+            op=str(data["op"]),
+            kind=str(data["kind"]),
+            note=str(data.get("note", "")),
+            in_exp=(
+                None if data.get("in_exp") is None else int(data["in_exp"])
+            ),
+            out_exp=(
+                None if data.get("out_exp") is None else int(data["out_exp"])
+            ),
+            accumulator_bits=(
+                None if data.get("accumulator_bits") is None
+                else int(data["accumulator_bits"])
+            ),
+            rescale=None if rescale is None else RescalePlan.from_dict(rescale),
+            approx=None if approx is None else ApproxPlan.from_dict(approx),
+        )
+
+
+@dataclass(frozen=True)
+class LayerPlan:
+    """Ordered op plans of one quantization layer."""
+
+    layer: str
+    ops: Tuple[OpPlan, ...]
+    #: Accumulator width imported from the qprove certificate.
+    min_safe_bits: int
+
+    @property
+    def accumulator_bits(self) -> int:
+        """Widest integer accumulator any planned op needs."""
+        widths = [
+            op.accumulator_bits
+            for op in self.ops
+            if op.accumulator_bits is not None
+        ]
+        return max(widths, default=0)
+
+    def kind_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for op in self.ops:
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "layer": self.layer,
+            "min_safe_bits": self.min_safe_bits,
+            "accumulator_bits": self.accumulator_bits,
+            "ops": [op.to_dict() for op in self.ops],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LayerPlan":
+        return cls(
+            layer=str(data["layer"]),
+            ops=tuple(OpPlan.from_dict(op) for op in data.get("ops", ())),
+            min_safe_bits=int(data.get("min_safe_bits", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class LoweringPlan:
+    """The certified integer execution plan of one quantized artifact."""
+
+    model: str
+    scheme: str
+    input_bits: int
+    integer_bits: int
+    layers: Tuple[LayerPlan, ...]
+    findings: Tuple[Finding, ...] = ()
+    certificate_passed: bool = False
+    version: int = PLAN_VERSION
+
+    @property
+    def blocking(self) -> Tuple[Finding, ...]:
+        return tuple(
+            f for f in self.findings if f.rule in BLOCKING_RULES
+        )
+
+    @property
+    def lowerable(self) -> bool:
+        return not self.blocking
+
+    def layer(self, name: str) -> LayerPlan:
+        for plan in self.layers:
+            if plan.layer == name:
+                return plan
+        raise KeyError(f"no lowering plan for layer '{name}'")
+
+    def kind_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for layer in self.layers:
+            for kind, n in layer.kind_counts().items():
+                counts[kind] = counts.get(kind, 0) + n
+        return counts
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "model": self.model,
+            "scheme": self.scheme,
+            "input_bits": self.input_bits,
+            "integer_bits": self.integer_bits,
+            "lowerable": self.lowerable,
+            "certificate_passed": self.certificate_passed,
+            "kind_counts": self.kind_counts(),
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "op": f.path,
+                    "line": f.line,
+                    "message": f.message,
+                }
+                for f in self.findings
+            ],
+            "layers": [layer.to_dict() for layer in self.layers],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LoweringPlan":
+        findings = tuple(
+            Finding(
+                rule=str(entry["rule"]),
+                path=str(entry.get("op", entry.get("path", ""))),
+                line=int(entry.get("line", 0)),
+                message=str(entry["message"]),
+            )
+            for entry in data.get("findings", ())
+        )
+        return cls(
+            model=str(data["model"]),
+            scheme=str(data["scheme"]),
+            input_bits=int(data["input_bits"]),
+            integer_bits=int(data.get("integer_bits", 1)),
+            layers=tuple(
+                LayerPlan.from_dict(entry)
+                for entry in data.get("layers", ())
+            ),
+            findings=findings,
+            certificate_passed=bool(data.get("certificate_passed", False)),
+            version=int(data.get("version", PLAN_VERSION)),
+        )
+
+    def report(self) -> str:
+        """Human-readable plan summary (printed by the CLI)."""
+        verdict = "LOWERABLE" if self.lowerable else "BLOCKED"
+        lines = [
+            f"qlower plan: {verdict} "
+            f"(model={self.model}, scheme={self.scheme}, "
+            f"input={self.input_bits}-bit grid)"
+        ]
+        for layer in self.layers:
+            counts = layer.kind_counts()
+            summary = " ".join(
+                f"{kind}={counts[kind]}"
+                for kind in (KIND_EXACT, KIND_RESCALE, KIND_APPROX, KIND_FLOAT)
+                if kind in counts
+            )
+            lines.append(
+                f"  {layer.layer:<12} acc {layer.accumulator_bits:>2}b "
+                f"(certified {layer.min_safe_bits}b)  {summary}"
+            )
+            shifts: List[str] = []
+            seen = set()
+            for op in layer.ops:
+                if op.rescale is None:
+                    continue
+                key = (op.rescale.site, op.rescale.shift, op.rescale.rounding)
+                if key in seen:
+                    continue
+                seen.add(key)
+                shifts.append(
+                    f"{op.rescale.site}>>{op.rescale.shift}"
+                    f"[{op.rescale.rounding}]"
+                )
+            if shifts:
+                lines.append(f"    shifts: {', '.join(shifts)}")
+            bounds = [
+                f"{op.op}≤{op.approx.error_bound:.3g}"
+                for op in layer.ops
+                if op.approx is not None and op.approx.method != "grid-round"
+            ]
+            if bounds:
+                deduped = sorted(set(bounds))
+                lines.append(f"    approx bounds: {', '.join(deduped)}")
+        if self.findings:
+            lines.append("  findings:")
+            for finding in self.findings:
+                marker = "BLOCKS" if finding.rule in BLOCKING_RULES else "note"
+                lines.append(
+                    f"    [{marker}] {finding.rule} {finding.path}: "
+                    f"{finding.message}"
+                )
+        return "\n".join(lines)

@@ -287,6 +287,15 @@ class _AbstractContext:
     ``routing()`` consume an :class:`Interval`, log the pre-clip code
     bounds under the same per-layer label the sanitizer uses, and
     return the post-clip value interval.
+
+    Every structural operation of the walkers below is funneled through
+    an overridable method (``conv``/``linear``/``relu``/``squash``/...),
+    so other static analyses — e.g. the integer-lowering pass in
+    :mod:`repro.analysis.qlower` — can reuse the exact same stage
+    mirror while propagating a richer abstract value.  The base
+    implementations delegate to the interval transfer functions with
+    unchanged math, so certificates are bit-identical to the
+    pre-refactor walkers.
     """
 
     def __init__(
@@ -348,6 +357,53 @@ class _AbstractContext:
         )
         return clip_codes_to_value_interval(code_lo, code_hi, fmt, scale)
 
+    # ------------------------------------------------------------------
+    # Structural ops (the walkers' only vocabulary; overridable)
+    # ------------------------------------------------------------------
+    def input(self, x: Interval) -> Interval:
+        """The model input (identity in the value domain)."""
+        return x
+
+    def constant(self, layer: str, value: float) -> Interval:
+        """An exact scalar constant (routing logits/activation init)."""
+        return Interval.point(value)
+
+    def conv(self, layer, weight, bias, x, padding) -> Interval:
+        return conv_interval(weight, bias, x, padding)
+
+    def linear(self, layer, weight, bias, x, fan_in=None) -> Interval:
+        w = weight if fan_in is None else weight.reshape(-1, fan_in)
+        return linear_interval(w, bias, x)
+
+    def relu(self, layer: str, x: Interval) -> Interval:
+        return relu_interval(x)
+
+    def avgpool(self, layer: str, x: Interval, window: int) -> Interval:
+        # The mean of `window` values drawn from an interval stays
+        # inside it, so pooling is interval-preserving.
+        return x
+
+    def batchnorm(self, layer: str, x: Interval, bn) -> Interval:
+        return batchnorm_interval(
+            x, bn.running_mean, bn.running_var,
+            np.asarray(bn.gamma.data), np.asarray(bn.beta.data), bn.eps,
+        )
+
+    def squash(self, layer: str, x: Interval, dim: int) -> Interval:
+        return squash_interval(x)
+
+    def softmax(self, layer: str, x: Interval, count: int) -> Interval:
+        return softmax_interval()
+
+    def mul(self, layer: str, a: Interval, b: Interval) -> Interval:
+        return mul_interval(a, b)
+
+    def add(self, layer: str, a: Interval, b: Interval) -> Interval:
+        return add_interval(a, b)
+
+    def sum_terms(self, layer: str, term: Interval, count: int) -> Interval:
+        return sum_of_terms(term, count)
+
 
 # ----------------------------------------------------------------------
 # Structural walkers (mirror the models' staged forward passes)
@@ -355,99 +411,106 @@ class _AbstractContext:
 def _walk_routing(
     ctx: _AbstractContext,
     layer: str,
-    votes: Interval,
+    votes,
     iterations: int,
     in_caps: int,
+    out_caps: int,
     out_dim: int,
-) -> Interval:
+):
     """Unrolled :func:`repro.capsnet.routing.dynamic_routing`."""
     votes = ctx.act(layer, votes)
-    logits = Interval.point(0.0)
-    activation = Interval.point(0.0)
+    logits = ctx.constant(layer, 0.0)
+    activation = ctx.constant(layer, 0.0)
     for iteration in range(iterations):
         logits = ctx.routing(layer, "logits", logits)
-        coupling = ctx.routing(layer, "coupling", softmax_interval())
-        term = mul_interval(coupling, votes)
+        coupling = ctx.routing(
+            layer, "coupling", ctx.softmax(layer, logits, out_caps)
+        )
+        term = ctx.mul(layer, coupling, votes)
         preactivation = ctx.routing(
-            layer, "preactivation", sum_of_terms(term, in_caps)
+            layer, "preactivation", ctx.sum_terms(layer, term, in_caps)
         )
         activation = ctx.routing(
-            layer, "activation", squash_interval(preactivation)
+            layer, "activation", ctx.squash(layer, preactivation, out_dim)
         )
         if iteration < iterations - 1:
             agreement = ctx.routing(
                 layer,
                 "agreement",
-                sum_of_terms(mul_interval(votes, activation), out_dim),
+                ctx.sum_terms(
+                    layer, ctx.mul(layer, votes, activation), out_dim
+                ),
             )
-            logits = add_interval(logits, agreement)
+            logits = ctx.add(layer, logits, agreement)
     return activation
 
 
-def _walk_capsfc(layer, ctx: _AbstractContext, x: Interval) -> Interval:
+def _walk_capsfc(layer, ctx: _AbstractContext, x):
     weight = ctx.weight(layer.name, "weight", layer.weight)
     # Votes û_{j|i} = W_ij u_i: each output coordinate accumulates over
     # in_dim, i.e. the rows of W flattened to (I·J·D_out, D_in).
-    votes = linear_interval(
-        weight.reshape(-1, layer.in_dim), None, x
-    )
+    votes = ctx.linear(layer.name, weight, None, x, fan_in=layer.in_dim)
     return _walk_routing(
         ctx, layer.name, votes, layer.routing_iterations,
-        in_caps=layer.in_caps, out_dim=layer.out_dim,
+        in_caps=layer.in_caps, out_caps=layer.out_caps,
+        out_dim=layer.out_dim,
     )
 
 
-def _walk_convcaps2d(layer, ctx: _AbstractContext, x: Interval) -> Interval:
+def _walk_convcaps2d(layer, ctx: _AbstractContext, x):
     weight = ctx.weight(
         layer.name, f"{layer.weight_tag}.weight", layer.conv.weight
     )
     bias = ctx.weight(
         layer.name, f"{layer.weight_tag}.bias", layer.conv.bias
     )
-    out = squash_interval(
-        conv_interval(weight, bias, x, layer.conv.padding)
+    out = ctx.squash(
+        layer.name,
+        ctx.conv(layer.name, weight, bias, x, layer.conv.padding),
+        layer.out_dim,
     )
     if layer.quantize_output:
         out = ctx.act(layer.name, out)
     return out
 
 
-def _walk_convcaps3d(layer, ctx: _AbstractContext, x: Interval) -> Interval:
+def _walk_convcaps3d(layer, ctx: _AbstractContext, x):
     weight = ctx.weight(
         layer.name, f"{layer.weight_tag}.weight", layer.conv.weight
     )
-    votes = conv_interval(weight, None, x, layer.conv.padding)
+    votes = ctx.conv(layer.name, weight, None, x, layer.conv.padding)
     return _walk_routing(
         ctx, layer.name, votes, layer.routing_iterations,
-        in_caps=layer.in_types, out_dim=layer.out_dim,
+        in_caps=layer.in_types, out_caps=layer.out_types,
+        out_dim=layer.out_dim,
     )
 
 
-def _walk_shallow(model, ctx: _AbstractContext, x: Interval) -> Interval:
+def _walk_shallow(model, ctx: _AbstractContext, x):
     w1 = ctx.weight("L1", "weight", model.conv1.weight)
     b1 = ctx.weight("L1", "bias", model.conv1.bias)
-    x = relu_interval(conv_interval(w1, b1, x, model.conv1.padding))
+    x = ctx.relu("L1", ctx.conv("L1", w1, b1, x, model.conv1.padding))
     x = ctx.act("L1", x)
 
     primary = model.primary
     w2 = ctx.weight(primary.name, "weight", primary.conv.weight)
     b2 = ctx.weight(primary.name, "bias", primary.conv.bias)
-    x = squash_interval(conv_interval(w2, b2, x, primary.conv.padding))
+    x = ctx.squash(
+        primary.name,
+        ctx.conv(primary.name, w2, b2, x, primary.conv.padding),
+        primary.caps_dim,
+    )
     x = ctx.act(primary.name, x)
 
     return _walk_capsfc(model.digit, ctx, x)
 
 
-def _walk_deep(model, ctx: _AbstractContext, x: Interval) -> Interval:
+def _walk_deep(model, ctx: _AbstractContext, x):
     w1 = ctx.weight("L1", "weight", model.conv1.weight)
     b1 = ctx.weight("L1", "bias", model.conv1.bias)
-    x = conv_interval(w1, b1, x, model.conv1.padding)
-    bn = model.bn1
-    x = batchnorm_interval(
-        x, bn.running_mean, bn.running_var,
-        np.asarray(bn.gamma.data), np.asarray(bn.beta.data), bn.eps,
-    )
-    x = relu_interval(x)
+    x = ctx.conv("L1", w1, b1, x, model.conv1.padding)
+    x = ctx.batchnorm("L1", x, model.bn1)
+    x = ctx.relu("L1", x)
     x = ctx.act("L1", x)
 
     for cell in model._cells:
@@ -459,25 +522,28 @@ def _walk_deep(model, ctx: _AbstractContext, x: Interval) -> Interval:
             lateral = _walk_convcaps3d(cell.skip, ctx, trunk)
         else:
             lateral = _walk_convcaps2d(cell.skip, ctx, trunk)
-        x = squash_interval(add_interval(main, lateral))
+        x = ctx.squash(
+            cell.name, ctx.add(cell.name, main, lateral), cell.conv3.out_dim
+        )
         x = ctx.act(cell.name, x)
 
     return _walk_capsfc(model.class_caps, ctx, x)
 
 
-def _walk_lenet(model, ctx: _AbstractContext, x: Interval) -> Interval:
+def _walk_lenet(model, ctx: _AbstractContext, x):
     for name, conv in (("L1", model.conv1), ("L2", model.conv2)):
         w = ctx.weight(name, "weight", conv.weight)
         b = ctx.weight(name, "bias", conv.bias)
-        # relu then 2x2 average pooling (interval-preserving).
-        x = relu_interval(conv_interval(w, b, x, conv.padding))
+        # relu then 2x2 average pooling.
+        x = ctx.relu(name, ctx.conv(name, w, b, x, conv.padding))
+        x = ctx.avgpool(name, x, 4)
         x = ctx.act(name, x)
     for name, fc in (("L3", model.fc1), ("L4", model.fc2), ("L5", model.fc3)):
         w = ctx.weight(name, "weight", fc.weight)
         b = ctx.weight(name, "bias", fc.bias)
-        x = linear_interval(w, b, x)
+        x = ctx.linear(name, w, b, x)
         if name != "L5":
-            x = relu_interval(x)
+            x = ctx.relu(name, x)
         x = ctx.act(name, x)
     return x
 
@@ -532,7 +598,10 @@ def certify_model(
     ctx = _AbstractContext(
         config, scheme, dict(weight_values or {}), act_scales or {}, log
     )
-    walker(model, ctx, Interval(float(input_range[0]), float(input_range[1])))
+    walker(
+        model, ctx,
+        ctx.input(Interval(float(input_range[0]), float(input_range[1]))),
+    )
 
     layers = []
     for layer in config.layer_names:

@@ -86,6 +86,10 @@ class ModelArtifact:
     #: the artifact was never certified).  Embedded in the meta block on
     #: save, so a loaded artifact carries its proof with it.
     certificate: Optional[Dict[str, object]] = None
+    #: qlower integer execution plan (``LoweringPlan.to_dict()``; None
+    #: when the artifact was never lowered).  Persisted alongside the
+    #: certificate in the meta block.
+    lowering_plan: Optional[Dict[str, object]] = None
     version: int = ARTIFACT_VERSION
 
     # ------------------------------------------------------------------
@@ -201,6 +205,26 @@ class ModelArtifact:
             if failures:
                 line += f"; under-provisioned: {', '.join(failures)}"
             lines.append(line + ")")
+        if self.lowering_plan is not None:
+            verdict = (
+                "LOWERABLE" if self.lowering_plan.get("lowerable")
+                else "BLOCKED"
+            )
+            counts = self.lowering_plan.get("kind_counts") or {}
+            breakdown = " ".join(
+                f"{kind}={counts[kind]}" for kind in sorted(counts)
+            )
+            line = f"  lowering plan: {verdict}"
+            if breakdown:
+                line += f" ({breakdown})"
+            blocking = [
+                f"{entry.get('rule')} {entry.get('op')}"
+                for entry in self.lowering_plan.get("findings", [])
+                if entry.get("rule") in ("QL040", "QL041", "QL042", "QL043")
+            ]
+            if blocking:
+                line += f"; blocked by: {', '.join(blocking)}"
+            lines.append(line)
         if self.spec is not None:
             lines.append(
                 f"  provenance: model={self.spec.get('model')} "
@@ -246,6 +270,35 @@ class ModelArtifact:
         return self.certificate
 
     # ------------------------------------------------------------------
+    # Integer lowering
+    # ------------------------------------------------------------------
+    @property
+    def lowerable(self) -> bool:
+        """Whether the artifact carries a plan with no blocking finding."""
+        return bool(self.lowering_plan) and bool(
+            self.lowering_plan.get("lowerable")
+        )
+
+    def lower(
+        self,
+        model: Optional[Module] = None,
+        input_bits: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Run qlower on this artifact and embed the execution plan.
+
+        Returns the plan dict (also stored in :attr:`lowering_plan`, so
+        a following :meth:`save` persists it).  With ``model=None`` the
+        spec provenance rebuilds the model.  Reuses an embedded range
+        certificate when present.
+        """
+        from repro.analysis.qlower import DEFAULT_INPUT_BITS, lower_artifact
+
+        bits = input_bits if input_bits is not None else DEFAULT_INPUT_BITS
+        plan = lower_artifact(self, model=model, input_bits=bits)
+        self.lowering_plan = plan.to_dict()
+        return self.lowering_plan
+
+    # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
     def bind(self, model: Module) -> QuantizedCapsNet:
@@ -286,6 +339,7 @@ class ModelArtifact:
             "act_scales": dict(self.act_scales),
             "report": self.report,
             "certificate": self.certificate,
+            "lowering_plan": self.lowering_plan,
             "weight_meta": {
                 key: {
                     "integer_bits": fmt.integer_bits,
@@ -406,5 +460,6 @@ class ModelArtifact:
                 report=dict(meta.get("report", {})),
                 spec=meta.get("spec"),
                 certificate=meta.get("certificate"),
+                lowering_plan=meta.get("lowering_plan"),
                 version=version,
             )

@@ -501,6 +501,7 @@ class Session:
         result: Union[QCapsNetsResult, QuantizedModelResult],
         path: Optional[str] = None,
         chosen: Optional[QuantizedModelResult] = None,
+        lower: bool = False,
     ) -> ModelArtifact:
         """Freeze a search result into a versioned artifact.
 
@@ -508,7 +509,8 @@ class Session:
         pick, or ``chosen``) or a single :class:`QuantizedModelResult`.
         The artifact embeds this session's spec as provenance and a
         qprove range certificate when the model family is supported;
-        ``path`` additionally saves it.
+        ``lower=True`` additionally embeds a qlower integer execution
+        plan, and ``path`` saves the artifact.
         """
         if isinstance(result, QuantizedModelResult):
             quantized = QuantizedCapsNet(
@@ -551,6 +553,15 @@ class Session:
             # Model families without an abstract walker ship without a
             # certificate; serve(require_certified=True) rejects them.
             pass
+        if lower:
+            from repro.analysis.qlower import LoweringError
+
+            try:
+                artifact.lower(model=self.model)
+            except LoweringError:
+                # Same policy as certification: unsupported families
+                # ship without a plan instead of failing the export.
+                pass
         if path is not None:
             artifact.save(path)
         return artifact

@@ -294,16 +294,62 @@ def cmd_certify(args) -> int:
         )
     except CertificationError as error:
         raise SystemExit(f"error: {error}") from error
-    print(certificate.report())
+    if args.json:
+        json.dump(certificate.to_dict(), sys.stdout, indent=2)
+        print()
+    else:
+        print(certificate.report())
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(certificate.to_dict(), handle, indent=2)
-        print(f"wrote certificate to {args.out}")
+        if not args.json:
+            print(f"wrote certificate to {args.out}")
     if args.update:
         artifact.certificate = certificate.to_dict()
         artifact.save(args.artifact)
-        print(f"embedded certificate in {args.artifact}")
+        if not args.json:
+            print(f"embedded certificate in {args.artifact}")
     return 0 if certificate.passed else 1
+
+
+def cmd_lower(args) -> int:
+    """Static integer lowering of a saved artifact (qlower).
+
+    Exit status: 0 when the plan is lowerable (every op integer-exact,
+    shift-rescaled, or approximated with a proven bound), 1 when a
+    QL040-series finding blocks lowering.
+    """
+    from repro.analysis.qlower import LoweringError, lower_artifact
+
+    artifact = ModelArtifact.load(args.artifact)
+    base = QuantSpec.from_dict(artifact.spec) if artifact.spec else None
+    spec = resolve_spec(args, base=base)
+    session = Session(spec)
+    try:
+        plan = lower_artifact(
+            artifact,
+            model=session.model,
+            accumulator_bits=args.accumulator_bits,
+            input_bits=args.input_bits,
+        )
+    except LoweringError as error:
+        raise SystemExit(f"error: {error}") from error
+    if args.json:
+        json.dump(plan.to_dict(), sys.stdout, indent=2)
+        print()
+    else:
+        print(plan.report())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(plan.to_dict(), handle, indent=2)
+        if not args.json:
+            print(f"wrote lowering plan to {args.out}")
+    if args.update:
+        artifact.lowering_plan = plan.to_dict()
+        artifact.save(args.artifact)
+        if not args.json:
+            print(f"embedded lowering plan in {args.artifact}")
+    return 0 if plan.lowerable else 1
 
 
 def parse_tenant(spec: str) -> tuple:
@@ -546,7 +592,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_cert.add_argument("--update", action="store_true",
                         help="embed the certificate back into the "
                              "artifact file")
+    p_cert.add_argument("--json", action="store_true",
+                        help="print the certificate as JSON instead of "
+                             "the report")
     p_cert.set_defaults(fn=cmd_certify)
+
+    p_lower = sub.add_parser(
+        "lower",
+        help="qlower: prove an artifact's forward pass integer-lowerable "
+             "and emit the certified shift/LUT execution plan "
+             "(exit 1 when blocked)",
+    )
+    _add_common_options(p_lower)
+    p_lower.add_argument("--artifact", required=True)
+    p_lower.add_argument("--weights", default=None,
+                         help="override the provenance weights path")
+    p_lower.add_argument("--accumulator-bits", type=int,
+                         default=DEFAULT_ACCUMULATOR_BITS,
+                         help="accumulator width the imported range "
+                              "certificate is issued against "
+                              f"(default: {DEFAULT_ACCUMULATOR_BITS})")
+    p_lower.add_argument("--input-bits", type=int, default=8,
+                         help="input pixel grid fed to the integer "
+                              "datapath (default: 8)")
+    p_lower.add_argument("--out", default=None, metavar="PATH",
+                         help="write the lowering plan as JSON")
+    p_lower.add_argument("--update", action="store_true",
+                         help="embed the plan back into the artifact file")
+    p_lower.add_argument("--json", action="store_true",
+                         help="print the plan as JSON instead of the "
+                              "report")
+    p_lower.set_defaults(fn=cmd_lower)
 
     p_serve = sub.add_parser(
         "serve",

@@ -24,6 +24,7 @@ numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 from repro.hw.arith import ArrayMultiplier, Register, RippleCarryAdder
 from repro.hw.gates import GateCounts
@@ -77,6 +78,49 @@ class SquashUnit:
         return self.integer_bits + self.fractional_bits
 
     # ------------------------------------------------------------------
+    # Approximation metadata (read by the qlower error certifier)
+    # ------------------------------------------------------------------
+    @property
+    def operand_eps(self) -> float:
+        """One ULP of the ⟨QI.QF⟩ operand format."""
+        return 2.0 ** -self.fractional_bits
+
+    @property
+    def domain(self) -> Tuple[float, float]:
+        """Representable operand values ``[int_min·eps, int_max·eps]``."""
+        span = 2.0 ** (self.integer_bits - 1)
+        return (-span, span - self.operand_eps)
+
+    @property
+    def lut_entries(self) -> int:
+        """Newton-Raphson inverse-sqrt seed ROM entries."""
+        return 32
+
+    def max_abs_error(self) -> float:
+        """Proven per-component bound of the integer squash vs Eq. 2.
+
+        The reference datapath (:func:`repro.hw.fixed_ref.fixed_squash`)
+        makes three inexact steps, each bounded in operand ULPs
+        (``eps = 2^-QF``); everything else is exact integer arithmetic:
+
+        * ``ratio = ⌊N²·2^QF / (2^2QF + N²)⌋`` truncates ``r = n²/(1+n²)``
+          by < 1 ULP;
+        * ``norm = isqrt(N²)`` truncates ``n`` by < 1 ULP, and since
+          ``|c_i| ≤ n·2^QF`` and ``n̂ ≥ max(eps, n − eps)``, the induced
+          component error is ``|c_i|/n̂ · eps ≤ 2·eps`` (for ``n ≥ 2·eps``
+          use ``n/n̂ ≤ 2``; below that ``N² ≤ 3`` so ``|c_i|·eps ≤ √3·eps``);
+        * the final truncating division adds < 1 ULP, and its coefficient
+          ``r/n̂ = (r/n)(n/n̂) ≤ ½·2 ≤ 1`` keeps the ratio error ≤ 1 ULP.
+
+        Total: ``4·eps``.  The closing saturation only ever moves the
+        result *toward* the true value (``|squash| ≤ ½`` is always
+        representable), so the bound survives it.  Regression-tested by
+        brute force over every representable capsule in
+        ``tests/test_special_ops.py``.
+        """
+        return 4.0 * self.operand_eps
+
+    # ------------------------------------------------------------------
     # Structure (area)
     # ------------------------------------------------------------------
     def gate_counts(self) -> GateCounts:
@@ -90,7 +134,9 @@ class SquashUnit:
             + mult  # Newton-Raphson engine multiplier
             + RippleCarryAdder(n).gate_counts().scaled(2)  # NR add/sub
             + Register(n).gate_counts().scaled(4)  # operand/result regs
-            + GateCounts(combinational=32 * n * GE_PER_ROM_BIT)  # NR seed ROM
+            + GateCounts(
+                combinational=self.lut_entries * n * GE_PER_ROM_BIT
+            )  # NR seed ROM
         )
         return structure.scaled(DATAPATH_OVERHEAD)
 
@@ -157,6 +203,55 @@ class SoftmaxUnit:
     @property
     def wordlength(self) -> int:
         return self.integer_bits + self.fractional_bits
+
+    # ------------------------------------------------------------------
+    # Approximation metadata (read by the qlower error certifier)
+    # ------------------------------------------------------------------
+    @property
+    def operand_eps(self) -> float:
+        """One ULP of the ⟨QI.QF⟩ operand format."""
+        return 2.0 ** -self.fractional_bits
+
+    @property
+    def domain(self) -> Tuple[float, float]:
+        """Representable logit values ``[int_min·eps, int_max·eps]``."""
+        span = 2.0 ** (self.integer_bits - 1)
+        return (-span, span - self.operand_eps)
+
+    @property
+    def lut_entries(self) -> int:
+        """Exponential ROM entries of the bit-accurate reference.
+
+        :func:`repro.hw.fixed_ref.exp_lut` indexes a full ROM by the
+        input code (one entry per representable logit); the synthesized
+        area model approximates it with ``pla_segments`` piecewise-linear
+        segments instead.
+        """
+        return 2 ** self.wordlength
+
+    def max_abs_error(self) -> float:
+        """Proven per-output bound of the integer softmax vs Eq. 1.
+
+        Holds whenever (a) the largest logit is ``≥ 0`` — qlower
+        guarantees this by max-normalizing the logits, an exact integer
+        subtraction softmax is invariant under — and (b) no ROM entry
+        clips, i.e. ``e^max_logit`` fits the widened output format of
+        :func:`repro.hw.fixed_ref.exp_lut` (with a max of exactly 0 the
+        top entry is ``e^0 = 1``, exact).  Then with ``eps = 2^-QF`` and
+        ``n = num_inputs``:
+
+        * each ROM entry truncates ``e^{x_i}`` by < 1 ULP, so the code
+          total ``T`` satisfies ``S − n·eps < T ≤ S`` with
+          ``S = Σe^{x_i} ≥ e^0 = 1``;
+        * the division ``⌊ê_i·2^QF / T⌋`` truncates by < 1 ULP;
+        * the coefficient perturbation obeys
+          ``|ê_i/T − e^{x_i}/S| ≤ (e^{x_i}/S)·(n·eps)/T + eps/T
+          ≤ (n+1)·eps`` using ``T ≥ 1``.
+
+        Total: ``(n + 2)·eps``.  Regression-tested by brute force over
+        every representable logit pair in ``tests/test_special_ops.py``.
+        """
+        return (self.num_inputs + 2) * self.operand_eps
 
     def gate_counts(self) -> GateCounts:
         n = self.wordlength

@@ -27,7 +27,7 @@ import importlib.util
 import json
 import os
 import sys
-from typing import Callable, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.lint import concurrency, determinism, stagedeps
 from repro.lint.findings import RULES, Finding
@@ -210,19 +210,30 @@ def run_lint(
     # class first so cross-class acquisition (``with worker.lock:``)
     # resolves across module boundaries.
     sources = {}
+    owners: Dict[str, Set[str]] = {}
     cross_locks: Set[str] = set()
     for path in files:
         with open(path, "r", encoding="utf-8") as handle:
             sources[path] = handle.read()
-        for attrs in concurrency.lock_owner_attrs(sources[path]).values():
+        for cls, attrs in concurrency.lock_owner_attrs(
+            sources[path]
+        ).items():
+            owners.setdefault(cls, set()).update(attrs)
             cross_locks |= attrs
 
     findings: List[Finding] = []
+    edges: List[concurrency.LockOrderEdge] = []
     for path in files:
         findings.extend(determinism.check_file(path))
         findings.extend(concurrency.check_source(
             sources[path], path, cross_locks=cross_locks
         ))
+        edges.extend(concurrency.lock_order_edges(
+            sources[path], path, owners=owners
+        ))
+    # Lock ordering is likewise run-level: a cycle needs two files'
+    # acquisition paths unioned before it becomes visible.
+    findings.extend(concurrency.check_lock_order(edges, sources=sources))
     findings.extend(_stage_findings(files))
     findings.extend(_runtime_findings(runtime))
 

@@ -1,4 +1,4 @@
-"""Serve concurrency audit (rules QL020/QL021).
+"""Serve concurrency audit (rules QL020/QL021/QL022).
 
 The serving daemon shares state across threads: HTTP handler threads
 (the ``ThreadingHTTPServer`` pool) submit requests and read ``/healthz``
@@ -38,6 +38,17 @@ to the fork protocol — reference ``fork_guard`` (quiesce before
 forking), ``child_init``, or ``fork_child_reset`` (re-arm inherited
 state in the child) somewhere in its body — or the spawn is flagged: a
 lock captured mid-acquisition by ``fork`` deadlocks the child.
+
+Rule QL022 audits lock *ordering* across the whole run: every nested
+``with a: with b:`` contributes an acquisition-order edge ``a -> b``
+(:func:`lock_order_edges`), edges are unioned over all analyzed files,
+and any cycle in the resulting graph — ``submit`` taking the pool lock
+then a worker's, ``steal`` taking them inverted — is a deadlock
+hazard the moment both paths run concurrently
+(:func:`check_lock_order`).  Nodes are named ``Class.attr``: the
+enclosing class for ``with self.<lock>:``, the owning class from the
+run-wide registry for ``with worker.<lock>:`` when exactly one class
+owns that attribute name, and ``?.attr`` when ownership is ambiguous.
 
 Known limitation (documented, deliberate): mutating a container bound
 once in ``__init__`` (``self._queues.setdefault(...)``) is a *read* of
@@ -506,6 +517,231 @@ def _check_fork_children(
             f"{hazards[0]}{extra} but the class registers no fork "
             f"protocol: bracket forks with fork_guard and re-arm "
             f"inherited state via child_init/fork_child_reset",
+        ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# QL022: lock-order cycles across the analyzed run
+# ----------------------------------------------------------------------
+class LockOrderEdge:
+    """One acquisition-order fact: ``dst`` acquired while ``src`` held.
+
+    ``line`` is the ``dst`` acquisition site; ``site`` names the method
+    (``Class.method``) so the cycle report reads as two code paths.
+    """
+
+    __slots__ = ("src", "dst", "path", "line", "site")
+
+    def __init__(self, src: str, dst: str, path: str, line: int,
+                 site: str):
+        self.src = src
+        self.dst = dst
+        self.path = path
+        self.line = line
+        self.site = site
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LockOrderEdge({self.src!r} -> {self.dst!r} at "
+            f"{self.path}:{self.line} in {self.site})"
+        )
+
+
+class _EdgeCollector:
+    """Collects acquisition-order edges from one method's ``with`` tree.
+
+    Mirrors :class:`_MethodWalker`'s held-set threading but records the
+    *canonical* lock node acquired at each ``with`` item together with
+    every node already held, which is exactly the edge set QL022 needs.
+    """
+
+    def __init__(self, class_name: str, self_name: str,
+                 lock_attrs: Set[str], cross_locks: Set[str],
+                 owner_of: Dict[str, Optional[str]], method: str,
+                 path: str):
+        self.class_name = class_name
+        self.self_name = self_name
+        self.lock_attrs = lock_attrs
+        self.cross_locks = cross_locks
+        self.owner_of = owner_of
+        self.method = method
+        self.path = path
+        self.edges: List[LockOrderEdge] = []
+
+    def _lock_node(self, expr: ast.AST) -> Optional[str]:
+        """Canonical ``Class.attr`` node for a lock acquisition, or None."""
+        if not (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+        ):
+            return None
+        if (
+            expr.value.id == self.self_name
+            and expr.attr in self.lock_attrs
+        ):
+            return f"{self.class_name}.{expr.attr}"
+        if (
+            expr.value.id != self.self_name
+            and expr.attr in self.cross_locks
+        ):
+            owner = self.owner_of.get(expr.attr)
+            return f"{owner or '?'}.{expr.attr}"
+        return None
+
+    def walk(self, stmts: List[ast.stmt],
+             held: Tuple[str, ...]) -> None:
+        for stmt in stmts:
+            self._walk_stmt(stmt, held)
+
+    def _walk_stmt(self, stmt: ast.stmt, held: Tuple[str, ...]) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            acquired = list(held)
+            for item in stmt.items:
+                node = self._lock_node(item.context_expr)
+                if node is None:
+                    continue
+                for prior in acquired:
+                    if prior != node:  # RLock re-entry is not an edge
+                        self.edges.append(LockOrderEdge(
+                            prior, node, self.path,
+                            item.context_expr.lineno,
+                            f"{self.class_name}.{self.method}",
+                        ))
+                acquired.append(node)
+            self.walk(stmt.body, tuple(acquired))
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested functions may run outside the lock scope; their
+            # own nesting still counts, inherited locks do not.
+            self.walk(stmt.body, ())
+            return
+        for _field, value in ast.iter_fields(stmt):
+            if (
+                isinstance(value, list)
+                and value
+                and isinstance(value[0], ast.stmt)
+            ):
+                self.walk(value, held)
+
+
+def lock_order_edges(
+    source: str, path: str,
+    owners: Optional[Dict[str, Set[str]]] = None,
+) -> List[LockOrderEdge]:
+    """Acquisition-order edges from every nested ``with`` in one file.
+
+    ``owners`` is the run-wide ``{class: lock attrs}`` registry (the
+    union of :func:`lock_owner_attrs` over every analyzed file); this
+    file's own classes are always merged in, so single-file analysis
+    works without a registry.  Unparseable sources contribute no edges
+    (the parse error is reported by :func:`check_source`).
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return []
+    threading_names = _threading_aliases(tree)
+    merged: Dict[str, Set[str]] = {
+        cls: set(attrs) for cls, attrs in (owners or {}).items()
+    }
+    for cls, attrs in lock_owner_attrs(source).items():
+        merged.setdefault(cls, set()).update(attrs)
+    cross_locks: Set[str] = set()
+    owner_of: Dict[str, Optional[str]] = {}
+    for cls, attrs in merged.items():
+        cross_locks |= attrs
+        for attr in attrs:
+            # Unique owner resolves the node name; collisions stay '?'.
+            owner_of[attr] = cls if attr not in owner_of else None
+
+    edges: List[LockOrderEdge] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        lock_attrs = _class_lock_attrs(node, threading_names)
+        for method in _class_methods(node):
+            if method.name == "__init__":
+                continue
+            self_name = _self_name(method)
+            if self_name is None:
+                continue
+            collector = _EdgeCollector(
+                node.name, self_name, lock_attrs, cross_locks,
+                owner_of, method.name, path,
+            )
+            collector.walk(method.body, ())
+            edges.extend(collector.edges)
+    return edges
+
+
+def check_lock_order(
+    edges: List[LockOrderEdge],
+    sources: Optional[Dict[str, str]] = None,
+) -> List[Finding]:
+    """QL022 findings: one per distinct lock-order cycle in ``edges``.
+
+    Parallel edges collapse to the lexicographically-first acquisition
+    site; each elementary cycle is reported exactly once (anchored at
+    its first edge's site) with every acquisition site named, so the
+    report reads as the two (or more) code paths that interleave into
+    a deadlock.  ``sources`` (``{path: text}``) enables ``# qlint:
+    disable=QL022`` suppression at any acquisition site on the cycle.
+    """
+    adjacency: Dict[str, Dict[str, LockOrderEdge]] = {}
+    for edge in edges:
+        slot = adjacency.setdefault(edge.src, {})
+        current = slot.get(edge.dst)
+        if current is None or (
+            (edge.path, edge.line) < (current.path, current.line)
+        ):
+            slot[edge.dst] = edge
+
+    # Enumerate elementary cycles once each: depth-first search started
+    # from every node, only visiting nodes that sort after the start so
+    # each cycle is found solely from its smallest node.
+    cycles: List[List[str]] = []
+    for start in sorted(adjacency):
+        stack = [start]
+        onstack = {start}
+
+        def dfs(node: str) -> None:
+            for succ in sorted(adjacency.get(node, {})):
+                if succ == start:
+                    cycles.append(list(stack))
+                elif succ > start and succ not in onstack:
+                    onstack.add(succ)
+                    stack.append(succ)
+                    dfs(succ)
+                    stack.pop()
+                    onstack.discard(succ)
+
+        dfs(start)
+
+    suppressions = {
+        path: parse_suppressions(text)
+        for path, text in (sources or {}).items()
+    }
+    findings: List[Finding] = []
+    for cycle in cycles:
+        hops = [
+            adjacency[cycle[i]][cycle[(i + 1) % len(cycle)]]
+            for i in range(len(cycle))
+        ]
+        if any(
+            "QL022" in suppressions.get(h.path, {}).get(h.line, ())
+            for h in hops
+        ):
+            continue
+        trail = " -> ".join(
+            f"'{hop.dst}' ({hop.path}:{hop.line} in {hop.site})"
+            for hop in hops
+        )
+        findings.append(Finding(
+            "QL022", hops[0].path, hops[0].line,
+            f"lock-order cycle: '{hops[0].src}' -> {trail}; these "
+            f"paths deadlock when they interleave — acquire locks in "
+            f"one global order",
         ))
     return findings
 

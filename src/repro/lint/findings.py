@@ -32,8 +32,17 @@ RULES: Dict[str, str] = {
     "QL021": "fork-child entry method acquires inherited locks or "
              "mutates shared state without a fork_guard/child_init/"
              "fork_child_reset protocol registration",
+    "QL022": "lock-order cycle: nested lock acquisitions whose order "
+             "inverts elsewhere in the run (deadlock hazard)",
     "QL030": "runtime sanitizer: fixed-point overflow/saturation events",
     "QL031": "runtime sanitizer: NaN values reached a quantization hook",
+    "QL040": "qlower: float-contaminated op blocks integer lowering",
+    "QL041": "qlower: scale composition on the path is not a power of "
+             "two (no exact shift rescale exists)",
+    "QL042": "qlower: special-function integer approximation has no "
+             "certified plan over the required domain/precision",
+    "QL043": "qlower: missing/failed range certificate or accumulator "
+             "exceeds 64-bit integer execution",
 }
 
 _DISABLE_RE = re.compile(r"#\s*qlint:\s*disable(?:=([A-Z0-9,\s]+))?")

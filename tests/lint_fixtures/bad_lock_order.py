@@ -1,0 +1,36 @@
+"""Fixture: inverted lock ordering between two methods (QL022).
+
+``submit`` acquires ``Scheduler._sched_lock`` then ``WorkQueue.lock``;
+``steal`` acquires them in the opposite order.  When the two paths run
+concurrently each can hold the lock the other needs: deadlock.
+"""
+
+import threading
+
+
+class WorkQueue:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.items = 0
+
+    def push(self):
+        with self.lock:
+            self.items += 1
+
+
+class Scheduler:
+    def __init__(self):
+        self._sched_lock = threading.Lock()
+        self.pending = 0
+
+    def submit(self, queue):
+        with self._sched_lock:
+            with queue.lock:
+                self.pending += 1
+                queue.items += 1
+
+    def steal(self, queue):
+        with queue.lock:
+            with self._sched_lock:
+                self.pending -= 1
+                queue.items -= 1

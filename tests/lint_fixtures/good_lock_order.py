@@ -1,0 +1,36 @@
+"""Fixture: consistent lock ordering (registry lock before worker lock).
+
+Both ``submit`` and ``drain`` acquire ``Registry._lock`` first and the
+worker's ``gate`` second, so the run-wide acquisition graph is acyclic
+and QL022 stays silent.
+"""
+
+import threading
+
+
+class OrderedWorker:
+    def __init__(self):
+        self.gate = threading.Lock()
+        self.jobs = 0
+
+    def bump(self):
+        with self.gate:
+            self.jobs += 1
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.submitted = 0
+
+    def submit(self, worker):
+        with self._lock:
+            self.submitted += 1
+            with worker.gate:
+                worker.jobs += 1
+
+    def drain(self, worker):
+        with self._lock:
+            self.submitted -= 1
+            with worker.gate:
+                worker.jobs = 0

@@ -1,0 +1,201 @@
+"""Hypothesis property tests for the interval arithmetic core.
+
+The qprove/qlower soundness story rests on :mod:`repro.analysis.interval`
+being *conservative*: every concrete value a layer can produce must lie
+inside the interval the analyzer propagates, and the power-of-two
+detector must never misclassify a scale (a false positive would certify
+a shift schedule that silently rescales by the wrong factor).  These
+tests state those contracts as properties and let Hypothesis hunt the
+edges — int64-scale magnitudes, degenerate (point) intervals, float32
+subnormals and the top of the finite range.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.interval import (
+    MAX_ACCUMULATOR_BITS,
+    Interval,
+    add_interval,
+    is_power_of_two,
+    min_safe_bits,
+    mul_interval,
+    pow2_exponent,
+    relu_interval,
+    sum_of_terms,
+)
+
+#: Magnitudes up to the int64 range (and beyond what any certified
+#: accumulator reaches) without hitting float overflow in products.
+BOUND = 2.0 ** 63
+
+finite = st.floats(
+    min_value=-BOUND, max_value=BOUND,
+    allow_nan=False, allow_infinity=False,
+)
+
+
+@st.composite
+def intervals(draw):
+    a = draw(finite)
+    b = draw(finite)
+    return Interval(min(a, b), max(a, b))
+
+
+@st.composite
+def intervals_with_point(draw):
+    """An interval plus a member point (endpoints favored)."""
+    iv = draw(intervals())
+    t = draw(st.floats(min_value=0.0, max_value=1.0))
+    point = iv.lo + t * (iv.hi - iv.lo)
+    point = min(max(point, iv.lo), iv.hi)  # float rounding guard
+    return iv, point
+
+
+# ----------------------------------------------------------------------
+# Soundness: concrete arithmetic stays inside propagated intervals
+# ----------------------------------------------------------------------
+class TestSoundness:
+    @given(intervals_with_point(), intervals_with_point())
+    def test_add_contains_every_pointwise_sum(self, ap, bp):
+        (a, pa), (b, pb) = ap, bp
+        out = add_interval(a, b)
+        assert out.lo <= pa + pb <= out.hi
+
+    @given(intervals_with_point(), intervals_with_point())
+    def test_mul_contains_every_pointwise_product(self, ap, bp):
+        (a, pa), (b, pb) = ap, bp
+        out = mul_interval(a, b)
+        assert out.lo <= pa * pb <= out.hi
+
+    @given(intervals_with_point(), st.integers(min_value=0,
+                                               max_value=1 << 20))
+    def test_sum_of_terms_contains_repeated_point(self, ap, count):
+        iv, p = ap
+        out = sum_of_terms(iv, count)
+        assert out.lo <= p * count <= out.hi
+
+    @given(intervals_with_point())
+    def test_relu_contains_clamped_point(self, ap):
+        iv, p = ap
+        out = relu_interval(iv)
+        assert out.lo <= max(0.0, p) <= out.hi
+        assert out.lo >= 0.0
+
+    @given(intervals(), intervals())
+    def test_hull_contains_both_operands(self, a, b):
+        hull = a.hull(b)
+        assert hull.contains(a.lo, a.hi)
+        assert hull.contains(b.lo, b.hi)
+        assert hull == b.hull(a)
+
+    @given(intervals(), intervals())
+    def test_mul_is_commutative(self, a, b):
+        assert mul_interval(a, b) == mul_interval(b, a)
+
+
+# ----------------------------------------------------------------------
+# Degenerate (point) intervals behave like scalar arithmetic
+# ----------------------------------------------------------------------
+class TestDegenerateIntervals:
+    @given(finite, finite)
+    def test_point_add_is_scalar_add(self, x, y):
+        out = add_interval(Interval.point(x), Interval.point(y))
+        assert out == Interval.point(x + y)
+
+    @given(finite, finite)
+    def test_point_mul_is_scalar_mul(self, x, y):
+        out = mul_interval(Interval.point(x), Interval.point(y))
+        assert out == Interval.point(x * y)
+
+    @given(finite)
+    def test_point_hull_is_identity(self, x):
+        p = Interval.point(x)
+        assert p.hull(p) == p
+        assert p.max_abs == abs(x)
+
+    def test_inverted_bounds_are_rejected(self):
+        with pytest.raises(ValueError, match="empty interval"):
+            Interval(1.0, 0.0)
+        with pytest.raises(ValueError, match="NaN"):
+            Interval(float("nan"), 0.0)
+
+
+# ----------------------------------------------------------------------
+# pow2_exponent: exact over the full float range, subnormals included
+# ----------------------------------------------------------------------
+class TestPow2Exponent:
+    @given(st.integers(min_value=-1074, max_value=1023))
+    def test_roundtrips_every_float64_power(self, e):
+        assert pow2_exponent(math.ldexp(1.0, e)) == e
+
+    @given(st.integers(min_value=-149, max_value=127))
+    def test_exact_on_float32_scales(self, e):
+        # Calibrated activation scales are stored as float32; the
+        # detector must classify them after the float64 upcast —
+        # including the subnormal tail (2^-149) and the top (2^127).
+        scale = float(np.float32(math.ldexp(1.0, e)))
+        assert pow2_exponent(scale) == e
+        assert is_power_of_two(scale)
+
+    @given(st.floats(min_value=1e-300, max_value=1e300,
+                     allow_nan=False, allow_infinity=False))
+    def test_detection_agrees_with_reconstruction(self, x):
+        e = pow2_exponent(x)
+        if e is None:
+            mantissa, _ = math.frexp(x)
+            assert mantissa != 0.5
+        else:
+            assert math.ldexp(1.0, e) == x
+
+    @given(st.integers(min_value=-1000, max_value=1000))
+    def test_odd_multiples_are_rejected(self, e):
+        assert pow2_exponent(3.0 * math.ldexp(1.0, e)) is None
+        assert not is_power_of_two(3.0 * math.ldexp(1.0, e))
+
+    @pytest.mark.parametrize("bad", [
+        0.0, -0.0, -1.0, -2.0, float("inf"), -float("inf"),
+        float("nan"), 5e-324 * 3,
+    ])
+    def test_non_candidates_return_none(self, bad):
+        assert pow2_exponent(bad) is None
+
+    def test_smallest_subnormal_is_a_power(self):
+        assert pow2_exponent(5e-324) == -1074
+
+
+# ----------------------------------------------------------------------
+# min_safe_bits: minimal two's-complement width, never unsound
+# ----------------------------------------------------------------------
+class TestMinSafeBits:
+    # Exact-integer property restricted to the float-exact range: a
+    # code bound above 2^53 already lost integer precision before
+    # min_safe_bits saw it, so exact containment is only promised here.
+    @given(st.integers(min_value=-(1 << 53), max_value=(1 << 53)),
+           st.integers(min_value=-(1 << 53), max_value=(1 << 53)))
+    @settings(max_examples=200)
+    def test_width_holds_the_range_and_is_minimal(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        bits = min_safe_bits(float(lo), float(hi))
+        span = 2 ** (bits - 1)
+        assert -span <= lo and hi <= span - 1
+        if bits > 1:
+            narrower = 2 ** (bits - 2)
+            assert lo < -narrower or hi > narrower - 1
+
+    @given(st.floats(min_value=0.0, max_value=1e37,
+                     allow_nan=False, allow_infinity=False))
+    def test_float_bounds_stay_contained(self, magnitude):
+        # Beyond exact-int territory the contract is float-level: the
+        # returned width's span covers the (float) bounds as compared
+        # by the implementation itself.
+        bits = min_safe_bits(-magnitude, magnitude)
+        span = 2.0 ** (bits - 1)
+        assert -span <= -magnitude and magnitude <= span - 1.0
+
+    def test_absurd_ranges_saturate_at_the_cap(self):
+        assert min_safe_bits(-1e60, 1e60) == MAX_ACCUMULATOR_BITS

@@ -53,6 +53,7 @@ class TestFixtureMatrix:
         ("bad_unguarded.py", "QL020"),
         ("bad_cross_lock.py", "QL020"),
         ("bad_fork_child.py", "QL021"),
+        ("bad_lock_order.py", "QL022"),
     ])
     def test_bad_fixture_yields_exactly_one_finding(self, name, rule):
         code, lines = lint([fixture(name)])
@@ -68,6 +69,7 @@ class TestFixtureMatrix:
         "good_stage_deps.py",
         "good_guarded.py",
         "good_fork_child.py",
+        "good_lock_order.py",
     ])
     def test_good_fixture_is_clean(self, name):
         code, lines = lint([fixture(name)])
@@ -561,6 +563,141 @@ class TestForkChildRule:
 
 
 # ----------------------------------------------------------------------
+# QL022: lock-order cycles
+# ----------------------------------------------------------------------
+class TestLockOrderCycles:
+    def _fixture_source(self, name):
+        with open(fixture(name), "r", encoding="utf-8") as handle:
+            return handle.read()
+
+    def test_edges_are_canonically_named(self):
+        source = self._fixture_source("bad_lock_order.py")
+        edges = concurrency.lock_order_edges(source, "bad.py")
+        pairs = {(edge.src, edge.dst) for edge in edges}
+        assert pairs == {
+            ("Scheduler._sched_lock", "WorkQueue.lock"),
+            ("WorkQueue.lock", "Scheduler._sched_lock"),
+        }
+
+    def test_consistent_ordering_is_clean(self):
+        source = self._fixture_source("good_lock_order.py")
+        edges = concurrency.lock_order_edges(source, "good.py")
+        assert edges  # ordering facts exist, just no inversion
+        assert concurrency.check_lock_order(edges) == []
+
+    def test_cycle_names_both_acquisition_sites(self):
+        source = self._fixture_source("bad_lock_order.py")
+        edges = concurrency.lock_order_edges(source, "bad.py")
+        findings = concurrency.check_lock_order(edges)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "QL022"
+        assert "Scheduler.submit" in finding.message
+        assert "Scheduler.steal" in finding.message
+        assert "Scheduler._sched_lock" in finding.message
+        assert "WorkQueue.lock" in finding.message
+
+    def test_cycle_across_two_files(self):
+        # The inversion only appears once both files' edges are
+        # unioned — exactly the run-level property QL022 checks.
+        first = (
+            "import threading\n"
+            "class A:\n"
+            "    def __init__(self):\n"
+            "        self.la = threading.Lock()\n"
+            "    def fwd(self, b):\n"
+            "        with self.la:\n"
+            "            with b.lb:\n"
+            "                pass\n"
+        )
+        second = (
+            "import threading\n"
+            "class B:\n"
+            "    def __init__(self):\n"
+            "        self.lb = threading.Lock()\n"
+            "    def rev(self, a):\n"
+            "        with self.lb:\n"
+            "            with a.la:\n"
+            "                pass\n"
+        )
+        owners = {}
+        for text in (first, second):
+            for cls, attrs in concurrency.lock_owner_attrs(text).items():
+                owners.setdefault(cls, set()).update(attrs)
+        edges = (
+            concurrency.lock_order_edges(first, "a.py", owners=owners)
+            + concurrency.lock_order_edges(second, "b.py", owners=owners)
+        )
+        assert concurrency.check_lock_order(edges[:1]) == []
+        findings = concurrency.check_lock_order(edges)
+        assert len(findings) == 1
+        assert "a.py" in findings[0].message
+        assert "b.py" in findings[0].message
+
+    def test_three_lock_cycle_is_reported_once(self):
+        source = (
+            "import threading\n"
+            "class T:\n"
+            "    def __init__(self):\n"
+            "        self.a = threading.Lock()\n"
+            "        self.b = threading.Lock()\n"
+            "        self.c = threading.Lock()\n"
+            "    def ab(self):\n"
+            "        with self.a:\n"
+            "            with self.b:\n"
+            "                pass\n"
+            "    def bc(self):\n"
+            "        with self.b:\n"
+            "            with self.c:\n"
+            "                pass\n"
+            "    def ca(self):\n"
+            "        with self.c:\n"
+            "            with self.a:\n"
+            "                pass\n"
+        )
+        edges = concurrency.lock_order_edges(source, "t.py")
+        findings = concurrency.check_lock_order(edges)
+        assert len(findings) == 1
+        assert findings[0].message.count("in T.") == 3
+
+    def test_rlock_reentry_is_not_an_edge(self):
+        source = (
+            "import threading\n"
+            "class R:\n"
+            "    def __init__(self):\n"
+            "        self.lk = threading.RLock()\n"
+            "    def twice(self):\n"
+            "        with self.lk:\n"
+            "            with self.lk:\n"
+            "                pass\n"
+        )
+        assert concurrency.lock_order_edges(source, "r.py") == []
+
+    def test_disable_comment_suppresses_the_cycle(self):
+        source = self._fixture_source("bad_lock_order.py").replace(
+            "with self._sched_lock:\n                self.pending -= 1",
+            "with self._sched_lock:  # qlint: disable=QL022\n"
+            "                self.pending -= 1",
+        )
+        edges = concurrency.lock_order_edges(source, "bad.py")
+        findings = concurrency.check_lock_order(
+            edges, sources={"bad.py": source}
+        )
+        assert findings == []
+
+    def test_run_lint_reports_the_cycle_once(self):
+        code, lines = lint([
+            fixture("good_lock_order.py"),
+            fixture("bad_lock_order.py"),
+        ])
+        assert code == 1
+        findings = [line for line in lines if " QL022 " in line]
+        assert len(findings) == 1
+        assert "bad_lock_order.py" in findings[0]
+        assert "good_lock_order.py" not in findings[0]
+
+
+# ----------------------------------------------------------------------
 # Findings / annotations plumbing
 # ----------------------------------------------------------------------
 class TestFindings:
@@ -570,7 +707,8 @@ class TestFindings:
 
     def test_rule_table_covers_every_emitted_rule(self):
         for rule in ("QL001", "QL002", "QL010", "QL011", "QL012",
-                     "QL020", "QL021", "QL030", "QL031"):
+                     "QL020", "QL021", "QL022", "QL030", "QL031",
+                     "QL040", "QL041", "QL042", "QL043"):
             assert rule in RULES
 
     def test_bare_disable_suppresses_everything(self):

@@ -1,0 +1,181 @@
+"""Brute-force regression of the special-function error certificates.
+
+``SquashUnit.max_abs_error`` / ``SoftmaxUnit.max_abs_error`` are
+*proven* bounds (their docstrings carry the derivations) that qlower
+embeds in lowering plans as certified LUT/iterative-plan error bars.
+These tests enforce them the strong way: enumerate **every**
+representable operand (capsule / max-normalized logit vector) for small
+formats and compare the integer datapath against the exact float
+reference.  A bound that ever under-reports by even one sample fails
+the suite — so the analytic derivation cannot silently drift from the
+reference implementation in :mod:`repro.hw.fixed_ref`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw.fixed_ref import exp_lut, fixed_softmax, fixed_squash
+from repro.hw.special_ops import SoftmaxUnit, SquashUnit
+from repro.quant.fixed_point import FixedPointFormat
+
+
+def _all_code_tuples(fmt, dim):
+    """Every representable ``dim``-element code vector, shape (K, dim)."""
+    codes = np.arange(fmt.int_min, fmt.int_max + 1, dtype=np.int64)
+    grids = np.meshgrid(*([codes] * dim), indexing="ij")
+    return np.stack([g.ravel() for g in grids], axis=-1)
+
+
+def _float_squash(values):
+    """Exact Eq. 2 per capsule row: ``v · ||v|| / (1 + ||v||²)``."""
+    norm = np.linalg.norm(values, axis=-1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = values * norm / (1.0 + norm * norm)
+    return np.where(norm > 0, out, 0.0)
+
+
+def _float_softmax(values):
+    exps = np.exp(values)
+    return exps / exps.sum(axis=-1, keepdims=True)
+
+
+# ----------------------------------------------------------------------
+# SquashUnit: exhaustive bound check
+# ----------------------------------------------------------------------
+class TestSquashBound:
+    @pytest.mark.parametrize("qi, qf, dim", [
+        (1, 4, 2),   # the paper's ⟨1.QF⟩ operand, 1024 capsules
+        (1, 3, 3),   # higher capsule dimension, 4096 capsules
+        (1, 6, 2),   # finer grid, 16384 capsules
+    ])
+    def test_every_representable_capsule_within_bound(self, qi, qf, dim):
+        fmt = FixedPointFormat(qi, qf)
+        unit = SquashUnit(
+            fractional_bits=qf, caps_dim=dim, integer_bits=qi
+        )
+        codes = _all_code_tuples(fmt, dim)
+        got = fixed_squash(codes, fmt) * fmt.eps
+        want = _float_squash(codes * fmt.eps)
+        err = np.abs(got - want).max()
+        assert err <= unit.max_abs_error(), (
+            f"observed {err} exceeds proven bound {unit.max_abs_error()}"
+        )
+
+    def test_bound_holds_for_widened_integer_bits(self):
+        # qlower widens the operand's integer bits to absorb large
+        # pre-squash accumulator ranges; the 4·eps derivation never
+        # uses integer_bits, so the bound must survive the widening.
+        fmt = FixedPointFormat(3, 3)
+        unit = SquashUnit(fractional_bits=3, caps_dim=2, integer_bits=3)
+        codes = _all_code_tuples(fmt, 2)
+        got = fixed_squash(codes, fmt) * fmt.eps
+        want = _float_squash(codes * fmt.eps)
+        assert np.abs(got - want).max() <= unit.max_abs_error()
+
+    def test_bound_is_tight_to_the_derivation(self):
+        # The proof budgets 4 ULPs; the observed worst case must use a
+        # non-trivial share of it, else the derivation is stale.
+        fmt = FixedPointFormat(1, 4)
+        unit = SquashUnit(fractional_bits=4, caps_dim=2)
+        codes = _all_code_tuples(fmt, 2)
+        got = fixed_squash(codes, fmt) * fmt.eps
+        want = _float_squash(codes * fmt.eps)
+        err = np.abs(got - want).max()
+        assert err > 0.25 * unit.max_abs_error()
+
+
+# ----------------------------------------------------------------------
+# SoftmaxUnit: exhaustive bound check over max-normalized logits
+# ----------------------------------------------------------------------
+class TestSoftmaxBound:
+    @pytest.mark.parametrize("qf, dim", [(4, 2), (3, 3), (6, 2)])
+    def test_every_max_normalized_logit_vector_within_bound(
+        self, qf, dim
+    ):
+        fmt = FixedPointFormat(1, qf)
+        unit = SoftmaxUnit(fractional_bits=qf, num_inputs=dim)
+        codes = _all_code_tuples(fmt, dim)
+        # qlower's precondition: logits arrive max-normalized (exact
+        # integer subtract), so the largest logit is >= 0 and e^max
+        # fits the widened ROM format.
+        codes = codes[codes.max(axis=-1) >= 0]
+        got = fixed_softmax(codes, fmt) * fmt.eps
+        want = _float_softmax(codes * fmt.eps)
+        err = np.abs(got - want).max()
+        assert err <= unit.max_abs_error(), (
+            f"observed {err} exceeds proven bound {unit.max_abs_error()}"
+        )
+
+    def test_outputs_are_valid_coupling_codes(self):
+        fmt = FixedPointFormat(1, 5)
+        codes = _all_code_tuples(fmt, 2)
+        out = fixed_softmax(codes, fmt)
+        assert out.min() >= 0
+        assert (out * fmt.eps).max() <= 1.0
+
+
+# ----------------------------------------------------------------------
+# exp_lut: the ROM truncates by strictly less than one output ULP
+# ----------------------------------------------------------------------
+class TestExpLut:
+    @pytest.mark.parametrize("qi, qf", [(1, 4), (1, 6), (2, 5)])
+    def test_rom_entries_truncate_below_one_ulp(self, qi, qf):
+        fmt = FixedPointFormat(qi, qf)
+        table, out_fmt = exp_lut(fmt)
+        assert out_fmt.fractional_bits == qf
+        assert out_fmt.integer_bits == qi + 2
+        codes = np.arange(fmt.int_min, fmt.int_max + 1, dtype=np.int64)
+        exact = np.exp(codes * fmt.eps)
+        unclipped = exact <= out_fmt.int_max * out_fmt.eps
+        gap = exact[unclipped] - table[unclipped] * out_fmt.eps
+        assert gap.min() >= 0.0
+        assert gap.max() < out_fmt.eps
+
+    def test_nonpositive_logits_never_clip(self):
+        # The max-normalization precondition: with max logit exactly 0
+        # the hottest ROM entry is e^0 = 1, comfortably inside the
+        # widened output format.
+        fmt = FixedPointFormat(1, 6)
+        table, out_fmt = exp_lut(fmt)
+        codes = np.arange(fmt.int_min, 1, dtype=np.int64)
+        entries = table[codes - fmt.int_min]
+        assert entries.max() == 1 << out_fmt.fractional_bits  # e^0 = 1
+        assert entries.max() < out_fmt.int_max
+
+    def test_wide_formats_are_rejected(self):
+        with pytest.raises(ValueError, match="entries"):
+            exp_lut(FixedPointFormat(2, 15))
+
+
+# ----------------------------------------------------------------------
+# Approximation metadata consumed by qlower
+# ----------------------------------------------------------------------
+class TestApproximationMetadata:
+    def test_squash_metadata(self):
+        unit = SquashUnit(fractional_bits=5, caps_dim=8)
+        assert unit.operand_eps == 2.0 ** -5
+        assert unit.domain == (-1.0, 1.0 - 2.0 ** -5)
+        assert unit.lut_entries == 32
+        assert unit.max_abs_error() == 4.0 * 2.0 ** -5
+        assert unit.wordlength == 6
+
+    def test_squash_widened_domain(self):
+        unit = SquashUnit(fractional_bits=3, integer_bits=4)
+        assert unit.domain == (-8.0, 8.0 - 2.0 ** -3)
+
+    def test_softmax_metadata(self):
+        unit = SoftmaxUnit(fractional_bits=5, num_inputs=10)
+        assert unit.operand_eps == 2.0 ** -5
+        assert unit.lut_entries == 2 ** 6
+        assert unit.max_abs_error() == 12.0 * 2.0 ** -5
+        assert unit.domain == (-1.0, 1.0 - 2.0 ** -5)
+
+    def test_degenerate_parameters_are_rejected(self):
+        with pytest.raises(ValueError, match="fractional_bits"):
+            SquashUnit(fractional_bits=0)
+        with pytest.raises(ValueError, match="caps_dim"):
+            SquashUnit(fractional_bits=4, caps_dim=0)
+        with pytest.raises(ValueError, match="fractional_bits"):
+            SoftmaxUnit(fractional_bits=0)
+        with pytest.raises(ValueError, match="num_inputs"):
+            SoftmaxUnit(fractional_bits=4, num_inputs=1)
