@@ -1,0 +1,223 @@
+"""Integer backend bench — int vs float serving latency + edge cost.
+
+The integer backend executes the certified lowering plan on int64
+accumulators (shifts + LUTs, no float arithmetic); this bench measures
+what that buys over the float fixed-point simulation it replaces, per
+model x rounding scheme:
+
+* wall-clock latency of one served batch on each backend;
+* label agreement between the two paths (LeNet-5 plans contain only
+  exact ops, so its agreement is asserted to be exactly 1.0; capsule
+  plans contain certified approximation ops, so their agreement is
+  reported, not asserted);
+* the edge deployment price: per-inference energy (UMC 65nm model) and
+  CapsAcc-style latency of the int-deployable wordlength against FP32.
+
+Run directly for CI smoke coverage::
+
+    PYTHONPATH=src python benchmarks/bench_int_backend.py --quick \
+        --json int_backend_quick.json
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))  # conftest/harness as a script
+
+import numpy as np
+
+from conftest import emit
+
+from repro.analysis import shallowcaps_stats
+from repro.api import ModelArtifact
+from repro.baselines import LeNet5
+from repro.hw import CapsAccModel, InferenceEnergyModel
+from repro.quant import (
+    QuantizationConfig,
+    QuantizedCapsNet,
+    get_rounding_scheme,
+)
+
+SCHEMES = ("TRN", "RTN", "RTNE", "SR")
+BITS = {"qw": 6, "qa": 6, "qdr": 8}
+
+
+def make_artifact(model, scheme, seed=0):
+    config = QuantizationConfig.uniform(list(model.quant_layers), **BITS)
+    quantized = QuantizedCapsNet(
+        model, config, get_rounding_scheme(scheme, seed=seed), seed=seed
+    )
+    artifact = ModelArtifact.from_quantized(quantized)
+    artifact.certify(model=model)
+    artifact.lower(model=model)
+    return artifact
+
+
+def _snap(images):
+    scaled = np.rint(np.asarray(images, np.float64) * 256.0) / 256.0
+    return scaled.astype(np.float32)
+
+
+def backend_sweep(models, batch=8, repeats=3, seed=12345):
+    """(model x scheme) arms: per-backend latency + label agreement."""
+    gen = np.random.default_rng(seed)
+    arms = []
+    for name, model, side in models:
+        images = _snap(gen.random((batch, 1, side, side), dtype=np.float32))
+        for scheme in SCHEMES:
+            artifact = make_artifact(model, scheme)
+            assert artifact.lowerable, artifact.summary()
+
+            float_backend = artifact.bind(model)
+            int_backend = artifact.bind(model, backend="int")
+
+            float_s, float_labels = _time_predict(
+                float_backend, images, repeats
+            )
+            int_s, int_labels = _time_predict(
+                int_backend, images, repeats
+            )
+            agreement = float((int_labels == float_labels).mean())
+            if name.startswith("lenet"):
+                # No approximation ops in a CNN plan: bit-identical.
+                assert agreement == 1.0, (scheme, agreement)
+            arms.append({
+                "model": name,
+                "scheme": scheme,
+                "float_ms": float_s * 1e3,
+                "int_ms": int_s * 1e3,
+                "speedup": float_s / int_s,
+                "agreement": agreement,
+                "lut_tables": len(int_backend.lut_tables),
+            })
+    return {"batch": batch, "repeats": repeats, "arms": arms}
+
+
+def _time_predict(backend, images, repeats):
+    labels = backend.predict(images)  # warm-up (binds, LUT ROMs)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        labels = backend.predict(images)
+        best = min(best, time.perf_counter() - start)
+    return best, labels
+
+
+def edge_profile():
+    """Energy + accelerator latency of the int-deployable wordlength."""
+    stats = shallowcaps_stats()
+    layers = [layer.name for layer in stats.layers]
+    config = QuantizationConfig.uniform(layers, **BITS)
+    energy = InferenceEnergyModel(stats.op_counts())
+    fp32_energy = energy.estimate(None)
+    int_energy = energy.estimate(config)
+    capsacc = CapsAccModel(stats)
+    fp32_timing = capsacc.estimate(None)
+    int_timing = capsacc.estimate(config)
+    return {
+        "model": stats.name,
+        "bits": dict(BITS),
+        "fp32_nj": fp32_energy.total_nj,
+        "int_nj": int_energy.total_nj,
+        "energy_reduction": fp32_energy.total_nj / int_energy.total_nj,
+        "fp32_latency_ms": fp32_timing.latency_ms,
+        "int_latency_ms": int_timing.latency_ms,
+        "latency_reduction": (
+            fp32_timing.total_cycles / int_timing.total_cycles
+        ),
+    }
+
+
+def format_report(report):
+    lines = [
+        f"{'model':<14} {'scheme':<6} {'float':>10} {'int':>10} "
+        f"{'speedup':>8} {'agree':>7} {'LUTs':>5}"
+    ]
+    for arm in report["arms"]:
+        lines.append(
+            f"{arm['model']:<14} {arm['scheme']:<6} "
+            f"{arm['float_ms']:>8.1f}ms {arm['int_ms']:>8.1f}ms "
+            f"{arm['speedup']:>8.2f} {arm['agreement']:>7.2f} "
+            f"{arm['lut_tables']:>5}"
+        )
+    edge = report["edge"]
+    lines.append(
+        f"edge profile ({edge['model']}, qw{edge['bits']['qw']}/"
+        f"qa{edge['bits']['qa']}/qdr{edge['bits']['qdr']}): "
+        f"{edge['fp32_nj']:.0f} -> {edge['int_nj']:.0f} nJ/inference "
+        f"({edge['energy_reduction']:.1f}x), "
+        f"{edge['fp32_latency_ms']:.3f} -> {edge['int_latency_ms']:.3f} ms "
+        f"on CapsAcc ({edge['latency_reduction']:.2f}x)"
+    )
+    lines.append(
+        "lenet arms bit-identical on every scheme; capsule agreement "
+        "bounded by the certified approximation error on near-tie "
+        "samples"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Pytest entry (quick zoo; the CI bench job runs the script form)
+# ----------------------------------------------------------------------
+def test_int_backend_bench():
+    report = backend_sweep(_zoo(quick=True), batch=8)
+    report["edge"] = edge_profile()
+    emit("int_backend", format_report(report))
+    for arm in report["arms"]:
+        assert 0.0 <= arm["agreement"] <= 1.0
+    assert report["edge"]["energy_reduction"] > 1.0
+    assert report["edge"]["latency_reduction"] >= 1.0
+
+
+# ----------------------------------------------------------------------
+# Script entry (self-contained; used by the CI bench job)
+# ----------------------------------------------------------------------
+def _zoo(quick):
+    from repro.api.session import build_model
+    from repro.capsnet import ShallowCaps, presets
+
+    if quick:
+        return [
+            ("shallow-tiny", ShallowCaps(presets.shallowcaps_tiny()), 14),
+            ("lenet5", LeNet5(seed=0), 28),
+        ]
+    return [
+        ("shallow-small", build_model("shallow-small", "digits"), 28),
+        ("deep-small", build_model("deep-small", "digits"), 28),
+        ("lenet5", LeNet5(seed=0), 28),
+    ]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny models only (CI smoke mode)",
+    )
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write the report as JSON to this path")
+    parser.add_argument("--batch", type=int, default=8,
+                        help="images per served batch (default: 8)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per arm (default: 3)")
+    args = parser.parse_args(argv)
+
+    report = backend_sweep(
+        _zoo(args.quick), batch=args.batch, repeats=args.repeats
+    )
+    report["edge"] = edge_profile()
+    report["quick"] = args.quick
+    print(format_report(report))
+    if args.json is not None:
+        args.json.write_text(json.dumps(report, indent=2))
+        print(f"wrote {args.json}")
+    print("OK: int backend served every arm; lenet arms bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

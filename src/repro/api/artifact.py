@@ -225,6 +225,29 @@ class ModelArtifact:
             if blocking:
                 line += f"; blocked by: {', '.join(blocking)}"
             lines.append(line)
+        if self.certified and self.lowerable:
+            lines.append("  int-backend ready: certified PASS + lowerable")
+        else:
+            blockers = []
+            if not self.certified:
+                blockers.append(
+                    "certificate FAILED" if self.certificate
+                    else "no certificate"
+                )
+            if not self.lowerable:
+                rules = sorted({
+                    str(entry.get("rule"))
+                    for entry in (self.lowering_plan or {}).get(
+                        "findings", []
+                    )
+                    if str(entry.get("rule", "")).startswith("QL04")
+                })
+                blockers.append(
+                    f"plan blocked by {', '.join(rules)}" if rules
+                    else ("plan BLOCKED" if self.lowering_plan
+                          else "no lowering plan")
+                )
+            lines.append(f"  int-backend blocked: {'; '.join(blockers)}")
         if self.spec is not None:
             lines.append(
                 f"  provenance: model={self.spec.get('model')} "
@@ -301,13 +324,23 @@ class ModelArtifact:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def bind(self, model: Module) -> QuantizedCapsNet:
+    def bind(self, model: Module, backend: Optional[str] = None):
         """Bind the frozen codes onto ``model`` for inference.
 
         ``model`` must expose the same quantization layers the artifact
         was produced from (its float weights are irrelevant for frozen
-        parameters).
+        parameters).  ``backend`` selects the execution path — the
+        default ``"float"`` fixed-point simulation, or ``"int"`` for
+        the integer-only executor of the artifact's certified lowering
+        plan (refused unless the artifact is certified PASS *and*
+        lowerable).  Returns an
+        :class:`~repro.backend.base.InferenceBackend`; unknown
+        attributes delegate to the underlying
+        :class:`~repro.quant.qmodel.QuantizedCapsNet`, so pre-backend
+        callers (``.context()`` etc.) keep working.
         """
+        from repro.backend import create_backend
+
         layers = getattr(model, "quant_layers", None)
         if layers is not None and list(layers) != list(self.config.layer_names):
             raise ArtifactError(
@@ -315,7 +348,7 @@ class ModelArtifact:
                 f"model layers {list(layers)}; rebuild the model from the "
                 "artifact's spec provenance"
             )
-        return QuantizedCapsNet.from_codes(
+        quantized = QuantizedCapsNet.from_codes(
             model,
             self.config,
             get_rounding_scheme(self.scheme, seed=self.seed),
@@ -323,6 +356,7 @@ class ModelArtifact:
             act_scales=self.act_scales,
             seed=self.seed,
         )
+        return create_backend(backend, self, model, quantized)
 
     # ------------------------------------------------------------------
     # Serialization

@@ -113,12 +113,13 @@ def build_dataset(name: str, train_size: int, test_size: int, seed: int,
 class ServingModel:
     """Batched quantized inference over frozen codes — no search, ever.
 
-    Thin runtime wrapper a :meth:`Session.serve` call returns: the bound
-    :class:`~repro.quant.qmodel.QuantizedCapsNet` plus a batch size.
-    One quantization context is built per query (weights are
-    reconstructed from the integer codes once, activations quantize on
-    the fly), and batches stream through it in order — deterministic
-    for every rounding scheme.
+    Thin runtime wrapper a :meth:`Session.serve` call returns: the
+    bound :class:`~repro.backend.base.InferenceBackend` plus a batch
+    size.  On the float backend one quantization context is built per
+    query (weights are reconstructed from the integer codes once,
+    activations quantize on the fly); on the int backend every batch
+    executes the certified lowering plan on integer codes.  Batches
+    stream through in order — deterministic for every rounding scheme.
 
     With ``sanitize=True`` every predict runs under a persistent
     :class:`~repro.lint.sanitizer.FixedPointSanitizer`: per-layer
@@ -129,15 +130,26 @@ class ServingModel:
 
     def __init__(
         self,
-        quantized: QuantizedCapsNet,
+        quantized,
         batch_size: int = 128,
         sanitize: bool = False,
     ) -> None:
+        from repro.backend import FloatBackend, InferenceBackend
+
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
-        self.quantized = quantized
+        if isinstance(quantized, InferenceBackend):
+            self.backend = quantized
+        else:
+            # Pre-backend callers hand us a bare QuantizedCapsNet.
+            self.backend = FloatBackend(quantized)
+        self.quantized = self.backend.quantized
         self.batch_size = batch_size
         self._sanitizer = FixedPointSanitizer() if sanitize else None
+
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name
 
     @property
     def config(self) -> QuantizationConfig:
@@ -156,15 +168,9 @@ class ServingModel:
     def predict(self, images: np.ndarray) -> np.ndarray:
         """Predicted labels for ``images``, evaluated in batches."""
         if self._sanitizer is None:
-            return predict_in_batches(
-                self.quantized.model, images, self.batch_size,
-                q=self.quantized.context(),
-            )
+            return self.backend.predict(images, batch_size=self.batch_size)
         with self._sanitizer:
-            return predict_in_batches(
-                self.quantized.model, images, self.batch_size,
-                q=self.quantized.context(),
-            )
+            return self.backend.predict(images, batch_size=self.batch_size)
 
     def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
         """Accuracy (%) of :meth:`predict` against ``labels``."""
@@ -570,6 +576,7 @@ class Session:
         self,
         artifact: Union[ModelArtifact, str, os.PathLike],
         require_certified: bool = False,
+        backend: Optional[str] = None,
     ) -> ServingModel:
         """Bind an artifact (or artifact path) for batched inference.
 
@@ -577,7 +584,9 @@ class Session:
         session's model and every query streams through in
         ``spec.batch_size`` batches.  ``require_certified`` refuses
         artifacts that do not carry a *passing* qprove range
-        certificate.
+        certificate.  ``backend`` selects the execution path
+        (``"float"`` default / ``"int"``; the int backend additionally
+        requires the artifact to be certified PASS and lowerable).
         """
         if isinstance(artifact, (str, os.PathLike)):
             artifact = ModelArtifact.load(artifact)
@@ -598,7 +607,7 @@ class Session:
                 "--artifact PATH --update') first"
             )
         return ServingModel(
-            artifact.bind(self.model),
+            artifact.bind(self.model, backend=backend),
             batch_size=self.spec.batch_size,
             sanitize=self.spec.sanitize,
         )
@@ -607,13 +616,14 @@ class Session:
         self,
         target: Union[ModelArtifact, str, os.PathLike, None] = None,
         images: Optional[np.ndarray] = None,
+        backend: Optional[str] = None,
     ) -> np.ndarray:
         """Predicted labels (quantized when ``target`` is an artifact,
         FP32 otherwise) for ``images`` (default: the test split)."""
         if images is None:
             images = self.test_data[0]
         if target is not None:
-            return self.serve(target).predict(images)
+            return self.serve(target, backend=backend).predict(images)
         return predict_in_batches(self.model, images, self.spec.batch_size)
 
     def evaluate(

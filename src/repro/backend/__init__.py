@@ -1,0 +1,26 @@
+"""Pluggable inference backends for bound artifacts.
+
+``ModelArtifact.bind(model, backend=...)`` returns one of these;
+see :mod:`repro.backend.base` for the protocol and the int-backend
+gating rules.
+"""
+
+from repro.backend.base import (
+    BACKENDS,
+    InferenceBackend,
+    check_int_gates,
+    create_backend,
+    resolve_backend,
+)
+from repro.backend.float_backend import FloatBackend
+from repro.backend.int_backend import IntBackend
+
+__all__ = [
+    "BACKENDS",
+    "InferenceBackend",
+    "FloatBackend",
+    "IntBackend",
+    "check_int_gates",
+    "create_backend",
+    "resolve_backend",
+]

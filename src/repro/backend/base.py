@@ -1,0 +1,131 @@
+"""Inference-backend protocol and backend selection.
+
+A backend is what :meth:`repro.api.ModelArtifact.bind` returns: the
+executable form of an artifact bound to a model.  Two implementations
+exist — the float fixed-point simulation the framework has always run
+(:class:`~repro.backend.float_backend.FloatBackend`) and the
+integer-only executor of the certified lowering plan
+(:class:`~repro.backend.int_backend.IntBackend`).  Both expose the same
+serving surface (``predict`` / ``accuracy`` / ``model`` / ``config``)
+so :class:`repro.api.session.ServingModel`, the registry and the
+daemon treat them interchangeably.
+
+The int backend is hard-gated: an artifact must carry a PASSing range
+certificate *and* a lowerable plan (no QL040-series findings) before it
+may execute in integer arithmetic — :func:`check_int_gates` raises a
+clear :class:`repro.api.artifact.ArtifactError` naming the missing
+gate otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Valid ``backend=`` selectors, in gate order (float is ungated).
+BACKENDS: Tuple[str, ...] = ("float", "int")
+
+
+def resolve_backend(name) -> str:
+    """Validate a backend selector, defaulting ``None`` to float."""
+    if name is None:
+        return "float"
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {', '.join(BACKENDS)}"
+        )
+    return name
+
+
+def check_int_gates(artifact) -> None:
+    """Refuse artifacts that may not execute on the int backend.
+
+    Two gates, checked in order and each named in the error: the
+    artifact must be certified PASS (the accumulator widths the int
+    kernels narrow to are only sound with a PASSing qprove
+    certificate), and its lowering plan must be lowerable (QL040-series
+    findings mean some op has no certified integer form).
+    """
+    from repro.api.artifact import ArtifactError
+
+    if not artifact.certified:
+        verdict = (
+            "a FAILED certificate" if artifact.certificate
+            else "no certificate"
+        )
+        raise ArtifactError(
+            f"backend 'int' requires a certified artifact: artifact "
+            f"carries {verdict}; run ModelArtifact.certify() (or "
+            f"'qcapsnets certify --artifact PATH --update') first"
+        )
+    if not artifact.lowerable:
+        plan = artifact.lowering_plan
+        if plan:
+            rules = sorted({
+                str(f.get("rule"))
+                for f in plan.get("findings", ())
+                if str(f.get("rule", "")).startswith("QL04")
+            })
+            detail = (
+                f"lowering plan is BLOCKED by {', '.join(rules)}"
+                if rules else "lowering plan is BLOCKED"
+            )
+        else:
+            detail = "artifact carries no lowering plan"
+        raise ArtifactError(
+            f"backend 'int' requires a lowerable artifact: {detail}; "
+            f"run ModelArtifact.lower() (or 'qcapsnets lower --artifact "
+            f"PATH --update') first"
+        )
+
+
+class InferenceBackend:
+    """Common surface of a bound artifact (see module docstring).
+
+    Subclasses set :attr:`name`, hold the bound
+    :class:`~repro.quant.qmodel.QuantizedCapsNet` as ``quantized`` and
+    implement :meth:`predict`.  Unknown attributes delegate to the
+    quantized model, so existing callers of ``bind()`` (``.context()``,
+    ``.weight_storage_bits()``, ``.scheme`` …) keep working.
+    """
+
+    name = "base"
+
+    def __init__(self, quantized):
+        self.quantized = quantized
+
+    @property
+    def model(self):
+        return self.quantized.model
+
+    @property
+    def config(self):
+        return self.quantized.config
+
+    def predict(self, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
+        """Predicted labels for ``images``, evaluated batch by batch."""
+        raise NotImplementedError
+
+    def accuracy(
+        self, images: np.ndarray, labels: np.ndarray, batch_size: int = 128
+    ) -> float:
+        """Top-1 accuracy in percent (the paper's reporting unit)."""
+        predictions = self.predict(images, batch_size=batch_size)
+        return float((predictions == np.asarray(labels)).mean() * 100.0)
+
+    def __getattr__(self, attr):
+        if attr == "quantized":
+            raise AttributeError(attr)
+        return getattr(self.quantized, attr)
+
+
+def create_backend(name, artifact, model, quantized) -> InferenceBackend:
+    """Instantiate the selected backend for a bound artifact."""
+    from repro.backend.float_backend import FloatBackend
+    from repro.backend.int_backend import IntBackend
+
+    name = resolve_backend(name)
+    if name == "float":
+        return FloatBackend(quantized)
+    return IntBackend(artifact, model, quantized)

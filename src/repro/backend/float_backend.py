@@ -1,0 +1,33 @@
+"""Float backend: the fixed-point *simulation* path, behind the
+backend protocol.
+
+This is exactly the pipeline ``ModelArtifact.bind`` has always served
+— frozen integer weight codes dequantized to float32, the real model
+forward, and quantization hooks snapping activations to the grid — now
+wrapped as an :class:`~repro.backend.base.InferenceBackend` so serving
+code selects it by name instead of assuming it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import InferenceBackend
+from repro.nn.trainer import predict_in_batches
+
+
+class FloatBackend(InferenceBackend):
+    """Backend wrapper over a :class:`~repro.quant.qmodel
+    .QuantizedCapsNet` (see module docstring)."""
+
+    name = "float"
+
+    def context(self):
+        """Fresh runtime quantization context (frozen weights + hooks)."""
+        return self.quantized.context()
+
+    def predict(self, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
+        return predict_in_batches(
+            self.quantized.model, images, batch_size,
+            q=self.quantized.context(),
+        )

@@ -1,0 +1,265 @@
+"""Vectorized numpy integer kernels for the int inference backend.
+
+Every kernel operates on two's-complement integer *codes*: a code ``c``
+on grid ``2^e`` represents the value ``c · 2^e``.  The grids and shift
+amounts come from a certified :class:`repro.analysis.lowering
+.LoweringPlan`, so each kernel is the executable form of one plan op:
+
+* multiply-accumulate ops (conv / linear / votes) are exact on the
+  product grid; biases join by exact left shift onto the common grid;
+* rescales mirror :func:`repro.analysis.qlower._shift_round` — the
+  shift schedule the replay oracle proved bit-identical to the float
+  fixed-point path for every rounding scheme;
+* squash / softmax / batch-norm dispatch to the bit-accurate integer
+  datapaths of :mod:`repro.hw.fixed_ref` (softmax through a prebuilt
+  exponential ROM so bound models build each table once, not per
+  forward).
+
+The only floating point allowed in this file is the stochastic-rounding
+residue comparison, which is itself part of the certified replay recipe
+(the float path draws the same uniforms); those lines carry explicit
+``QL044`` suppressions and the qlint ``intflow`` checker guards the
+rest of the file against float leaks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.ops_nn import conv_output_shape, im2col
+from repro.hw.fixed_ref import fixed_squash, saturate
+from repro.quant.fixed_point import FixedPointFormat
+
+
+def storage_dtype(bits: Optional[int]) -> np.dtype:
+    """Smallest standard integer dtype holding ``bits``-bit codes.
+
+    ``bits`` follows the certificate's ``min_safe_bits`` convention
+    (two's-complement width including the sign bit); ``None`` means
+    unknown and keeps the wide accumulator dtype.
+    """
+    if bits is None:
+        return np.dtype(np.int64)
+    if bits <= 16:
+        return np.dtype(np.int16)
+    if bits <= 32:
+        return np.dtype(np.int32)
+    return np.dtype(np.int64)
+
+
+def narrow(codes: np.ndarray, bits: Optional[int]) -> np.ndarray:
+    """Store ``codes`` at the certified width (kernels re-widen to
+    int64 before arithmetic, so narrowing is purely a storage tier)."""
+    if bits is None:
+        return codes
+    return np.asarray(codes).astype(storage_dtype(bits), copy=False)
+
+
+def shift_round(
+    codes: np.ndarray,
+    shift: int,
+    scheme: str,
+    draw: Optional[np.ndarray] = None,
+    gen: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Integer rescale ``round(code / 2^shift)`` per rounding scheme.
+
+    Mirror of the certified ``qlower._shift_round`` schedule: left
+    shifts (``shift <= 0``) are exact; right shifts round by the
+    artifact's own scheme.  SR consumes exactly one uniform array of
+    ``codes.shape`` — either ``draw`` (pre-drawn, used to stay in
+    lockstep with the float path's hook stream) or one draw from
+    ``gen``.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    if shift <= 0:
+        return codes << (-shift)
+    s = shift
+    if scheme == "TRN" or scheme == "exact":
+        return codes >> s
+    if scheme == "RTN":
+        return (codes + (np.int64(1) << (s - 1))) >> s
+    if scheme == "RTNE":
+        q = codes >> s
+        r = codes - (q << s)
+        half = np.int64(1) << (s - 1)
+        up = (r > half) | ((r == half) & ((q & np.int64(1)) == 1))
+        return q + up.astype(np.int64)
+    if scheme == "SR":
+        q = codes >> s
+        residue = (codes - (q << s)).astype(np.float64) / float(2 ** s)  # qlint: disable=QL044
+        if draw is None:
+            draw = gen.random(size=codes.shape)
+        return q + (draw < residue).astype(np.int64)
+    raise ValueError(f"unknown rounding scheme '{scheme}'")
+
+
+def hook_rescale(
+    codes: np.ndarray,
+    shift: int,
+    rounding: str,
+    fmt: FixedPointFormat,
+    draw: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Quantization-hook rescale: certified shift + clip into ``fmt``.
+
+    This is exactly the replayed schedule ``_shift_round`` → clip that
+    the lowering oracle proved bit-identical to ``scaled_quantize`` on
+    the float path.
+    """
+    out = shift_round(codes, shift, rounding, draw=draw)
+    return np.clip(out, fmt.int_min, fmt.int_max)
+
+
+def int_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    prod_shift: int = 0,
+    bias_shift: int = 0,
+) -> np.ndarray:
+    """Integer convolution on codes; exact on the output grid.
+
+    Products live on grid ``2^(e_w + e_x)``; ``prod_shift`` /
+    ``bias_shift`` left-align products and bias onto the plan's output
+    grid (both are exact left shifts by construction:
+    ``out_exp = min(product_exp, bias_exp)``).
+    """
+    if prod_shift < 0 or bias_shift < 0:
+        raise ValueError("grid alignment shifts must be left (exact)")
+    x = np.asarray(x, np.int64)
+    weight = np.asarray(weight, np.int64)
+    kh, kw = weight.shape[2], weight.shape[3]
+    cols = im2col(x, (kh, kw), stride, padding)
+    w_mat = weight.reshape(weight.shape[0], -1)
+    out = np.matmul(w_mat, cols) << prod_shift
+    if bias is not None:
+        out = out + (np.asarray(bias, np.int64) << bias_shift)[:, None]
+    out_h, out_w = conv_output_shape(
+        x.shape[2], x.shape[3], (kh, kw), stride, padding
+    )
+    return out.reshape(x.shape[0], weight.shape[0], out_h, out_w)
+
+
+def int_linear(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    prod_shift: int = 0,
+    bias_shift: int = 0,
+) -> np.ndarray:
+    """Integer dense layer ``x @ W.T (+ bias)``, exact on the plan grid."""
+    if prod_shift < 0 or bias_shift < 0:
+        raise ValueError("grid alignment shifts must be left (exact)")
+    out = (np.asarray(x, np.int64) @ np.asarray(weight, np.int64).T)
+    out = out << prod_shift
+    if bias is not None:
+        out = out + (np.asarray(bias, np.int64) << bias_shift)
+    return out
+
+
+def int_votes(u: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """Capsule vote projection ``û_{j|i} = W_ij × u_i`` on codes.
+
+    ``weight`` is ``(I, J, D_out, D_in)``, ``u`` is ``(B, I, D_in)``;
+    the contraction is exact integer arithmetic, so the matmul order
+    of the float path is irrelevant here.
+    """
+    return np.einsum(
+        "ijdk,bik->bijd", np.asarray(weight, np.int64), np.asarray(u, np.int64)
+    )
+
+
+def int_relu(codes: np.ndarray) -> np.ndarray:
+    """ReLU on codes (sign is grid-independent)."""
+    return np.maximum(codes, 0)
+
+
+def int_pool_sum(codes: np.ndarray, kernel: int) -> np.ndarray:
+    """Average pooling as a window *sum*: the ``/window`` of the float
+    path is a pure grid reinterpretation (``out_exp -= log2(window²)``
+    in the plan), so the integer op is just the exact window sum."""
+    x = np.asarray(codes, np.int64)
+    b, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(
+            f"pool window {kernel} does not tile input {h}x{w}"
+        )
+    view = x.reshape(b, c, h // kernel, kernel, w // kernel, kernel)
+    return view.sum(axis=(3, 5))
+
+
+def int_batchnorm(
+    codes: np.ndarray, multipliers: np.ndarray, offsets: np.ndarray
+) -> np.ndarray:
+    """Per-channel integer affine ``m_c · code + B_c`` from the plan's
+    batch-norm tables (output lands on the plan's ``2^out_exp`` grid)."""
+    m = np.asarray(multipliers, np.int64)[None, :, None, None]
+    off = np.asarray(offsets, np.int64)[None, :, None, None]
+    return np.asarray(codes, np.int64) * m + off
+
+
+def int_squash(
+    codes: np.ndarray,
+    rescale,
+    approx,
+    axis: int = -1,
+    gen: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Certified squash: operand rescale onto the op format, then the
+    bit-accurate NR/isqrt datapath of :func:`repro.hw.fixed_ref
+    .fixed_squash`.  Output codes live on grid ``2^operand_exp``."""
+    fmt_op = FixedPointFormat(approx.integer_bits, approx.operand_bits)
+    operand = shift_round(codes, rescale.shift, rescale.rounding, gen=gen)
+    operand = np.clip(operand, fmt_op.int_min, fmt_op.int_max)
+    return fixed_squash(operand, fmt_op, axis=axis)
+
+
+def lut_softmax(
+    codes: np.ndarray, fmt: FixedPointFormat, table: np.ndarray
+) -> np.ndarray:
+    """:func:`repro.hw.fixed_ref.fixed_softmax` with a prebuilt
+    exponential ROM (``table``), over the last axis.  Bound models
+    build each ROM once at ``bind()`` instead of per forward."""
+    codes = saturate(np.asarray(codes, np.int64), fmt)
+    exps = table[codes - fmt.int_min]
+    total = exps.sum(axis=-1, keepdims=True)
+    qf = fmt.fractional_bits
+    return saturate((exps << qf) // np.maximum(total, 1), fmt)
+
+
+def int_softmax(
+    codes: np.ndarray, approx, integer_bits: int, table: np.ndarray
+) -> np.ndarray:
+    """Certified routing softmax over the last axis.
+
+    Logit codes are clipped into the hook format, max-subtracted
+    (exact; logits and the subtraction format share one grid by
+    construction — see the qlower softmax derivation) and pushed
+    through the LUT datapath.
+    """
+    qdr = int(approx.tables.get("logit_bits", approx.operand_bits))
+    fmt_logits = FixedPointFormat(integer_bits, qdr)
+    fmt_sub = FixedPointFormat(approx.integer_bits, approx.operand_bits)
+    codes = np.clip(
+        np.asarray(codes, np.int64), fmt_logits.int_min, fmt_logits.int_max
+    )
+    shifted = codes - codes.max(axis=-1, keepdims=True)
+    return lut_softmax(shifted, fmt_sub, table)
+
+
+def int_capsule_predictions(codes: np.ndarray) -> np.ndarray:
+    """Class prediction from capsule codes ``(B, J, D)``: squared-norm
+    argmax (monotone in capsule length, so it matches the float path's
+    length argmax)."""
+    c = np.asarray(codes, np.int64)
+    return (c * c).sum(axis=-1).argmax(axis=-1).astype(np.int64)
+
+
+def int_logit_predictions(codes: np.ndarray) -> np.ndarray:
+    """Class prediction from logit codes ``(B, J)``."""
+    return np.asarray(codes).argmax(axis=-1).astype(np.int64)

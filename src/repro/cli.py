@@ -233,7 +233,7 @@ def cmd_predict(args) -> int:
     base = QuantSpec.from_dict(artifact.spec) if artifact.spec else None
     spec = resolve_spec(args, base=base)
     session = Session(spec)
-    served = session.serve(artifact)
+    served = session.serve(artifact, backend=args.backend)
     images, labels = session.test_data
     predictions = served.predict(images)
     shown = min(args.num, len(predictions))
@@ -244,7 +244,8 @@ def cmd_predict(args) -> int:
     print(f"predictions (pred/label, first {shown}): {pairs}")
     accuracy = 100.0 * float((predictions == labels).mean())
     print(f"served accuracy on {spec.dataset}: {accuracy:.2f}% "
-          f"({len(predictions)} samples, batch size {spec.batch_size})")
+          f"({len(predictions)} samples, batch size {spec.batch_size}, "
+          f"backend {served.backend_name})")
     if served.sanitizing:
         report = served.sanitizer_report()
         totals = report["totals"]
@@ -365,6 +366,30 @@ def parse_tenant(spec: str) -> tuple:
     return name, path
 
 
+def parse_tenant_spec(spec: str) -> tuple:
+    """``[NAME=]PATH[@BACKEND]`` -> ``(name, path, backend-or-None)``.
+
+    A ``@float`` / ``@int`` suffix pins this tenant's execution backend
+    (overriding the daemon-wide ``--backend``); a trailing ``@token``
+    that is neither is a usage error unless it looks like part of the
+    path (contains ``/`` or ``.``).
+    """
+    from repro.backend import BACKENDS
+
+    backend = None
+    base, sep, suffix = spec.rpartition("@")
+    if sep and "/" not in suffix and "." not in suffix:
+        if suffix not in BACKENDS:
+            raise SystemExit(
+                f"error: unknown backend {suffix!r} in --artifact "
+                f"{spec!r}; expected one of {', '.join(BACKENDS)}"
+            )
+        backend = suffix
+        spec = base
+    name, path = parse_tenant(spec)
+    return name, path, backend
+
+
 def cmd_serve(args) -> int:
     """Long-lived multi-tenant serving daemon over saved artifacts."""
     from repro.serve import ModelRegistry, RegistryError, ServingDaemon
@@ -374,16 +399,18 @@ def cmd_serve(args) -> int:
         batch_size=args.batch_size,
         sanitize=args.sanitize,
         require_certified=args.require_certified,
+        backend=args.backend,
     )
     for spec in args.artifact:
-        name, path = parse_tenant(spec)
+        name, path, backend = parse_tenant_spec(spec)
         try:
-            entry = registry.register(name, path=path)
+            entry = registry.register(name, path=path, backend=backend)
         except RegistryError as error:
             raise SystemExit(f"error: {error}") from error
         print(f"registered {name!r} from {path} "
               f"(format v{entry.artifact.version}, {entry.artifact.scheme}, "
-              f"{entry.artifact.weight_storage_bits() / 1e6:.3f} Mbit)")
+              f"{entry.artifact.weight_storage_bits() / 1e6:.3f} Mbit, "
+              f"backend {entry.backend})")
     try:
         daemon = ServingDaemon(
             registry,
@@ -564,6 +591,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override the provenance weights path")
     p_pred.add_argument("--num", type=int, default=8,
                         help="predictions to print (default: 8)")
+    p_pred.add_argument("--backend", default=None,
+                        choices=["float", "int"],
+                        help="execution backend (default: float; 'int' "
+                             "runs the certified integer lowering plan "
+                             "and requires a certified PASS + lowerable "
+                             "artifact)")
     p_pred.add_argument("--out", default=None,
                         help="write predictions as JSON")
     p_pred.add_argument("--sanitize", action="store_true", default=None,
@@ -630,9 +663,11 @@ def build_parser() -> argparse.ArgumentParser:
              "micro-batched requests, LRU eviction of cold tenants)",
     )
     p_serve.add_argument(
-        "--artifact", action="append", required=True, metavar="[NAME=]PATH",
+        "--artifact", action="append", required=True,
+        metavar="[NAME=]PATH[@BACKEND]",
         help="artifact to serve; repeat for multiple tenants "
-             "(name defaults to the file stem)",
+             "(name defaults to the file stem; a @float/@int suffix "
+             "pins this tenant's execution backend)",
     )
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080,
@@ -659,6 +694,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--require-certified", action="store_true",
                          help="refuse artifacts without a passing qprove "
                               "range certificate (see 'qcapsnets certify')")
+    p_serve.add_argument("--backend", default=None,
+                         choices=["float", "int"],
+                         help="default execution backend for every tenant "
+                              "(default: float; int tenants must be "
+                              "certified PASS and lowerable)")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_lint = sub.add_parser(

@@ -29,7 +29,7 @@ import os
 import sys
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
-from repro.lint import concurrency, determinism, stagedeps
+from repro.lint import concurrency, determinism, intflow, stagedeps
 from repro.lint.findings import RULES, Finding
 from repro.lint.sanitizer import FixedPointSanitizer
 
@@ -225,6 +225,7 @@ def run_lint(
     edges: List[concurrency.LockOrderEdge] = []
     for path in files:
         findings.extend(determinism.check_file(path))
+        findings.extend(intflow.check_file(path))
         findings.extend(concurrency.check_source(
             sources[path], path, cross_locks=cross_locks
         ))

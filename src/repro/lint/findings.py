@@ -43,6 +43,8 @@ RULES: Dict[str, str] = {
              "certified plan over the required domain/precision",
     "QL043": "qlower: missing/failed range certificate or accumulator "
              "exceeds 64-bit integer execution",
+    "QL044": "float dtype construction or float-only numpy routine "
+             "inside the integer-backend kernels",
 }
 
 _DISABLE_RE = re.compile(r"#\s*qlint:\s*disable(?:=([A-Z0-9,\s]+))?")

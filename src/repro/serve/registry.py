@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 from repro.api.artifact import ArtifactError, ModelArtifact
 from repro.api.session import ServingModel, Session, spec_input_shape
 from repro.api.spec import QuantSpec
+from repro.backend import check_int_gates, resolve_backend
 from repro.nn.module import Module
 from repro.quant.rounding import StochasticRounding, get_rounding_scheme
 
@@ -40,10 +41,13 @@ class RegisteredModel:
         artifact: ModelArtifact,
         path: Optional[str] = None,
         model: Optional[Module] = None,
+        backend: str = "float",
     ):
         self.name = name
         self.artifact = artifact
         self.path = path
+        #: Execution backend this tenant binds with ("float" / "int").
+        self.backend = backend
         self._model = model
         #: Injected models are caller-owned and survive eviction;
         #: registry-built ones are dropped with the rest of the session.
@@ -82,6 +86,7 @@ class RegisteredModel:
             "format_version": self.artifact.version,
             "scheme": self.artifact.scheme,
             "weight_storage_bits": self.artifact.weight_storage_bits(),
+            "backend": self.backend,
             "warm": self.warm,
             "binds": self.binds,
             "requests": self.requests,
@@ -115,6 +120,11 @@ class ModelRegistry:
         Refuse to register artifacts that do not carry a *passing*
         qprove range certificate (static proof that no layer's
         pre-clip codes can exceed the provisioned accumulator width).
+    backend:
+        Default execution backend for every tenant (``"float"`` /
+        ``"int"``); individual registrations may override it.  Tenants
+        on the int backend are gated at registration time: the
+        artifact must be certified PASS and lowerable.
     """
 
     def __init__(
@@ -123,6 +133,7 @@ class ModelRegistry:
         batch_size: Optional[int] = None,
         sanitize: Optional[bool] = None,
         require_certified: bool = False,
+        backend: Optional[str] = None,
     ):
         if max_warm < 1:
             raise ValueError(f"max_warm must be >= 1, got {max_warm}")
@@ -132,6 +143,7 @@ class ModelRegistry:
         self.batch_size = batch_size
         self.sanitize = sanitize
         self.require_certified = require_certified
+        self.backend = resolve_backend(backend)
         #: Insertion order is LRU order: least recently used first.
         self._entries: "OrderedDict[str, RegisteredModel]" = OrderedDict()
         self._lock = threading.Lock()
@@ -146,12 +158,17 @@ class ModelRegistry:
         path: Optional[str] = None,
         artifact: Optional[ModelArtifact] = None,
         model: Optional[Module] = None,
+        backend: Optional[str] = None,
     ) -> RegisteredModel:
         """Add a tenant by artifact ``path`` or in-memory ``artifact``.
 
         ``model`` injects a pre-built model instance (tests, embedded
         use); without one, the artifact must carry spec provenance the
-        session layer can rebuild the model from.
+        session layer can rebuild the model from.  ``backend``
+        overrides the registry's default backend for this tenant; int
+        tenants are gated here (fail fast at registration, not on the
+        first request): the artifact must be certified PASS and
+        lowerable, else :class:`~repro.api.artifact.ArtifactError`.
         """
         if (path is None) == (artifact is None):
             raise RegistryError(
@@ -175,10 +192,15 @@ class ModelRegistry:
                 "requires certified artifacts; run 'qcapsnets certify "
                 "--artifact PATH --update' first"
             )
+        chosen = self.backend if backend is None else resolve_backend(backend)
+        if chosen == "int":
+            check_int_gates(artifact)
         with self._lock:
             if name in self._entries:
                 raise RegistryError(f"model {name!r} is already registered")
-            entry = RegisteredModel(name, artifact, path=path, model=model)
+            entry = RegisteredModel(
+                name, artifact, path=path, model=model, backend=chosen
+            )
             self._entries[name] = entry
             return entry
 
@@ -274,7 +296,7 @@ class ModelRegistry:
     def _bind(self, entry: RegisteredModel) -> ServingModel:
         if entry._model is None:
             entry._model = Session(entry.spec).model
-        quantized = entry.artifact.bind(entry._model)
+        quantized = entry.artifact.bind(entry._model, backend=entry.backend)
         batch_size = self.batch_size
         if batch_size is None:
             batch_size = (
@@ -324,6 +346,9 @@ class ModelRegistry:
                 "evictions": self.evictions,
                 "binds": sum(e.binds for e in self._entries.values()),
                 "requests": sum(e.requests for e in self._entries.values()),
+                "backends": {
+                    e.name: e.backend for e in self._entries.values()
+                },
             }
 
     def sanitizer_reports(self) -> Dict[str, Dict[str, object]]:

@@ -2,9 +2,11 @@
 
 ``qcapsnets serve`` runs one of these.  Three endpoints:
 
-* ``GET /healthz`` — liveness plus registry/batcher counters;
+* ``GET /healthz`` — liveness plus registry/batcher counters
+  (including the per-tenant execution-backend map);
 * ``GET /v1/models`` — one row per registered tenant (format version,
-  scheme, storage bits, warm/cold state, request counts);
+  scheme, storage bits, execution backend, warm/cold state, request
+  counts);
 * ``POST /v1/predict`` — body ``{"model": name, "images": [...]}``;
   responds ``{"model", "predictions", "count", "batched_with"}``.
 

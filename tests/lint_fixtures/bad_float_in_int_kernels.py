@@ -1,0 +1,13 @@
+"""Known-bad fixture: float contamination inside int-backend kernels.
+
+The basename ends with ``int_kernels.py`` so the QL044 integer-flow
+checker takes it in scope; the lone violation is the ``astype`` to a
+float dtype below.
+"""
+
+import numpy as np
+
+
+def leaky_rescale(codes, shift):
+    scaled = codes.astype(np.float64) / (2 ** shift)
+    return np.rint(scaled).astype(np.int64)  # qlint: disable=QL044

@@ -54,6 +54,7 @@ class TestFixtureMatrix:
         ("bad_cross_lock.py", "QL020"),
         ("bad_fork_child.py", "QL021"),
         ("bad_lock_order.py", "QL022"),
+        ("bad_float_in_int_kernels.py", "QL044"),
     ])
     def test_bad_fixture_yields_exactly_one_finding(self, name, rule):
         code, lines = lint([fixture(name)])
